@@ -1,0 +1,35 @@
+//! Criterion benchmarks of whole simulated MapReduce jobs (wall-clock cost
+//! of simulating one job, not simulated time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce::config::JobConfig;
+use simcore::rng::RootSeed;
+use vcluster::spec::{ClusterSpec, Placement};
+use workloads::mrbench::run_mrbench;
+use workloads::wordcount::run_wordcount;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::builder().hosts(2).vms(8).placement(Placement::CrossDomain).build()
+}
+
+fn bench_wordcount_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_jobs");
+    g.sample_size(10);
+    g.bench_function("wordcount_4mb", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_wordcount(
+                cluster(),
+                4 << 20,
+                JobConfig::default(),
+                RootSeed(5),
+            ))
+        });
+    });
+    g.bench_function("mrbench_4maps", |b| {
+        b.iter(|| std::hint::black_box(run_mrbench(cluster(), 4, 2, RootSeed(5))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wordcount_sim);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benchmarks of live-migration simulations (Virt-LM style).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcluster::migration::MigrationConfig;
+use vcluster::virtlm::{VirtLm, WorkloadProfile};
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtlm");
+    g.sample_size(20);
+    g.bench_function("idle_4vm_512mb", |b| {
+        let bench = VirtLm { n_vms: 4, mem_mib: vec![512], migration: MigrationConfig::default() };
+        b.iter(|| std::hint::black_box(bench.run_one(&WorkloadProfile::idle(), 512)));
+    });
+    g.bench_function("memstress_4vm_1024mb", |b| {
+        let bench = VirtLm { n_vms: 4, mem_mib: vec![1024], migration: MigrationConfig::default() };
+        b.iter(|| std::hint::black_box(bench.run_one(&WorkloadProfile::mem_stress(), 1024)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

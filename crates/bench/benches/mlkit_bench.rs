@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the in-memory clustering references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkit::prelude::*;
+use simcore::rng::RootSeed;
+
+fn bench_references(c: &mut Criterion) {
+    let data = gaussian_mixture_1000(RootSeed(9));
+    let chart = control_chart(RootSeed(9), 50, 60);
+
+    let mut g = c.benchmark_group("reference_algorithms");
+    g.bench_function("kmeans_1000x2", |b| {
+        let params = KMeansParams { k: 3, max_iters: 10, convergence: 0.01, ..Default::default() };
+        b.iter(|| std::hint::black_box(mlkit::kmeans::reference(&data.points, params, RootSeed(1))));
+    });
+    g.bench_function("canopy_1000x2", |b| {
+        b.iter(|| std::hint::black_box(mlkit::canopy::reference(&data.points, CanopyParams::display())));
+    });
+    g.bench_function("fuzzy_300x60", |b| {
+        let params = FuzzyKMeansParams { k: 6, max_iters: 5, convergence: 1.0, ..Default::default() };
+        b.iter(|| std::hint::black_box(mlkit::fuzzy::reference(&chart.points, params, RootSeed(2))));
+    });
+    g.bench_function("minhash_1000x2", |b| {
+        b.iter(|| {
+            std::hint::black_box(mlkit::minhash::reference(
+                &data.points,
+                MinHashParams::default(),
+                RootSeed(3),
+            ))
+        });
+    });
+    g.bench_function("dirichlet_1000x2", |b| {
+        let params = DirichletParams { iterations: 3, ..Default::default() };
+        b.iter(|| std::hint::black_box(mlkit::dirichlet::reference(&data.points, params, RootSeed(4))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_references);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks of the simulation kernel: max-min
+//! reallocation cost and end-to-end event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::prelude::*;
+
+fn bench_reallocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_reallocate");
+    for &flows in &[10usize, 100, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let mut net = FluidNet::new();
+            let resources: Vec<ResourceId> = (0..16)
+                .map(|i| net.add_resource(format!("r{i}"), ResourceKind::Net, 1e9))
+                .collect();
+            for i in 0..flows {
+                let a = resources[i % resources.len()];
+                let bb = resources[(i * 7 + 3) % resources.len()];
+                net.add_flow(vec![Demand::unit(a), Demand::unit(bb)], 1e9);
+            }
+            b.iter(|| {
+                net.set_capacity(resources[0], 1e9); // dirty the allocation
+                net.reallocate();
+                std::hint::black_box(net.used(resources[0]))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    c.bench_function("engine_1000_chained_flows", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let r = e.add_resource("r", ResourceKind::Net, 1e9);
+            for i in 0..1000u32 {
+                e.start_chain(
+                    ChainSpec::new().on(r, 1e6).delay(SimDuration::from_millis(1)).on(r, 1e6),
+                    Tag::new(simcore::owners::USER, i, 0),
+                );
+            }
+            std::hint::black_box(e.run_to_quiescence())
+        });
+    });
+}
+
+criterion_group!(benches, bench_reallocate, bench_engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! * `locality`        — locality-aware map scheduling ON vs. OFF;
+//! * `combiner`        — wordcount with vs. without the combiner;
+//! * `dom0`            — dom0 I/O CPU-steal modelling ON vs. OFF;
+//! * `migration-order` — sequential vs. fully concurrent cluster migration;
+//! * `speculation`     — backup attempts for straggling maps ON vs. OFF
+//!   (with one tracker VM crushed by outside load).
+//!
+//! ```sh
+//! cargo run --release -p vhadoop-bench --bin ablations [--scale 8|--full]
+//! ```
+
+use mapreduce::config::JobConfig;
+use simcore::rng::RootSeed;
+use vcluster::migration::MigrationConfig;
+use vcluster::spec::{ClusterSpec, Placement, XenParams};
+use vcluster::virtlm::{VirtLm, WorkloadProfile};
+use vhadoop_bench::{cli_scale, ResultSink};
+use workloads::wordcount::run_wordcount;
+
+fn cluster(placement: Placement, xen: XenParams) -> ClusterSpec {
+    ClusterSpec::builder().hosts(2).vms(16).placement(placement).xen(xen).build()
+}
+
+fn main() {
+    let scale = cli_scale();
+    let mb = ((128.0 / scale).max(4.0)) as u64;
+    let seed = RootSeed(99);
+    let mut sink = ResultSink::new("ablations", "variant (0=off/seq 1=on/conc)", "seconds");
+
+    // --- locality-aware scheduling ---------------------------------------
+    // Cross-domain placement makes remote reads expensive; locality off
+    // should hurt there.
+    for (x, on) in [(0.0, false), (1.0, true)] {
+        let cfg = JobConfig::default().with_locality(on);
+        let t = run_wordcount(cluster(Placement::CrossDomain, XenParams::default()), mb << 20, cfg, seed)
+            .elapsed_s;
+        println!("locality={on}: {t:.1}s");
+        sink.push("locality", x, t);
+    }
+
+    // --- combiner ---------------------------------------------------------
+    for (x, on) in [(0.0, false), (1.0, true)] {
+        let cfg = JobConfig::default().with_combiner(on);
+        let t = run_wordcount(cluster(Placement::SingleDomain, XenParams::default()), mb << 20, cfg, seed)
+            .elapsed_s;
+        println!("combiner={on}: {t:.1}s");
+        sink.push("combiner", x, t);
+    }
+
+    // --- dom0 I/O CPU steal ------------------------------------------------
+    for (x, on) in [(0.0, false), (1.0, true)] {
+        let xen = if on {
+            XenParams::default()
+        } else {
+            XenParams { dom0_cycles_per_net_byte: 0.0, dom0_cycles_per_disk_byte: 0.0, ..Default::default() }
+        };
+        // dom0 steal matters most when I/O and CPU contend on one host.
+        let t = run_wordcount(
+            cluster(Placement::SingleDomain, xen),
+            mb << 20,
+            JobConfig::default(),
+            seed,
+        )
+        .elapsed_s;
+        println!("dom0-steal={on}: {t:.1}s");
+        sink.push("dom0", x, t);
+    }
+
+    // --- migration order ----------------------------------------------------
+    for (x, concurrency) in [(0.0, 1u32), (1.0, 16)] {
+        let bench = VirtLm {
+            n_vms: 16,
+            mem_mib: vec![1024],
+            migration: MigrationConfig { concurrency, ..Default::default() },
+        };
+        let row = bench.run_one(&WorkloadProfile::kernel_build(), 1024);
+        println!(
+            "migration concurrency={concurrency}: total {:.1}s, max downtime {:.0}ms",
+            row.total_time_s, row.max_downtime_ms
+        );
+        sink.push("migration-total-s", x, row.total_time_s);
+        sink.push("migration-max-downtime-ms", x, row.max_downtime_ms);
+    }
+
+    // --- speculative execution under a crushed tracker ---------------------
+    for (x, on) in [(0.0, false), (1.0, true)] {
+        let t = run_straggler_job(on, seed);
+        println!("speculation={on}: {t:.1}s");
+        sink.push("speculation", x, t);
+    }
+
+    sink.finish();
+
+    // Shape checks.
+    let pts = |s: &str| sink.series_points(s);
+    assert!(pts("combiner")[1].1 < pts("combiner")[0].1, "combiner speeds wordcount up");
+    assert!(pts("dom0")[1].1 >= pts("dom0")[0].1, "dom0 steal can only slow things down");
+    assert!(
+        pts("locality")[1].1 <= pts("locality")[0].1 * 1.05,
+        "locality-aware scheduling does not hurt"
+    );
+    assert!(
+        pts("speculation")[1].1 < pts("speculation")[0].1,
+        "speculation rescues the straggler"
+    );
+}
+
+/// A CPU-heavy job with one tracker VM crushed by external load; returns
+/// elapsed seconds.
+fn run_straggler_job(speculative: bool, seed: RootSeed) -> f64 {
+    use mapreduce::prelude::*;
+    use vhdfs::hdfs::HdfsConfig;
+
+    struct HeavyApp;
+    impl MapReduceApp for HeavyApp {
+        fn name(&self) -> &str {
+            "heavy"
+        }
+        fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
+            out(k.clone(), v.clone());
+        }
+        fn reduce(&self, k: &K, vs: &[V], out: &mut dyn FnMut(K, V)) {
+            out(k.clone(), V::Int(vs.len() as i64));
+        }
+        fn cost(&self) -> CostProfile {
+            CostProfile { map_cpu_per_record: 1.2e8, ..Default::default() }
+        }
+    }
+
+    let spec = ClusterSpec::builder().hosts(2).vms(9).placement(Placement::SingleDomain).build();
+    let mut rt = mapreduce::runtime::MrRuntime::new(
+        spec,
+        HdfsConfig { block_size: 1 << 20, replication: 2 },
+        seed,
+    );
+    rt.register_input("/in", (8 << 20) - 1, VmId(1));
+    for i in 0..8 {
+        let demands = rt.cluster.cpu_demands(VmId(1));
+        rt.engine
+            .start_flow(demands, 2.4e9 * 600.0, simcore::ids::Tag::new(simcore::owners::USER, i, 0));
+    }
+    let input = GeneratorInput::new(8, 1 << 20, |idx| {
+        (0..40).map(|i| (K::Int((idx * 100 + i) as i64), V::Float(i as f64))).collect()
+    });
+    let config = JobConfig {
+        speculative,
+        locality_aware: false,
+        use_combiner: false,
+        ..Default::default()
+    };
+    let job = JobSpec::new("heavy", "/in", format!("/out-{speculative}")).with_config(config);
+    rt.run_job(job, Box::new(HeavyApp), Box::new(input)).elapsed_secs()
+}

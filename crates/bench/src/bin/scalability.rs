@@ -1,0 +1,60 @@
+//! Scalability of the hadoop virtual cluster (paper §III: "we mainly
+//! study the performance of cross-domain hadoop virtual cluster and the
+//! scalability of hadoop virtual cluster").
+//!
+//! Two sweeps over cluster sizes 2→16:
+//! * **weak scaling** — data grows with the cluster (8 MB per worker):
+//!   a scalable platform keeps runtime roughly flat;
+//! * **strong scaling** — fixed 64 MB of data: more workers help until
+//!   framework overheads and the shared NFS substrate dominate.
+//!
+//! ```sh
+//! cargo run --release -p vhadoop-bench --bin scalability [--scale 8|--full]
+//! ```
+
+use mapreduce::config::JobConfig;
+use simcore::rng::RootSeed;
+use vcluster::spec::{ClusterSpec, Placement};
+use vhadoop_bench::{cli_scale, ResultSink};
+use vhdfs::hdfs::HdfsConfig;
+use workloads::wordcount::run_wordcount_with;
+
+fn main() {
+    let scale = cli_scale();
+    let per_worker_mb = ((64.0 / scale).max(2.0)) as u64;
+    let fixed_mb = ((512.0 / scale).max(16.0)) as u64;
+    let sizes = [2u32, 4, 8, 12, 16];
+    let mut sink = ResultSink::new("scalability", "cluster VMs", "running time s");
+
+    for &vms in &sizes {
+        let workers = u64::from(vms - 1);
+        let spec = ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
+        // Weak scaling: one block per worker, data ∝ workers.
+        let bytes = (workers * per_worker_mb) << 20;
+        let hdfs = HdfsConfig { block_size: (bytes / workers).max(1 << 20), replication: 2 };
+        let weak = run_wordcount_with(spec.clone(), bytes, JobConfig::default(), hdfs, RootSeed(7));
+        println!("weak   {vms:>2} VMs, {:>4} MB -> {:>6.1}s", bytes >> 20, weak.elapsed_s);
+        sink.push("weak-scaling", f64::from(vms), weak.elapsed_s);
+
+        // Strong scaling: fixed data, blocks sized for ~15 maps.
+        let bytes = fixed_mb << 20;
+        let hdfs = HdfsConfig { block_size: (bytes / 15).max(1 << 20), replication: 2 };
+        let strong = run_wordcount_with(spec, bytes, JobConfig::default(), hdfs, RootSeed(7));
+        println!("strong {vms:>2} VMs, {:>4} MB -> {:>6.1}s", bytes >> 20, strong.elapsed_s);
+        sink.push("strong-scaling", f64::from(vms), strong.elapsed_s);
+    }
+    sink.finish();
+
+    // Shapes: weak scaling stays within a modest envelope of the smallest
+    // cluster; strong scaling improves from 2 VMs to 16 VMs.
+    let weak = sink.series_points("weak-scaling");
+    let growth = weak.last().expect("pts").1 / weak[0].1;
+    println!("weak-scaling growth 2->16 VMs: {growth:.2}x");
+    assert!(growth < 4.0, "weak scaling within bounds, got {growth:.2}x");
+
+    let strong = sink.series_points("strong-scaling");
+    assert!(
+        strong.last().expect("pts").1 < strong[0].1,
+        "strong scaling: 16 VMs beat 2 VMs on fixed data"
+    );
+}

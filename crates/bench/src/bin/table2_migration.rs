@@ -1,0 +1,92 @@
+//! Table II — overall migration time and downtime of the whole 16-node
+//! hadoop virtual cluster in four configurations.
+//!
+//! Paper ratios to reproduce: wordcount migration time ≈ 3× idle;
+//! wordcount downtime ≈ 13× idle.
+//!
+//! ```sh
+//! cargo run --release -p vhadoop-bench --bin table2_migration [--scale 8|--full]
+//! ```
+
+use mapreduce::config::JobConfig;
+use simcore::rng::RootSeed;
+use vcluster::cluster::HostId;
+use vcluster::spec::{ClusterSpec, Placement};
+use vhadoop::platform::{PlatformConfig, VHadoop};
+use vhadoop_bench::{cli_scale, ResultSink};
+use workloads::loadgen::submit_load_job;
+use workloads::wordcount::submit_wordcount;
+
+fn run(mem_mib: u64, busy: bool, load_mb: u64) -> (f64, f64) {
+    let cluster = ClusterSpec::builder()
+        .hosts(2)
+        .vms(16)
+        .vm_mem_mib(mem_mib)
+        .placement(Placement::SingleDomain)
+        .build();
+    // Small HDFS blocks give the load jobs enough concurrent map tasks to
+    // keep every task slot busy during the migration window.
+    let mut platform = VHadoop::launch(PlatformConfig {
+        cluster,
+        hdfs: vhdfs::hdfs::HdfsConfig { block_size: 4 << 20, replication: 3 },
+        ..Default::default()
+    });
+    let rep = if busy {
+        let mut runid = 0u32;
+        let real = std::env::args().any(|a| a == "--real-wordcount");
+        platform
+            .migrate_cluster_under_load(HostId(1), |rt| {
+                if real {
+                    submit_wordcount(rt, runid, load_mb << 20, JobConfig::default(), RootSeed(77));
+                } else {
+                    // Wordcount-profile synthetic load; see fig5_migration.
+                    let maps = rt.cluster.vm_count() - 1;
+                    submit_load_job(rt, runid, maps, 2.0, 6 << 20);
+                }
+                runid += 1;
+                true
+            })
+            .0
+    } else {
+        platform.migrate_cluster(HostId(1))
+    };
+    (rep.total_time.as_secs_f64(), rep.total_downtime.as_millis_f64())
+}
+
+fn main() {
+    let scale = cli_scale();
+    let load_mb = ((768.0 / scale).max(48.0)) as u64;
+    let mut sink = ResultSink::new("table2_migration", "row (see series)", "value");
+
+    println!(
+        "{:<22} {:>22} {:>22}",
+        "configuration", "overall migration (s)", "overall downtime (ms)"
+    );
+    let mut results = std::collections::HashMap::new();
+    for (i, (name, mem, busy)) in [
+        ("idle.1024MB", 1024u64, false),
+        ("idle.512MB", 512, false),
+        ("wordcount.1024MB", 1024, true),
+        ("wordcount.512MB", 512, true),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (t, d) = run(mem, busy, load_mb);
+        println!("{name:<22} {t:>22.1} {d:>22.1}");
+        sink.push(&format!("{name}/time_s"), i as f64, t);
+        sink.push(&format!("{name}/downtime_ms"), i as f64, d);
+        results.insert(name, (t, d));
+    }
+    sink.finish();
+
+    let (ti, di) = results["idle.1024MB"];
+    let (tw, dw) = results["wordcount.1024MB"];
+    println!(
+        "\nwordcount/idle ratios: migration time {:.1}x (paper ~3x), downtime {:.1}x (paper ~13x)",
+        tw / ti,
+        dw / di
+    );
+    assert!(tw / ti > 1.5, "busy migration substantially slower");
+    assert!(dw / di > 4.0, "busy downtime an order of magnitude worse");
+}

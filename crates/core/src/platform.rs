@@ -1,0 +1,400 @@
+//! The vHadoop platform: virtualization + Hadoop + ML library + monitor +
+//! tuner behind one handle, mirroring the paper's Fig. 1 architecture and
+//! execution flow.
+//!
+//! 1. the Machine Learning Algorithm Library (or any client) requests a
+//!    hadoop virtual cluster → [`VHadoop::launch`];
+//! 2. the Virtualization Module starts the VMs, 3. the Hadoop Module
+//!    configures them (both inside `launch`);
+//! 4. input data is uploaded to HDFS → [`VHadoop::upload_input`];
+//! 5. the master assigns maps and reduces, which execute (6.–7.) inside
+//!    [`VHadoop::run_job`];
+//! 8. output is collected in the returned [`JobResult`];
+//! 9. the nmon Monitor samples throughout, and the MapReduce Tuner turns
+//!    its report into configuration advice → [`VHadoop::advise`].
+//!
+//! Live migration of the whole virtual cluster — idle or under load — is
+//! available through [`VHadoop::migrate_cluster`] and
+//! [`VHadoop::migrate_during_job`].
+
+use mapreduce::app::MapReduceApp;
+use mapreduce::config::JobConfig;
+use mapreduce::input::InputFormat;
+use mapreduce::job::{JobEvent, JobResult, JobSpec};
+use mapreduce::runtime::MrRuntime;
+use simcore::owners;
+use simcore::prelude::*;
+use vcluster::cluster::{HostId, VmId};
+use vcluster::migration::{
+    ClusterMigrationReport, MigrationConfig, MigrationEvent, MigrationManager,
+    UtilizationDirtyModel,
+};
+use vcluster::spec::ClusterSpec;
+use vhdfs::hdfs::HdfsConfig;
+use vmonitor::analyser::MonitorReport;
+use vmonitor::monitor::Monitor;
+
+/// Marker payload for the deferred-migration timer.
+const MIGRATION_START_MARK: u64 = 0x4D49_4752;
+
+/// Everything needed to launch a platform instance.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// The virtual cluster.
+    pub cluster: ClusterSpec,
+    /// HDFS parameters.
+    pub hdfs: HdfsConfig,
+    /// Live-migration parameters.
+    pub migration: MigrationConfig,
+    /// nmon sampling interval; `None` disables monitoring.
+    pub monitor_interval: Option<SimDuration>,
+    /// Root seed — the whole run is a pure function of config + seed.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            cluster: ClusterSpec::paper_normal(),
+            hdfs: HdfsConfig::default(),
+            migration: MigrationConfig::default(),
+            monitor_interval: Some(SimDuration::from_secs(1)),
+            seed: 42,
+        }
+    }
+}
+
+/// The running platform.
+#[derive(Debug)]
+pub struct VHadoop {
+    /// Engine + cluster + HDFS + JobTracker.
+    pub rt: MrRuntime,
+    monitor: Option<Monitor>,
+    migration: MigrationManager,
+    dirty: UtilizationDirtyModel,
+    migration_report: Option<ClusterMigrationReport>,
+}
+
+impl VHadoop {
+    /// Boots the cluster, formats HDFS, starts the JobTracker and (if
+    /// configured) the monitor.
+    pub fn launch(config: PlatformConfig) -> Self {
+        let seed = RootSeed(config.seed);
+        let vms = config.cluster.vms;
+        let mut rt = MrRuntime::new(config.cluster, config.hdfs, seed);
+        let monitor = config
+            .monitor_interval
+            .map(|iv| Monitor::attach(&mut rt.engine, iv));
+        VHadoop {
+            rt,
+            monitor,
+            migration: MigrationManager::new(config.migration),
+            dirty: UtilizationDirtyModel::new(vms, seed.derive("dirty")),
+            migration_report: None,
+        }
+    }
+
+    /// Platform launch with all defaults (the paper's 16-node cluster).
+    pub fn paper_default() -> Self {
+        Self::launch(PlatformConfig::default())
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.rt.now()
+    }
+
+    /// Registers input metadata without simulating the upload.
+    pub fn register_input(&mut self, path: &str, bytes: u64, writer: VmId) {
+        self.rt.register_input(path, bytes, writer);
+    }
+
+    /// Uploads input data through the full HDFS pipeline (flow step 4);
+    /// returns the upload duration. Unlike [`MrRuntime::upload`], monitor
+    /// and migration wakeups keep flowing during the upload.
+    pub fn upload_input(&mut self, path: &str, bytes: u64, writer: VmId) -> SimDuration {
+        let start = self.rt.engine.now();
+        let marker = Tag::new(owners::USER, u32::MAX, 0xB10C);
+        self.rt
+            .hdfs
+            .write_file(&mut self.rt.engine, &self.rt.cluster, path, bytes, writer, marker);
+        loop {
+            let (t, w) = self
+                .rt
+                .engine
+                .next_wakeup()
+                .expect("upload must complete before the simulation drains");
+            for ev in self.route(&w) {
+                if let PlatformEvent::Hdfs(c) = &ev {
+                    if c.client_tag == marker {
+                        return t.saturating_since(start);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one job to completion (flow steps 5–8).
+    pub fn run_job(
+        &mut self,
+        spec: JobSpec,
+        app: Box<dyn MapReduceApp>,
+        input: Box<dyn InputFormat>,
+    ) -> JobResult {
+        let id = self.rt.submit(spec, app, input);
+        loop {
+            let (_, w) = self
+                .rt
+                .engine
+                .next_wakeup()
+                .expect("job must finish before the simulation drains");
+            for ev in self.route(&w) {
+                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                    if res.id == id {
+                        return *res;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live-migrates every VM to `dst` with the cluster otherwise idle.
+    pub fn migrate_cluster(&mut self, dst: HostId) -> ClusterMigrationReport {
+        let vms: Vec<VmId> = self
+            .rt
+            .cluster
+            .vms()
+            .filter(|&v| self.rt.cluster.host_of(v) != dst)
+            .collect();
+        assert!(!vms.is_empty(), "every VM already lives on {dst}");
+        self.migration
+            .start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
+        self.migration_report = None;
+        loop {
+            let (_, w) = self
+                .rt
+                .engine
+                .next_wakeup()
+                .expect("migration must finish before the simulation drains");
+            self.route(&w);
+            if let Some(rep) = self.migration_report.take() {
+                return rep;
+            }
+        }
+    }
+
+    /// Submits `spec` and, `start_after` later, live-migrates the whole
+    /// cluster to `dst` while the job runs — the paper's dynamic
+    /// experiment. Returns the migration report and the job result (the
+    /// job survives migration thanks to Hadoop fault tolerance).
+    pub fn migrate_during_job(
+        &mut self,
+        spec: JobSpec,
+        app: Box<dyn MapReduceApp>,
+        input: Box<dyn InputFormat>,
+        dst: HostId,
+        start_after: SimDuration,
+    ) -> (ClusterMigrationReport, JobResult) {
+        let id = self.rt.submit(spec, app, input);
+        self.rt.engine.set_timer_in(
+            start_after,
+            Tag::new(owners::USER, 0, MIGRATION_START_MARK),
+        );
+        self.migration_report = None;
+        let mut job_result = None;
+        let mut started = false;
+        loop {
+            let Some((_, w)) = self.rt.engine.next_wakeup() else {
+                panic!("simulation drained before job + migration completed");
+            };
+            if let Wakeup::Timer { tag, .. } = &w {
+                if tag.owner == owners::USER && tag.b == MIGRATION_START_MARK {
+                    let vms: Vec<VmId> = self
+            .rt
+            .cluster
+            .vms()
+            .filter(|&v| self.rt.cluster.host_of(v) != dst)
+            .collect();
+        assert!(!vms.is_empty(), "every VM already lives on {dst}");
+                    self.migration.start_cluster_migration(
+                        &mut self.rt.engine,
+                        &self.rt.cluster,
+                        &vms,
+                        dst,
+                    );
+                    started = true;
+                    continue;
+                }
+            }
+            for ev in self.route(&w) {
+                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                    if res.id == id {
+                        job_result = Some(*res);
+                    }
+                }
+            }
+            if self.migration_report.is_some() && job_result.is_some() {
+                debug_assert!(started, "migration completed without starting?");
+                return (
+                    self.migration_report.take().expect("just checked"),
+                    job_result.take().expect("just checked"),
+                );
+            }
+        }
+    }
+
+    /// Starts a whole-cluster migration to `dst` without driving the
+    /// simulation — combine with [`VHadoop::step`] to interleave your own
+    /// workload (e.g. back-to-back jobs keeping the cluster busy).
+    pub fn start_migration(&mut self, dst: HostId) {
+        let vms: Vec<VmId> = self
+            .rt
+            .cluster
+            .vms()
+            .filter(|&v| self.rt.cluster.host_of(v) != dst)
+            .collect();
+        assert!(!vms.is_empty(), "every VM already lives on {dst}");
+        self.migration
+            .start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
+        self.migration_report = None;
+    }
+
+    /// True while a migration session is in flight.
+    pub fn migration_busy(&self) -> bool {
+        self.migration.busy()
+    }
+
+    /// The report of the last completed cluster migration, if any
+    /// (consumed by the call).
+    pub fn take_migration_report(&mut self) -> Option<ClusterMigrationReport> {
+        self.migration_report.take()
+    }
+
+    /// Advances the simulation by one wakeup, routing it; `None` when the
+    /// event queue has drained.
+    pub fn step(&mut self) -> Option<(SimTime, Vec<PlatformEvent>)> {
+        let (t, w) = self.rt.engine.next_wakeup()?;
+        let events = self.route(&w);
+        Some((t, events))
+    }
+
+    /// Migrates the whole cluster to `dst` while `submit_next` keeps the
+    /// cluster busy: the platform maintains a pipeline of up to two
+    /// concurrent jobs (so task slots never idle between jobs), calling
+    /// `submit_next` whenever the pipeline drains below that; return
+    /// `false` to stop resubmitting. Returns the migration report and
+    /// every job result collected along the way — the paper's
+    /// wordcount-under-migration methodology.
+    pub fn migrate_cluster_under_load(
+        &mut self,
+        dst: HostId,
+        mut submit_next: impl FnMut(&mut MrRuntime) -> bool,
+    ) -> (ClusterMigrationReport, Vec<JobResult>) {
+        const PIPELINE: usize = 2;
+        let mut results = Vec::new();
+        let mut more = true;
+        while more && self.rt.mr.active_jobs() < PIPELINE {
+            more = submit_next(&mut self.rt);
+        }
+        assert!(
+            self.rt.mr.active_jobs() > 0,
+            "the load generator must submit at least one job"
+        );
+        self.start_migration(dst);
+        loop {
+            let Some((_, events)) = self.step() else {
+                panic!("simulation drained before cluster migration completed");
+            };
+            for ev in events {
+                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                    results.push(*res);
+                }
+            }
+            while more && self.migration_busy() && self.rt.mr.active_jobs() < PIPELINE {
+                more = submit_next(&mut self.rt);
+            }
+            if let Some(rep) = self.migration_report.take() {
+                return (rep, results);
+            }
+        }
+    }
+
+    /// Simulates the crash of worker VM `vm`: its datanode replicas are
+    /// dropped and re-replicated from survivors, and its running tasks are
+    /// re-queued — the Hadoop fault-tolerance path the paper relies on
+    /// during migration downtime. Returns `(re-replicated, lost)` block
+    /// counts from the HDFS side.
+    ///
+    /// # Panics
+    /// If `vm` is the namenode or not a live worker.
+    pub fn fail_node(&mut self, vm: VmId) -> (usize, usize) {
+        assert_ne!(vm, self.rt.hdfs.namenode(), "cannot fail the master VM");
+        let blocks = self
+            .rt
+            .hdfs
+            .fail_datanode(&mut self.rt.engine, &self.rt.cluster, vm);
+        self.rt.mr.fail_tracker(&mut self.rt.engine, &self.rt.cluster, vm);
+        blocks
+    }
+
+    /// The nmon analyser's report over everything sampled so far.
+    pub fn monitor_report(&self) -> Option<MonitorReport> {
+        self.monitor.as_ref().map(MonitorReport::from_monitor)
+    }
+
+    /// Raw monitor access (CSV dumps, sparklines).
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// MapReduce Tuner advice for a finished job (flow step 9).
+    pub fn advise(&self, job: &JobResult, config: &JobConfig) -> tuner::Advice {
+        match self.monitor_report() {
+            Some(report) => tuner::analyze(&report, Some(job), Some(config)),
+            None => tuner::Advice::default(),
+        }
+    }
+
+    /// Routes one wakeup to its subsystem.
+    fn route(&mut self, w: &Wakeup) -> Vec<PlatformEvent> {
+        if let Some(m) = self.monitor.as_mut() {
+            if m.on_wakeup(&mut self.rt.engine, w) {
+                return Vec::new();
+            }
+        }
+        if w.tag().owner == owners::MIGRATION {
+            let events = self.migration.on_wakeup(
+                &mut self.rt.engine,
+                &mut self.rt.cluster,
+                &mut self.dirty,
+                w,
+            );
+            let mut out = Vec::new();
+            for ev in events {
+                if let MigrationEvent::AllDone(rep) = &ev {
+                    self.migration_report = Some(rep.clone());
+                }
+                out.push(PlatformEvent::Migration(ev));
+            }
+            return out;
+        }
+        let routed = self.rt.route_full(w);
+        let mut out: Vec<PlatformEvent> =
+            routed.job_events.into_iter().map(PlatformEvent::Job).collect();
+        if let Some(c) = routed.hdfs_completion {
+            out.push(PlatformEvent::Hdfs(c));
+        }
+        out
+    }
+}
+
+/// Platform-level progress event.
+#[derive(Debug)]
+pub enum PlatformEvent {
+    /// MapReduce progress.
+    Job(JobEvent),
+    /// Migration progress.
+    Migration(MigrationEvent),
+    /// A direct HDFS operation (upload, DFSIO) completed.
+    Hdfs(vhdfs::hdfs::HdfsCompletion),
+}

@@ -1,0 +1,171 @@
+//! A self-contained runtime: engine + cluster + HDFS + JobTracker plus the
+//! event-routing loop. Workload drivers and tests use this directly; the
+//! `vhadoop` facade wraps it together with monitoring, tuning, and
+//! migration.
+
+use crate::engine::MrEngine;
+use crate::input::InputFormat;
+use crate::job::{JobEvent, JobId, JobResult, JobSpec};
+use crate::app::MapReduceApp;
+use simcore::owners;
+use simcore::prelude::*;
+use vcluster::cluster::{VirtualCluster, VmId};
+use vcluster::spec::ClusterSpec;
+use vhdfs::hdfs::{Hdfs, HdfsConfig};
+
+/// Everything needed to run MapReduce jobs on a simulated virtual cluster.
+#[derive(Debug)]
+pub struct MrRuntime {
+    /// The simulation kernel.
+    pub engine: Engine,
+    /// The virtual cluster.
+    pub cluster: VirtualCluster,
+    /// The file system.
+    pub hdfs: Hdfs,
+    /// The JobTracker.
+    pub mr: MrEngine,
+}
+
+impl MrRuntime {
+    /// Boots a cluster, formats HDFS, and starts the JobTracker.
+    pub fn new(spec: ClusterSpec, hdfs_cfg: HdfsConfig, seed: RootSeed) -> Self {
+        let mut engine = Engine::new();
+        let cluster = VirtualCluster::new(&mut engine, spec);
+        let hdfs = Hdfs::format(&cluster, hdfs_cfg, seed);
+        let mr = MrEngine::new(&hdfs);
+        MrRuntime { engine, cluster, hdfs, mr }
+    }
+
+    /// Paper-default runtime: 16 VMs, default HDFS, seed 42.
+    pub fn paper_default() -> Self {
+        Self::new(ClusterSpec::paper_normal(), HdfsConfig::default(), RootSeed(42))
+    }
+
+    /// Current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Registers an input file without simulating the upload.
+    pub fn register_input(&mut self, path: &str, bytes: u64, writer: VmId) {
+        self.hdfs.register_file(&self.cluster, path, bytes, writer);
+    }
+
+    /// Uploads `bytes` to `path` from `writer`, simulating the full
+    /// pipeline; returns the elapsed upload time.
+    pub fn upload(&mut self, path: &str, bytes: u64, writer: VmId) -> SimDuration {
+        let start = self.engine.now();
+        let marker = Tag::new(owners::USER, u32::MAX, 0xB10C);
+        self.hdfs
+            .write_file(&mut self.engine, &self.cluster, path, bytes, writer, marker);
+        loop {
+            let (t, w) = self
+                .engine
+                .next_wakeup()
+                .expect("upload must complete before the simulation drains");
+            if let Some(c) = self.hdfs.on_wakeup(&w) {
+                if c.client_tag == marker {
+                    return t.saturating_since(start);
+                }
+                if c.client_tag.owner == owners::MAPREDUCE {
+                    self.mr
+                        .on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
+                }
+            } else if w.tag().owner == owners::MAPREDUCE {
+                self.mr
+                    .on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, &w);
+            }
+        }
+    }
+
+    /// Submits a job without driving it (for concurrent-job scenarios).
+    pub fn submit(
+        &mut self,
+        spec: JobSpec,
+        app: Box<dyn MapReduceApp>,
+        input: Box<dyn InputFormat>,
+    ) -> JobId {
+        self.mr
+            .submit(&mut self.engine, &self.cluster, &mut self.hdfs, spec, app, input)
+    }
+
+    /// Submits a job and drives the simulation until it completes.
+    pub fn run_job(
+        &mut self,
+        spec: JobSpec,
+        app: Box<dyn MapReduceApp>,
+        input: Box<dyn InputFormat>,
+    ) -> JobResult {
+        let id = self.submit(spec, app, input);
+        self.drive_until_done(id)
+            .expect("job must finish before the simulation drains")
+    }
+
+    /// Drives the event loop until `job` finishes (or events drain).
+    pub fn drive_until_done(&mut self, job: JobId) -> Option<JobResult> {
+        while let Some((_, w)) = self.engine.next_wakeup() {
+            for ev in self.route(&w) {
+                if let JobEvent::JobDone(res) = ev {
+                    if res.id == job {
+                        return Some(*res);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Drives until every submitted job finishes; returns results in
+    /// completion order.
+    pub fn drive_all(&mut self) -> Vec<JobResult> {
+        let mut done = Vec::new();
+        while self.mr.active_jobs() > 0 {
+            let Some((_, w)) = self.engine.next_wakeup() else { break };
+            for ev in self.route(&w) {
+                if let JobEvent::JobDone(res) = ev {
+                    done.push(*res);
+                }
+            }
+        }
+        done
+    }
+
+    /// Routes one wakeup to the owning subsystem; returns job events.
+    pub fn route(&mut self, w: &Wakeup) -> Vec<JobEvent> {
+        self.route_full(w).job_events
+    }
+
+    /// Routes one wakeup, also surfacing HDFS completions whose client is
+    /// *not* the MapReduce engine (direct HDFS users: uploads, DFSIO).
+    pub fn route_full(&mut self, w: &Wakeup) -> Routed {
+        let owner = w.tag().owner;
+        if owner == owners::HDFS {
+            if let Some(c) = self.hdfs.on_wakeup(w) {
+                if c.client_tag.owner == owners::MAPREDUCE {
+                    let job_events =
+                        self.mr
+                            .on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
+                    return Routed { job_events, hdfs_completion: None };
+                }
+                return Routed { job_events: Vec::new(), hdfs_completion: Some(c) };
+            }
+            Routed::default()
+        } else if owner == owners::MAPREDUCE {
+            let job_events = self
+                .mr
+                .on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, w);
+            Routed { job_events, hdfs_completion: None }
+        } else {
+            Routed::default()
+        }
+    }
+}
+
+/// Output of [`MrRuntime::route_full`].
+#[derive(Debug, Default)]
+pub struct Routed {
+    /// MapReduce progress events.
+    pub job_events: Vec<JobEvent>,
+    /// A completed HDFS operation owned by a non-MapReduce client.
+    pub hdfs_completion: Option<vhdfs::hdfs::HdfsCompletion>,
+}

@@ -1,0 +1,245 @@
+//! Gaussian Naive Bayes classification — the "classification" member of
+//! the paper's Machine Learning Algorithm Library (Mahout ships a Bayes
+//! classifier trained by MapReduce).
+//!
+//! Training is one MapReduce pass: mappers emit per-class sufficient
+//! statistics `(Σx, Σx², n)` keyed by label, the reducer turns them into
+//! per-class means/variances and a prior. Prediction is embarrassingly
+//! parallel (a map-only pass here, a plain function in the reference).
+
+use crate::mlrt::{MlRunStats, MlRuntime};
+use mapreduce::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A trained Gaussian Naive Bayes model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BayesModel {
+    /// Per-class: `(prior, mean vector, variance vector)`.
+    pub classes: Vec<ClassStats>,
+}
+
+/// Per-class parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Class label.
+    pub label: usize,
+    /// Prior probability.
+    pub prior: f64,
+    /// Feature means.
+    pub mean: Vec<f64>,
+    /// Feature variances (floored for stability).
+    pub var: Vec<f64>,
+}
+
+/// Minimum variance to keep log-densities finite.
+const VAR_FLOOR: f64 = 1e-6;
+
+impl BayesModel {
+    /// Trains on `(point, label)` pairs in memory.
+    pub fn train(points: &[Vec<f64>], labels: &[usize]) -> BayesModel {
+        assert_eq!(points.len(), labels.len(), "every point needs a label");
+        assert!(!points.is_empty(), "empty training set");
+        let dims = points[0].len();
+        let max_label = labels.iter().copied().max().expect("non-empty");
+        let mut suff: Vec<(Vec<f64>, Vec<f64>, u64)> =
+            vec![(vec![0.0; dims], vec![0.0; dims], 0); max_label + 1];
+        for (p, &l) in points.iter().zip(labels) {
+            let s = &mut suff[l];
+            for (d, &x) in p.iter().enumerate() {
+                s.0[d] += x;
+                s.1[d] += x * x;
+            }
+            s.2 += 1;
+        }
+        Self::from_suff(&suff, points.len() as u64)
+    }
+
+    /// Builds the model from per-class `(Σx, Σx², n)`.
+    fn from_suff(suff: &[(Vec<f64>, Vec<f64>, u64)], total: u64) -> BayesModel {
+        let classes = suff
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.2 > 0)
+            .map(|(label, (sum, sum_sq, n))| {
+                let nf = *n as f64;
+                let mean: Vec<f64> = sum.iter().map(|&x| x / nf).collect();
+                let var: Vec<f64> = sum_sq
+                    .iter()
+                    .zip(&mean)
+                    .map(|(&xx, &m)| (xx / nf - m * m).max(VAR_FLOOR))
+                    .collect();
+                ClassStats { label, prior: nf / total as f64, mean, var }
+            })
+            .collect();
+        BayesModel { classes }
+    }
+
+    /// Log-posterior (unnormalized) of class `c` for `x`.
+    fn log_posterior(c: &ClassStats, x: &[f64]) -> f64 {
+        let mut lp = c.prior.max(1e-12).ln();
+        for (d, &xi) in x.iter().enumerate() {
+            let v = c.var[d];
+            let z = xi - c.mean[d];
+            lp += -0.5 * (z * z / v + v.ln());
+        }
+        lp
+    }
+
+    /// Predicted label for `x`.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.classes
+            .iter()
+            .map(|c| (c.label, Self::log_posterior(c, x)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .map(|(l, _)| l)
+            .expect("trained model has classes")
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, points: &[Vec<f64>], labels: &[usize]) -> f64 {
+        let correct = points
+            .iter()
+            .zip(labels)
+            .filter(|(p, &l)| self.predict(p) == l)
+            .count();
+        correct as f64 / points.len().max(1) as f64
+    }
+}
+
+/// The training MapReduce pass. Mappers receive `(point_id, vector)` and
+/// look the label up in the broadcast label table (Mahout broadcasts
+/// the label index the same way).
+#[derive(Debug, Clone)]
+pub struct BayesTrainPass {
+    /// Label per point id.
+    pub labels: Vec<usize>,
+}
+
+impl MapReduceApp for BayesTrainPass {
+    fn name(&self) -> &str {
+        "bayes-train"
+    }
+
+    fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
+        let x = v.as_vector();
+        let label = self.labels[k.as_int() as usize];
+        let sq: Vec<f64> = x.iter().map(|&a| a * a).collect();
+        out(
+            K::Int(label as i64),
+            V::Tuple(vec![V::Vector(x.to_vec()), V::Vector(sq), V::Float(1.0)]),
+        );
+    }
+
+    fn combine(&self, key: &K, values: &[V], out: &mut dyn FnMut(K, V)) -> bool {
+        out(key.clone(), sum_stats(values));
+        true
+    }
+
+    fn reduce(&self, key: &K, values: &[V], out: &mut dyn FnMut(K, V)) {
+        out(key.clone(), sum_stats(values));
+    }
+}
+
+fn sum_stats(values: &[V]) -> V {
+    let mut sum: Option<Vec<f64>> = None;
+    let mut sum_sq: Option<Vec<f64>> = None;
+    let mut n = 0.0;
+    for v in values {
+        let t = v.as_tuple();
+        n += t[2].as_float();
+        match (&mut sum, &mut sum_sq) {
+            (Some(s), Some(ss)) => {
+                crate::vector::add_assign(s, t[0].as_vector());
+                crate::vector::add_assign(ss, t[1].as_vector());
+            }
+            _ => {
+                sum = Some(t[0].as_vector().to_vec());
+                sum_sq = Some(t[1].as_vector().to_vec());
+            }
+        }
+    }
+    V::Tuple(vec![
+        V::Vector(sum.expect("non-empty")),
+        V::Vector(sum_sq.expect("non-empty")),
+        V::Float(n),
+    ])
+}
+
+/// Trains on the platform: one MapReduce pass over the loaded points.
+pub fn train_mr(ml: &mut MlRuntime, labels: &[usize]) -> (BayesModel, MlRunStats) {
+    assert_eq!(ml.points().len(), labels.len(), "every point needs a label");
+    let total = ml.points().len() as u64;
+    let dims = ml.points()[0].len();
+    let max_label = labels.iter().copied().max().expect("non-empty");
+    let app = BayesTrainPass { labels: labels.to_vec() };
+    let result = ml.run_pass("bayes-train", Box::new(app), JobConfig::default().with_reduces(1));
+    let mut suff: Vec<(Vec<f64>, Vec<f64>, u64)> =
+        vec![(vec![0.0; dims], vec![0.0; dims], 0); max_label + 1];
+    for (k, v) in &result.outputs {
+        let t = v.as_tuple();
+        let l = k.as_int() as usize;
+        suff[l] = (
+            t[0].as_vector().to_vec(),
+            t[1].as_vector().to_vec(),
+            t[2].as_float() as u64,
+        );
+    }
+    let stats = MlRunStats {
+        iterations: 1,
+        elapsed_s: result.elapsed_secs(),
+        per_pass_s: vec![result.elapsed_secs()],
+    };
+    (BayesModel::from_suff(&suff, total), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{control_chart, gaussian_mixture};
+    use simcore::rng::RootSeed;
+
+    #[test]
+    fn classifies_separated_gaussians() {
+        let d = gaussian_mixture(RootSeed(40), 1);
+        let model = BayesModel::train(&d.points, &d.labels);
+        // The generating mixture overlaps; still expect good accuracy on
+        // the tight component and decent overall.
+        let acc = model.accuracy(&d.points, &d.labels);
+        assert!(acc > 0.6, "training accuracy {acc:.2}");
+    }
+
+    #[test]
+    fn control_chart_classes_are_learnable() {
+        let train = control_chart(RootSeed(41), 60, 60);
+        let test = control_chart(RootSeed(42), 20, 60);
+        let model = BayesModel::train(&train.points, &train.labels);
+        let acc = model.accuracy(&test.points, &test.labels);
+        assert!(acc > 0.6, "held-out accuracy {acc:.2} (chance = 0.17)");
+    }
+
+    #[test]
+    fn priors_sum_to_one() {
+        let d = gaussian_mixture(RootSeed(43), 1);
+        let model = BayesModel::train(&d.points, &d.labels);
+        let total: f64 = model.classes.iter().map(|c| c.prior).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mr_training_matches_reference() {
+        use vcluster::spec::{ClusterSpec, Placement};
+        let d = gaussian_mixture(RootSeed(44), 1);
+        let reference = BayesModel::train(&d.points, &d.labels);
+        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let mut ml = crate::mlrt::MlRuntime::new(spec, d.points.clone(), RootSeed(44));
+        let (mr_model, stats) = train_mr(&mut ml, &d.labels);
+        assert_eq!(mr_model.classes.len(), reference.classes.len());
+        for (a, b) in mr_model.classes.iter().zip(&reference.classes) {
+            assert!((a.prior - b.prior).abs() < 1e-12);
+            for (x, y) in a.mean.iter().zip(&b.mean) {
+                assert!((x - y).abs() < 1e-9, "means diverged");
+            }
+        }
+        assert!(stats.elapsed_s > 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Cluster visualization — the `DisplayClustering` analogue (paper
+//! Fig. 8).
+//!
+//! Mahout's demo draws the sample points and superimposes each iteration's
+//! cluster parameters, the last iteration bold, earlier ones fading. We
+//! render the same semantics as SVG (for files) and ASCII (for terminals),
+//! no GUI required.
+
+use crate::mlrt::Clustering;
+
+/// Per-iteration snapshots of the model (oldest first).
+#[derive(Debug, Clone, Default)]
+pub struct IterationTrail {
+    /// Center sets, one per iteration.
+    pub iterations: Vec<Vec<Vec<f64>>>,
+}
+
+impl IterationTrail {
+    /// Empty trail.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one iteration's centers.
+    pub fn push(&mut self, centers: Vec<Vec<f64>>) {
+        self.iterations.push(centers);
+    }
+}
+
+/// Mahout DisplayClustering's overlay palette: the last iteration is
+/// bold red, the previous ones orange/yellow/green/blue/magenta, older
+/// ones grey.
+const TRAIL_COLORS: [&str; 6] = ["#d62728", "#ff7f0e", "#e6c700", "#2ca02c", "#1f77b4", "#c23bd8"];
+const OLD_COLOR: &str = "#c8c8c8";
+
+fn bounds(points: &[Vec<f64>]) -> (f64, f64, f64, f64) {
+    let (mut xmin, mut xmax, mut ymin, mut ymax) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        xmin = xmin.min(p[0]);
+        xmax = xmax.max(p[0]);
+        ymin = ymin.min(p[1]);
+        ymax = ymax.max(p[1]);
+    }
+    let pad_x = (xmax - xmin).max(1e-9) * 0.05;
+    let pad_y = (ymax - ymin).max(1e-9) * 0.05;
+    (xmin - pad_x, xmax + pad_x, ymin - pad_y, ymax + pad_y)
+}
+
+/// Renders 2-D `points` (colored by final assignment) with the iteration
+/// trail superimposed, as a standalone SVG document.
+///
+/// # Panics
+/// If points are not 2-dimensional.
+pub fn render_svg(
+    title: &str,
+    points: &[Vec<f64>],
+    model: &Clustering,
+    trail: &IterationTrail,
+    width: u32,
+    height: u32,
+) -> String {
+    assert!(points.iter().all(|p| p.len() == 2), "SVG renderer needs 2-D points");
+    let (xmin, xmax, ymin, ymax) = bounds(points);
+    let sx = |x: f64| (x - xmin) / (xmax - xmin) * f64::from(width);
+    let sy = |y: f64| f64::from(height) - (y - ymin) / (ymax - ymin) * f64::from(height);
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n\
+         <text x=\"8\" y=\"16\" font-family=\"sans-serif\" font-size=\"13\">{title}</text>\n"
+    ));
+    // Points, colored by assignment.
+    const POINT_COLORS: [&str; 8] =
+        ["#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3", "#937860", "#da8bc3", "#8c8c8c"];
+    for (i, p) in points.iter().enumerate() {
+        let c = model
+            .assignments
+            .get(i)
+            .map_or("#999999", |&a| POINT_COLORS[a % POINT_COLORS.len()]);
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"1.6\" fill=\"{c}\" fill-opacity=\"0.55\"/>\n",
+            sx(p[0]),
+            sy(p[1])
+        ));
+    }
+    // Iteration trail: oldest grey, recent colored, last bold red.
+    let n = trail.iterations.len();
+    for (it, centers) in trail.iterations.iter().enumerate() {
+        let from_end = n - 1 - it;
+        let (color, swidth) = if from_end < TRAIL_COLORS.len() {
+            (TRAIL_COLORS[from_end], if from_end == 0 { 2.5 } else { 1.2 })
+        } else {
+            (OLD_COLOR, 0.8)
+        };
+        for c in centers {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"10\" fill=\"none\" stroke=\"{color}\" \
+                 stroke-width=\"{swidth}\"/>\n",
+                sx(c[0]),
+                sy(c[1])
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a terminal scatter plot: digits mark cluster assignment,
+/// `*` marks final centers.
+pub fn render_ascii(points: &[Vec<f64>], model: &Clustering, cols: usize, rows: usize) -> String {
+    assert!(points.iter().all(|p| p.len() == 2), "ASCII renderer needs 2-D points");
+    let (xmin, xmax, ymin, ymax) = bounds(points);
+    let mut grid = vec![vec![' '; cols]; rows];
+    let place = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - xmin) / (xmax - xmin) * (cols - 1) as f64).round() as usize;
+        let cy = ((ymax - y) / (ymax - ymin) * (rows - 1) as f64).round() as usize;
+        (cx.min(cols - 1), cy.min(rows - 1))
+    };
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy) = place(p[0], p[1]);
+        let ch = model
+            .assignments
+            .get(i)
+            .map_or('.', |&a| char::from_digit((a % 10) as u32, 10).expect("digit"));
+        grid[cy][cx] = ch;
+    }
+    for c in &model.centers {
+        let (cx, cy) = place(c[0], c[1]);
+        grid[cy][cx] = '*';
+    }
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> (Vec<Vec<f64>>, Clustering, IterationTrail) {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        let model = Clustering {
+            centers: vec![vec![0.5, 0.5], vec![5.0, 5.0]],
+            assignments: vec![0, 0, 1],
+        };
+        let mut trail = IterationTrail::new();
+        trail.push(vec![vec![0.0, 0.0], vec![4.0, 4.0]]);
+        trail.push(model.centers.clone());
+        (points, model, trail)
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let (points, model, trail) = tiny_model();
+        let svg = render_svg("test", &points, &model, &trail, 400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3 + 4, "3 points + 2×2 trail rings");
+        assert!(svg.contains("#d62728"), "last iteration bold red");
+    }
+
+    #[test]
+    fn ascii_marks_centers_and_points() {
+        let (points, model, _) = tiny_model();
+        let art = render_ascii(&points, &model, 40, 12);
+        assert_eq!(art.lines().count(), 12);
+        assert!(art.contains('*'), "centers marked");
+        assert!(art.contains('0') || art.contains('1'), "points marked by cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn rejects_high_dimensional_points() {
+        let model = Clustering { centers: vec![], assignments: vec![] };
+        let _ = render_ascii(&[vec![1.0, 2.0, 3.0]], &model, 10, 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Runs iterative ML algorithms as MapReduce job sequences — the Machine
+//! Learning Algorithm Library side of the vHadoop platform.
+//!
+//! [`MlRuntime`] registers the point set as an HDFS file split into one
+//! block per worker (so every TaskTracker gets a map task, Mahout's
+//! recommended layout) and re-runs a job per iteration, exactly like
+//! Mahout's iterative drivers re-scan the input each pass.
+
+use crate::vector::{nearest, Distance};
+use mapreduce::prelude::*;
+use simcore::rng::RootSeed;
+use std::sync::Arc;
+use vcluster::spec::ClusterSpec;
+use vhdfs::hdfs::HdfsConfig;
+
+/// A clustering model: centers plus (optionally) per-point assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Cluster index per input point (empty until an assignment pass runs).
+    pub assignments: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+}
+
+/// Timing of an MR algorithm run (the paper's Fig. 6/7 metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlRunStats {
+    /// MapReduce passes executed.
+    pub iterations: u32,
+    /// Total wall time over all passes, seconds.
+    pub elapsed_s: f64,
+    /// Per-pass wall times, seconds.
+    pub per_pass_s: Vec<f64>,
+}
+
+/// The ML-on-MapReduce runtime: a simulated cluster with the point set
+/// loaded into HDFS.
+#[derive(Debug)]
+pub struct MlRuntime {
+    /// The underlying MapReduce runtime.
+    pub rt: MrRuntime,
+    points: Arc<Vec<Vec<f64>>>,
+    chunks: Vec<Vec<Record>>,
+    path: String,
+    passes: u32,
+}
+
+/// Serialized size of one point record (mirrors `types::records_size`).
+fn point_bytes(dims: usize) -> u64 {
+    8 + (dims as u64 * 8 + 4)
+}
+
+/// Smallest useful input split: Hadoop will not split below this, so a
+/// tiny data set gets few maps no matter how many workers exist — the
+/// mechanism behind Fig. 7's flat curves vs. Fig. 6's growth.
+pub const MIN_SPLIT_BYTES: u64 = 16 * 1024;
+
+impl MlRuntime {
+    /// Boots a cluster and loads `points` as `/ml/data`, split into one
+    /// HDFS block per datanode — but never below [`MIN_SPLIT_BYTES`] per
+    /// split, so small data sets keep few maps.
+    pub fn new(cluster_spec: ClusterSpec, points: Vec<Vec<f64>>, seed: RootSeed) -> Self {
+        Self::with_min_split(cluster_spec, points, seed, MIN_SPLIT_BYTES)
+    }
+
+    /// [`MlRuntime::new`] with an explicit minimum split size.
+    pub fn with_min_split(
+        cluster_spec: ClusterSpec,
+        points: Vec<Vec<f64>>,
+        seed: RootSeed,
+        min_split: u64,
+    ) -> Self {
+        assert!(!points.is_empty(), "empty dataset");
+        let datanodes = (cluster_spec.vms - 1).max(1) as usize;
+        let size_cap =
+            (point_bytes(points[0].len()) * points.len() as u64).div_ceil(min_split.max(1)) as usize;
+        let splits = datanodes.min(points.len()).min(size_cap.max(1));
+        let dims = points[0].len();
+        let total_bytes = point_bytes(dims) * points.len() as u64;
+        let block_size = total_bytes.div_ceil(splits as u64).max(1);
+        let hdfs_cfg = HdfsConfig { block_size, replication: 3 };
+        let mut rt = MrRuntime::new(cluster_spec, hdfs_cfg, seed);
+        rt.register_input("/ml/data", total_bytes, VmId(1));
+        let blocks = rt.hdfs.stat("/ml/data").expect("registered").blocks.len();
+
+        // Contiguous chunks, one per HDFS block.
+        let points = Arc::new(points);
+        let per = points.len().div_ceil(blocks);
+        let chunks: Vec<Vec<Record>> = (0..blocks)
+            .map(|b| {
+                let lo = b * per;
+                let hi = ((b + 1) * per).min(points.len());
+                (lo..hi)
+                    .map(|i| (K::Int(i as i64), V::Vector(points[i].clone())))
+                    .collect()
+            })
+            .collect();
+        MlRuntime { rt, points, chunks, path: "/ml/data".to_string(), passes: 0 }
+    }
+
+    /// The loaded points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// Number of map splits per pass.
+    pub fn splits(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Runs one MapReduce pass of `app` over the point set.
+    pub fn run_pass(&mut self, name: &str, app: Box<dyn MapReduceApp>, config: JobConfig) -> JobResult {
+        self.passes += 1;
+        let out = format!("/ml/out/{name}-{:04}", self.passes);
+        let spec = JobSpec::new(name, &self.path, out).with_config(config);
+        let input = VecInput::new(self.chunks.clone());
+        self.rt.run_job(spec, app, Box::new(input))
+    }
+
+    /// Runs the generic nearest-center assignment pass, returning the
+    /// cluster index per point.
+    pub fn assign(&mut self, centers: &[Vec<f64>], distance: Distance) -> Vec<usize> {
+        let app = AssignApp { centers: centers.to_vec(), distance };
+        let result = self.run_pass(
+            "assign",
+            Box::new(app),
+            JobConfig::default().with_reduces(1).with_combiner(false),
+        );
+        let mut assignments = vec![0usize; self.points.len()];
+        for (k, v) in &result.outputs {
+            assignments[k.as_int() as usize] = v.as_int() as usize;
+        }
+        assignments
+    }
+
+    /// Total passes run so far.
+    pub fn passes(&self) -> u32 {
+        self.passes
+    }
+}
+
+/// Generic cluster-assignment job: `point → (point_id, nearest center)`.
+#[derive(Debug, Clone)]
+pub struct AssignApp {
+    /// Model centers.
+    pub centers: Vec<Vec<f64>>,
+    /// Distance measure.
+    pub distance: Distance,
+}
+
+impl MapReduceApp for AssignApp {
+    fn name(&self) -> &str {
+        "assign"
+    }
+    fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
+        let (c, _) = nearest(v.as_vector(), &self.centers, self.distance);
+        out(k.clone(), V::Int(c as i64));
+    }
+    fn reduce(&self, k: &K, vs: &[V], out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), vs[0].clone());
+    }
+}
+
+/// Sums `(Σx, Σw)` tuples — the shared combiner/reducer shape of the
+/// centroid-style algorithms (k-means, fuzzy k-means, mean shift).
+pub fn sum_weighted_tuples(values: &[V]) -> (Vec<f64>, f64) {
+    let mut sum: Option<Vec<f64>> = None;
+    let mut weight = 0.0;
+    for v in values {
+        let t = v.as_tuple();
+        let x = t[0].as_vector();
+        weight += t[1].as_float();
+        match &mut sum {
+            Some(s) => crate::vector::add_assign(s, x),
+            None => sum = Some(x.to_vec()),
+        }
+    }
+    (sum.expect("at least one value"), weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::gaussian_mixture;
+    use vcluster::spec::Placement;
+
+    fn cluster(vms: u32) -> ClusterSpec {
+        ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build()
+    }
+
+    #[test]
+    fn splits_scale_with_datanodes_for_big_data() {
+        // A data set well above the minimum split size splits per worker.
+        let d = crate::datasets::control_chart(RootSeed(1), 100, 60);
+        let ml4 = MlRuntime::new(cluster(4), d.points.clone(), RootSeed(1));
+        let ml8 = MlRuntime::new(cluster(8), d.points.clone(), RootSeed(1));
+        assert!(ml4.splits() <= 3);
+        assert!(ml8.splits() > ml4.splits());
+    }
+
+    #[test]
+    fn tiny_datasets_keep_few_splits() {
+        // The 28 KB DisplayClustering set stays at 1–2 splits regardless
+        // of cluster size (Fig. 7's flatness mechanism).
+        let d = gaussian_mixture(RootSeed(1), 1);
+        let ml8 = MlRuntime::new(cluster(8), d.points, RootSeed(1));
+        assert!(ml8.splits() <= 2, "got {} splits", ml8.splits());
+    }
+
+    #[test]
+    fn assign_pass_labels_every_point() {
+        let d = gaussian_mixture(RootSeed(2), 1);
+        let n = d.points.len();
+        let mut ml = MlRuntime::new(cluster(4), d.points, RootSeed(2));
+        let centers = vec![vec![1.0, 1.0], vec![0.0, 2.0]];
+        let a = ml.assign(&centers, Distance::Euclidean);
+        assert_eq!(a.len(), n);
+        assert!(a.contains(&0) && a.contains(&1));
+    }
+
+    #[test]
+    fn sum_weighted_tuples_sums() {
+        let vs = vec![
+            V::Tuple(vec![V::Vector(vec![1.0, 2.0]), V::Float(1.0)]),
+            V::Tuple(vec![V::Vector(vec![3.0, 4.0]), V::Float(2.0)]),
+        ];
+        let (sum, w) = sum_weighted_tuples(&vs);
+        assert_eq!(sum, vec![4.0, 6.0]);
+        assert_eq!(w, 3.0);
+    }
+}

@@ -1,0 +1,608 @@
+//! Fluid resource model with progressive-filling max-min fairness.
+//!
+//! This is the timing substrate of the whole platform, in the style of
+//! SimGrid's fluid network model. A **resource** is a server with a scalar
+//! capacity (bytes/s for links and disks, cycles/s for CPUs). A **flow** is
+//! an amount of *work* that drains through a weighted set of resources: a
+//! flow running at rate `x` consumes `w_r · x` capacity on every resource
+//! `r` it demands. At any instant the kernel assigns rates by max-min
+//! fairness: rates are raised uniformly until a resource saturates, the
+//! flows crossing it are frozen, and filling continues on the rest.
+//!
+//! One mechanism expresses every contention effect the vHadoop paper
+//! measures: a vCPU cap is a flow demanding {vcpu, host-cpu}; a cross-host
+//! transfer demands {src NIC, switch, dst NIC}; dom0 I/O overhead is an
+//! extra CPU demand attached to an I/O flow.
+
+use crate::ids::{FlowId, ResourceId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Rates above this are treated as "instantaneous" (flow over only
+/// infinite-capacity resources).
+const RATE_CAP: f64 = 1e18;
+/// Absolute slack under which remaining work counts as finished.
+const DONE_EPS: f64 = 1e-6;
+
+/// What a resource meters; used by monitors to group utilization report rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Compute capacity, cycles per second.
+    Cpu,
+    /// Disk bandwidth, bytes per second.
+    Disk,
+    /// Network interface or link bandwidth, bytes per second.
+    Net,
+    /// Anything else (test fixtures, abstract tokens).
+    Other,
+}
+
+/// One demand entry of a flow: `weight` units of `resource` capacity are
+/// consumed per unit of flow rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// The resource consumed.
+    pub resource: ResourceId,
+    /// Capacity consumed per unit rate; must be finite and > 0.
+    pub weight: f64,
+}
+
+impl Demand {
+    /// Unit-weight demand on `resource`.
+    pub fn unit(resource: ResourceId) -> Self {
+        Demand { resource, weight: 1.0 }
+    }
+
+    /// Weighted demand on `resource`.
+    pub fn weighted(resource: ResourceId, weight: f64) -> Self {
+        Demand { resource, weight }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    name: String,
+    kind: ResourceKind,
+    capacity: f64,
+    /// Capacity currently consumed by the allocation (refreshed on each
+    /// reallocation); kept for cheap utilization queries.
+    used: f64,
+    /// Total work served since t = 0 (integrated `used · dt`); lets
+    /// clients compute exact time-averaged utilization over any window.
+    cumulative: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    demands: Vec<Demand>,
+    total: f64,
+    remaining: f64,
+    rate: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FlowSlot {
+    gen: u32,
+    state: Option<FlowState>,
+}
+
+/// A finished flow popped from [`FluidNet::take_finished`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishedFlow {
+    /// Handle of the flow that drained.
+    pub id: FlowId,
+}
+
+/// The fluid network: resources plus active flows plus the current max-min
+/// allocation. Time only passes through [`FluidNet::advance_to`]; the
+/// [`crate::engine::Engine`] owns the clock and drives this structure.
+#[derive(Debug, Clone)]
+pub struct FluidNet {
+    resources: Vec<Resource>,
+    slots: Vec<FlowSlot>,
+    free: Vec<u32>,
+    active: usize,
+    last_update: SimTime,
+    allocation_dirty: bool,
+}
+
+impl Default for FluidNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FluidNet {
+    /// Empty network at t = 0.
+    pub fn new() -> Self {
+        FluidNet {
+            resources: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            last_update: SimTime::ZERO,
+            allocation_dirty: false,
+        }
+    }
+
+    /// Registers a resource with `capacity` units/second.
+    ///
+    /// `f64::INFINITY` is a valid capacity for resources that never
+    /// constrain (e.g. an ideal backplane in tests).
+    pub fn add_resource(&mut self, name: impl Into<String>, kind: ResourceKind, capacity: f64) -> ResourceId {
+        assert!(capacity >= 0.0, "resource capacity must be non-negative");
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources
+            .push(Resource { name: name.into(), kind, capacity, used: 0.0, cumulative: 0.0 });
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Human-readable resource name.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.index()].name
+    }
+
+    /// The resource's kind, as registered.
+    pub fn resource_kind(&self, r: ResourceId) -> ResourceKind {
+        self.resources[r.index()].kind
+    }
+
+    /// Configured capacity of `r`.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].capacity
+    }
+
+    /// Changes capacity of `r`; takes effect at the next reallocation.
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
+        assert!(capacity >= 0.0, "resource capacity must be non-negative");
+        self.resources[r.index()].capacity = capacity;
+        self.allocation_dirty = true;
+    }
+
+    /// Capacity currently consumed on `r` under the present allocation.
+    pub fn used(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].used
+    }
+
+    /// Total work served on `r` since t = 0 (as of the last `advance_to`).
+    pub fn cumulative(&self, r: ResourceId) -> f64 {
+        self.resources[r.index()].cumulative
+    }
+
+    /// `used / capacity`, clamped to [0, 1]; 0 for infinite capacity.
+    pub fn utilization(&self, r: ResourceId) -> f64 {
+        let res = &self.resources[r.index()];
+        if !res.capacity.is_finite() || res.capacity <= 0.0 {
+            0.0
+        } else {
+            (res.used / res.capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of flows currently in the system.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Starts a flow of `work` units over `demands`. The allocation is
+    /// marked dirty; the caller must `reallocate` (the engine does).
+    ///
+    /// # Panics
+    /// If `demands` is empty, any weight is non-positive/non-finite, any
+    /// resource id is unknown, or `work` is negative/non-finite.
+    pub fn add_flow(&mut self, demands: Vec<Demand>, work: f64) -> FlowId {
+        assert!(!demands.is_empty(), "a flow must demand at least one resource");
+        assert!(work.is_finite() && work >= 0.0, "flow work must be finite and >= 0, got {work}");
+        for d in &demands {
+            assert!(d.weight.is_finite() && d.weight > 0.0, "demand weight must be finite and > 0");
+            assert!(d.resource.index() < self.resources.len(), "unknown resource {}", d.resource);
+        }
+        let state = FlowState { demands, total: work, remaining: work, rate: 0.0 };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].state.is_none());
+                self.slots[s as usize].state = Some(state);
+                s
+            }
+            None => {
+                self.slots.push(FlowSlot { gen: 0, state: Some(state) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.active += 1;
+        self.allocation_dirty = true;
+        FlowId { slot, gen: self.slots[slot as usize].gen }
+    }
+
+    /// Cancels `id`, returning its remaining work, or `None` if the handle
+    /// is stale (already finished/cancelled).
+    pub fn remove_flow(&mut self, id: FlowId) -> Option<f64> {
+        let slot = self.slots.get_mut(id.slot as usize)?;
+        if slot.gen != id.gen || slot.state.is_none() {
+            return None;
+        }
+        let state = slot.state.take().expect("checked above");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.active -= 1;
+        self.allocation_dirty = true;
+        Some(state.remaining)
+    }
+
+    /// True if `id` refers to a live flow.
+    pub fn is_live(&self, id: FlowId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| s.gen == id.gen && s.state.is_some())
+    }
+
+    /// Current rate of `id` (0 if stale).
+    pub fn flow_rate(&self, id: FlowId) -> f64 {
+        self.flow(id).map_or(0.0, |f| f.rate)
+    }
+
+    /// Remaining work of `id` as of the last `advance_to` (stale → `None`).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flow(id).map(|f| f.remaining)
+    }
+
+    fn flow(&self, id: FlowId) -> Option<&FlowState> {
+        let slot = self.slots.get(id.slot as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.state.as_ref()
+    }
+
+    /// Integrates flow progress from the last update instant to `now`.
+    ///
+    /// # Panics
+    /// If `now` is before the last update (time cannot run backwards).
+    pub fn advance_to(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "fluid time ran backwards: {} < {}", now, self.last_update);
+        if now == self.last_update {
+            return;
+        }
+        debug_assert!(
+            !self.allocation_dirty || self.active == 0,
+            "advancing fluid time with a dirty allocation"
+        );
+        let dt = (now - self.last_update).as_secs_f64();
+        for slot in &mut self.slots {
+            if let Some(f) = slot.state.as_mut() {
+                if f.rate > 0.0 {
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    for d in &f.demands {
+                        self.resources[d.resource.index()].cumulative += f.rate * d.weight * dt;
+                    }
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Recomputes the max-min fair allocation over all live flows.
+    ///
+    /// Progressive filling: every unfrozen flow's rate rises uniformly; the
+    /// resource with the smallest residual fair share saturates first and
+    /// freezes every flow crossing it; repeat. Runs in
+    /// `O(resources · flows)` which is ample at virtual-cluster scale.
+    pub fn reallocate(&mut self) {
+        self.allocation_dirty = false;
+        for r in &mut self.resources {
+            r.used = 0.0;
+        }
+        if self.active == 0 {
+            return;
+        }
+
+        // Residual capacity, unfrozen weight, and unfrozen-flow count per
+        // resource. The integer count is authoritative for "is anyone still
+        // here" — floating-point weight subtraction can leave dust.
+        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut weight: Vec<f64> = vec![0.0; self.resources.len()];
+        let mut count: Vec<u32> = vec![0; self.resources.len()];
+        // Indices of unfrozen live flow slots.
+        let mut unfrozen: Vec<u32> = Vec::with_capacity(self.active);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(f) = &slot.state {
+                unfrozen.push(i as u32);
+                for d in &f.demands {
+                    weight[d.resource.index()] += d.weight;
+                    count[d.resource.index()] += 1;
+                }
+            }
+        }
+
+        while !unfrozen.is_empty() {
+            // Find the bottleneck share among resources that still carry
+            // unfrozen flows (count is the authoritative membership test).
+            let mut share = f64::INFINITY;
+            for r in 0..residual.len() {
+                if count[r] > 0 && weight[r] > 0.0 {
+                    let s = residual[r] / weight[r];
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            let share = share.clamp(0.0, RATE_CAP);
+
+            // Freeze flows that cross a saturating resource (or all of them
+            // when nothing constrains).
+            let tol = share * 1e-12 + 1e-30;
+            let mut saturated = vec![false; self.resources.len()];
+            let mut any_saturated = false;
+            if share < RATE_CAP {
+                for (r, sat) in saturated.iter_mut().enumerate() {
+                    if count[r] > 0 && weight[r] > 0.0 && residual[r] / weight[r] <= share + tol {
+                        *sat = true;
+                        any_saturated = true;
+                    }
+                }
+            }
+
+            let mut still: Vec<u32> = Vec::new();
+            for &slot_idx in &unfrozen {
+                let f = self.slots[slot_idx as usize]
+                    .state
+                    .as_mut()
+                    .expect("unfrozen flows are live");
+                let frozen_now = !any_saturated
+                    || f.demands.iter().any(|d| saturated[d.resource.index()]);
+                if frozen_now {
+                    f.rate = share;
+                    for d in &f.demands {
+                        let r = d.resource.index();
+                        residual[r] = (residual[r] - share * d.weight).max(0.0);
+                        weight[r] -= d.weight;
+                        count[r] -= 1;
+                        if count[r] == 0 {
+                            weight[r] = 0.0;
+                        }
+                        self.resources[r].used += share * d.weight;
+                    }
+                } else {
+                    still.push(slot_idx);
+                }
+            }
+            debug_assert!(
+                still.len() < unfrozen.len(),
+                "progressive filling must freeze at least one flow per round"
+            );
+            unfrozen = still;
+        }
+    }
+
+    /// The next instant at which some flow drains, given current rates, or
+    /// `None` if no flow is progressing. The allocation must be clean.
+    pub fn earliest_completion(&self) -> Option<SimTime> {
+        debug_assert!(!self.allocation_dirty, "earliest_completion on dirty allocation");
+        let mut best: Option<f64> = None;
+        for slot in &self.slots {
+            if let Some(f) = &slot.state {
+                if f.remaining <= DONE_EPS {
+                    return Some(self.last_update);
+                }
+                if f.rate > 0.0 {
+                    let t = f.remaining / f.rate;
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                }
+            }
+        }
+        best.map(|secs| {
+            // Round up one nanosecond so the event lands at-or-after the
+            // true completion instant.
+            let d = SimDuration::from_secs_f64(secs).saturating_add(SimDuration::from_nanos(1));
+            self.last_update + d
+        })
+    }
+
+    /// Removes and returns every flow whose work has drained (as of the
+    /// last `advance_to`). The allocation becomes dirty if any finished.
+    pub fn take_finished(&mut self) -> Vec<FinishedFlow> {
+        let mut done = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let finished = match &slot.state {
+                Some(f) => f.remaining <= DONE_EPS.max(f.total * 1e-12),
+                None => false,
+            };
+            if finished {
+                slot.state = None;
+                let id = FlowId { slot: i as u32, gen: slot.gen };
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+                self.active -= 1;
+                self.allocation_dirty = true;
+                done.push(FinishedFlow { id });
+            }
+        }
+        done
+    }
+
+    /// Instant of the last `advance_to`.
+    pub fn now(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// True when `reallocate` must run before time can advance again.
+    pub fn is_dirty(&self) -> bool {
+        self.allocation_dirty
+    }
+
+    /// Per-resource `(name, kind, used, capacity)` rows for monitors.
+    pub fn usage_snapshot(&self) -> Vec<(ResourceId, ResourceKind, f64, f64)> {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ResourceId(i as u32), r.kind, r.used, r.capacity))
+            .collect()
+    }
+}
+
+impl fmt::Display for FluidNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FluidNet @ {} ({} flows)", self.last_update, self.active)?;
+        for (i, r) in self.resources.iter().enumerate() {
+            writeln!(f, "  r{i} {:<24} {:>12.3e}/{:>12.3e}", r.name, r.used, r.capacity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net1() -> (FluidNet, ResourceId) {
+        let mut net = FluidNet::new();
+        let r = net.add_resource("link", ResourceKind::Net, 100.0);
+        (net, r)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let (mut net, r) = net1();
+        let f = net.add_flow(vec![Demand::unit(r)], 1000.0);
+        net.reallocate();
+        assert_eq!(net.flow_rate(f), 100.0);
+        assert_eq!(net.used(r), 100.0);
+        assert_eq!(net.utilization(r), 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let (mut net, r) = net1();
+        let a = net.add_flow(vec![Demand::unit(r)], 1000.0);
+        let b = net.add_flow(vec![Demand::unit(r)], 500.0);
+        net.reallocate();
+        assert_eq!(net.flow_rate(a), 50.0);
+        assert_eq!(net.flow_rate(b), 50.0);
+    }
+
+    #[test]
+    fn weighted_demand_consumes_more() {
+        let (mut net, r) = net1();
+        // Flow with weight 4 consumes 4 capacity units per rate unit.
+        let a = net.add_flow(vec![Demand::weighted(r, 4.0)], 100.0);
+        let b = net.add_flow(vec![Demand::unit(r)], 100.0);
+        net.reallocate();
+        // Equal rates x: 4x + x = 100 -> x = 20.
+        assert!((net.flow_rate(a) - 20.0).abs() < 1e-9);
+        assert!((net.flow_rate(b) - 20.0).abs() < 1e-9);
+        assert!((net.used(r) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_across_two_resources() {
+        let mut net = FluidNet::new();
+        let r1 = net.add_resource("a", ResourceKind::Net, 100.0);
+        let r2 = net.add_resource("b", ResourceKind::Net, 30.0);
+        // f1 uses both; f2 only r1. f1 bottlenecked at r2.
+        let f1 = net.add_flow(vec![Demand::unit(r1), Demand::unit(r2)], 1.0);
+        let f2 = net.add_flow(vec![Demand::unit(r1)], 1.0);
+        net.reallocate();
+        assert!((net.flow_rate(f1) - 30.0).abs() < 1e-9);
+        // f2 takes the leftovers on r1: 100 - 30 = 70.
+        assert!((net.flow_rate(f2) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_drains_work_and_completes() {
+        let (mut net, r) = net1();
+        let f = net.add_flow(vec![Demand::unit(r)], 200.0);
+        net.reallocate();
+        let done_at = net.earliest_completion().expect("one active flow");
+        assert_eq!(done_at.as_nanos(), SimTime::from_secs(2).as_nanos() + 1);
+        net.advance_to(done_at);
+        let finished = net.take_finished();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].id, f);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn remove_flow_returns_remaining() {
+        let (mut net, r) = net1();
+        let f = net.add_flow(vec![Demand::unit(r)], 200.0);
+        net.reallocate();
+        net.advance_to(SimTime::from_secs(1));
+        let rem = net.remove_flow(f).expect("live flow");
+        assert!((rem - 100.0).abs() < 1e-6);
+        assert!(net.remove_flow(f).is_none(), "stale handle rejected");
+    }
+
+    #[test]
+    fn zero_work_flow_finishes_immediately() {
+        let (mut net, r) = net1();
+        let _f = net.add_flow(vec![Demand::unit(r)], 0.0);
+        net.reallocate();
+        assert_eq!(net.earliest_completion(), Some(SimTime::ZERO));
+        assert_eq!(net.take_finished().len(), 1);
+    }
+
+    #[test]
+    fn infinite_capacity_gives_capped_rate() {
+        let mut net = FluidNet::new();
+        let r = net.add_resource("inf", ResourceKind::Other, f64::INFINITY);
+        let f = net.add_flow(vec![Demand::unit(r)], 1.0);
+        net.reallocate();
+        assert!(net.flow_rate(f) >= 1e17);
+    }
+
+    #[test]
+    fn zero_capacity_stalls_flows() {
+        let mut net = FluidNet::new();
+        let r = net.add_resource("down", ResourceKind::Net, 0.0);
+        let f = net.add_flow(vec![Demand::unit(r)], 1.0);
+        net.reallocate();
+        assert_eq!(net.flow_rate(f), 0.0);
+        assert_eq!(net.earliest_completion(), None);
+    }
+
+    #[test]
+    fn generations_detect_reuse() {
+        let (mut net, r) = net1();
+        let f1 = net.add_flow(vec![Demand::unit(r)], 1.0);
+        net.remove_flow(f1);
+        let f2 = net.add_flow(vec![Demand::unit(r)], 1.0);
+        assert_eq!(f1.slot, f2.slot, "slot reused");
+        assert!(!net.is_live(f1));
+        assert!(net.is_live(f2));
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn time_cannot_go_backwards() {
+        let (mut net, _r) = net1();
+        net.reallocate();
+        net.advance_to(SimTime::from_secs(5));
+        net.advance_to(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn three_level_maxmin() {
+        // Classic example: three links, three flows.
+        //   l1 cap 10, l2 cap 20, l3 cap 30
+        //   fA: l1       fB: l1+l2      fC: l2+l3
+        // Round 1: l1 fair share 5 saturates; fA = fB = 5.
+        // Round 2: l2 residual 15, only fC: rate 15 (l3 has 30).
+        let mut net = FluidNet::new();
+        let l1 = net.add_resource("l1", ResourceKind::Net, 10.0);
+        let l2 = net.add_resource("l2", ResourceKind::Net, 20.0);
+        let l3 = net.add_resource("l3", ResourceKind::Net, 30.0);
+        let fa = net.add_flow(vec![Demand::unit(l1)], 1.0);
+        let fb = net.add_flow(vec![Demand::unit(l1), Demand::unit(l2)], 1.0);
+        let fc = net.add_flow(vec![Demand::unit(l2), Demand::unit(l3)], 1.0);
+        net.reallocate();
+        assert!((net.flow_rate(fa) - 5.0).abs() < 1e-9);
+        assert!((net.flow_rate(fb) - 5.0).abs() < 1e-9);
+        assert!((net.flow_rate(fc) - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! Central registry of wakeup-owner codes.
+//!
+//! Every subsystem stamps the [`crate::ids::Tag::owner`] field of its
+//! activities and timers with its code so the platform driver can route
+//! [`crate::engine::Wakeup`]s without dynamic dispatch. Codes live here, in
+//! the lowest layer, so independent crates can never collide.
+
+/// Virtual-cluster internals (boot, shutdown).
+pub const CLUSTER: u32 = 1;
+/// Live-migration manager (pre-copy rounds, stop-and-copy).
+pub const MIGRATION: u32 = 2;
+/// HDFS pipelines (block reads/writes, replication).
+pub const HDFS: u32 = 3;
+/// MapReduce engine (task phases, shuffle batches, heartbeats).
+pub const MAPREDUCE: u32 = 4;
+/// nmon-style monitor sampling timers.
+pub const MONITOR: u32 = 5;
+/// MapReduce tuner probes.
+pub const TUNER: u32 = 6;
+/// Workload drivers (DFSIO etc. when not going through MapReduce).
+pub const WORKLOAD: u32 = 7;
+/// Reserved for tests and ad-hoc client code.
+pub const USER: u32 = 100;

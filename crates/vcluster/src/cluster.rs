@@ -1,0 +1,436 @@
+//! The virtual cluster materialized onto the fluid network.
+//!
+//! [`VirtualCluster::new`] registers one resource per physical contention
+//! point — host CPUs, host NICs, host software bridges, the inter-host
+//! switch, the NFS server's NIC and disk — plus a VCPU-cap resource per VM
+//! (the Xen credit scheduler's `cap`). All higher layers (HDFS, MapReduce,
+//! migration) build their activities out of the demand paths provided here,
+//! so every contention effect flows through one shared model:
+//!
+//! * guest compute demands {vcpu, host cpu} and is inflated by the
+//!   paravirtualization overhead factor;
+//! * same-host VM↔VM traffic crosses the host bridge; cross-host traffic
+//!   crosses sender NIC → switch → receiver NIC;
+//! * *all* guest disk I/O is NFS traffic (the paper stores VM images on a
+//!   shared NFS server), crossing host NIC → switch → NFS NIC → NFS disk;
+//! * every byte of guest I/O additionally bills dom0 CPU cycles on the
+//!   host, reproducing the "I/O processing steals CPU" virtualization tax.
+
+use crate::spec::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use simcore::prelude::*;
+
+/// Index of a physical machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// Index of a guest VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pm{}", self.0)
+    }
+}
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// One-way latency of the intra-host bridge.
+pub const BRIDGE_LATENCY: SimDuration = SimDuration::from_micros(50);
+/// One-way latency of the inter-host wire (NIC + switch).
+pub const WIRE_LATENCY: SimDuration = SimDuration::from_micros(200);
+
+/// The instantiated cluster: resource handles plus the (mutable) VM→host map.
+#[derive(Debug)]
+pub struct VirtualCluster {
+    spec: ClusterSpec,
+    host_cpu: Vec<ResourceId>,
+    host_nic: Vec<ResourceId>,
+    host_bridge: Vec<ResourceId>,
+    switch: ResourceId,
+    nfs_nic: ResourceId,
+    nfs_disk: ResourceId,
+    vcpu: Vec<ResourceId>,
+    /// Per-VM I/O accounting resource: infinite capacity (never
+    /// constrains), threaded through every transfer/disk path the VM
+    /// touches so its cumulative counter measures the VM's I/O bytes —
+    /// monitors and the migration dirty-page model read it.
+    vio: Vec<ResourceId>,
+    vm_host: Vec<u32>,
+}
+
+impl VirtualCluster {
+    /// Registers all resources for `spec` on `engine` and returns the
+    /// cluster handle.
+    ///
+    /// # Panics
+    /// If `spec` fails [`ClusterSpec::validate`].
+    pub fn new(engine: &mut Engine, spec: ClusterSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid ClusterSpec: {e}");
+        }
+        let mut host_cpu = Vec::with_capacity(spec.hosts as usize);
+        let mut host_nic = Vec::with_capacity(spec.hosts as usize);
+        let mut host_bridge = Vec::with_capacity(spec.hosts as usize);
+        for h in 0..spec.hosts {
+            host_cpu.push(engine.add_resource(format!("pm{h}.cpu"), ResourceKind::Cpu, spec.host.cpu_capacity()));
+            host_nic.push(engine.add_resource(format!("pm{h}.nic"), ResourceKind::Net, spec.host.nic_bw));
+            host_bridge.push(engine.add_resource(format!("pm{h}.bridge"), ResourceKind::Net, spec.host.bridge_bw));
+        }
+        let switch = engine.add_resource("switch", ResourceKind::Net, spec.switch_bw);
+        let nfs_nic = engine.add_resource("nfs.nic", ResourceKind::Net, spec.nfs.nic_bw);
+        let nfs_disk = engine.add_resource("nfs.disk", ResourceKind::Disk, spec.nfs.disk_bw);
+
+        let mut vcpu = Vec::with_capacity(spec.vms as usize);
+        let mut vio = Vec::with_capacity(spec.vms as usize);
+        let mut vm_host = Vec::with_capacity(spec.vms as usize);
+        for v in 0..spec.vms {
+            let cap = f64::from(spec.vm.vcpus) * spec.host.core_hz;
+            vcpu.push(engine.add_resource(format!("vm{v}.vcpu"), ResourceKind::Cpu, cap));
+            vio.push(engine.add_resource(format!("vm{v}.vio"), ResourceKind::Other, f64::INFINITY));
+            vm_host.push(spec.host_of(v));
+        }
+
+        VirtualCluster {
+            spec,
+            host_cpu,
+            host_nic,
+            host_bridge,
+            switch,
+            nfs_nic,
+            nfs_disk,
+            vcpu,
+            vio,
+            vm_host,
+        }
+    }
+
+    /// The configuration this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of guest VMs.
+    pub fn vm_count(&self) -> u32 {
+        self.spec.vms
+    }
+
+    /// Number of physical hosts.
+    pub fn host_count(&self) -> u32 {
+        self.spec.hosts
+    }
+
+    /// All VM ids.
+    pub fn vms(&self) -> impl Iterator<Item = VmId> + '_ {
+        (0..self.spec.vms).map(VmId)
+    }
+
+    /// Current host of `vm` (reflects completed migrations).
+    pub fn host_of(&self, vm: VmId) -> HostId {
+        HostId(self.vm_host[vm.0 as usize])
+    }
+
+    /// Re-homes `vm` onto `host`; called by the migration manager at
+    /// switch-over time.
+    pub fn set_host(&mut self, vm: VmId, host: HostId) {
+        assert!(host.0 < self.spec.hosts, "unknown host {host}");
+        self.vm_host[vm.0 as usize] = host.0;
+    }
+
+    /// Guest memory of `vm`, bytes.
+    pub fn vm_mem(&self, vm: VmId) -> u64 {
+        let _ = vm;
+        self.spec.vm.mem
+    }
+
+    /// VCPU-cap resource of `vm` (for monitors).
+    pub fn vcpu_resource(&self, vm: VmId) -> ResourceId {
+        self.vcpu[vm.0 as usize]
+    }
+
+    /// I/O accounting resource of `vm`: its fluid `cumulative()` counter
+    /// equals the VM's total transfer + virtual-disk bytes.
+    pub fn vio_resource(&self, vm: VmId) -> ResourceId {
+        self.vio[vm.0 as usize]
+    }
+
+    /// Host CPU resource (for monitors).
+    pub fn host_cpu_resource(&self, host: HostId) -> ResourceId {
+        self.host_cpu[host.0 as usize]
+    }
+
+    /// Host NIC resource (for monitors).
+    pub fn host_nic_resource(&self, host: HostId) -> ResourceId {
+        self.host_nic[host.0 as usize]
+    }
+
+    /// NFS server disk resource (for monitors).
+    pub fn nfs_disk_resource(&self) -> ResourceId {
+        self.nfs_disk
+    }
+
+    /// NFS server NIC resource (for monitors).
+    pub fn nfs_nic_resource(&self) -> ResourceId {
+        self.nfs_nic
+    }
+
+    /// Inter-host switch resource (for monitors).
+    pub fn switch_resource(&self) -> ResourceId {
+        self.switch
+    }
+
+    /// Fraction of `vm`'s VCPU cap currently in use (0..1).
+    pub fn vcpu_utilization(&self, engine: &Engine, vm: VmId) -> f64 {
+        engine.fluid().utilization(self.vcpu[vm.0 as usize])
+    }
+
+    // ----- demand-path builders -------------------------------------------
+
+    /// Demands for guest computation on `vm`: the VCPU cap plus the host
+    /// CPU pool.
+    pub fn cpu_demands(&self, vm: VmId) -> Vec<Demand> {
+        let h = self.vm_host[vm.0 as usize] as usize;
+        vec![Demand::unit(self.vcpu[vm.0 as usize]), Demand::unit(self.host_cpu[h])]
+    }
+
+    /// A compute step burning `cycles` guest cycles on `vm` (inflated by
+    /// the Xen CPU-overhead factor).
+    pub fn compute(&self, vm: VmId, cycles: f64) -> ChainSpec {
+        ChainSpec::new().flow(self.cpu_demands(vm), cycles * self.spec.xen.cpu_overhead)
+    }
+
+    /// Demands for a `src` → `dst` network transfer (per byte). Same-VM
+    /// transfers return an empty path (pure memory copy).
+    pub fn transfer_demands(&self, src: VmId, dst: VmId) -> Vec<Demand> {
+        if src == dst {
+            return Vec::new();
+        }
+        let hs = self.vm_host[src.0 as usize] as usize;
+        let hd = self.vm_host[dst.0 as usize] as usize;
+        let tax = self.spec.xen.dom0_cycles_per_net_byte;
+        let acct = [
+            Demand::unit(self.vio[src.0 as usize]),
+            Demand::unit(self.vio[dst.0 as usize]),
+        ];
+        if hs == hd {
+            let mut d = vec![Demand::unit(self.host_bridge[hs])];
+            if tax > 0.0 {
+                d.push(Demand::weighted(self.host_cpu[hs], tax));
+            }
+            d.extend(acct);
+            d
+        } else {
+            let mut d = vec![
+                Demand::unit(self.host_nic[hs]),
+                Demand::unit(self.switch),
+                Demand::unit(self.host_nic[hd]),
+            ];
+            if tax > 0.0 {
+                d.push(Demand::weighted(self.host_cpu[hs], tax));
+                d.push(Demand::weighted(self.host_cpu[hd], tax));
+            }
+            d.extend(acct);
+            d
+        }
+    }
+
+    /// A network transfer of `bytes` from `src` to `dst`, including
+    /// propagation latency. Same-VM transfers reduce to a tiny delay.
+    pub fn transfer(&self, src: VmId, dst: VmId, bytes: f64) -> ChainSpec {
+        if src == dst {
+            return ChainSpec::new().delay(SimDuration::from_micros(5));
+        }
+        let lat = if self.vm_host[src.0 as usize] == self.vm_host[dst.0 as usize] {
+            BRIDGE_LATENCY
+        } else {
+            WIRE_LATENCY
+        };
+        ChainSpec::new().delay(lat).flow(self.transfer_demands(src, dst), bytes)
+    }
+
+    /// Demands for `vm` reading from its NFS-backed virtual disk (per byte).
+    pub fn disk_read_demands(&self, vm: VmId) -> Vec<Demand> {
+        self.nfs_demands(vm)
+    }
+
+    /// Demands for `vm` writing to its NFS-backed virtual disk (per byte).
+    pub fn disk_write_demands(&self, vm: VmId) -> Vec<Demand> {
+        self.nfs_demands(vm)
+    }
+
+    fn nfs_demands(&self, vm: VmId) -> Vec<Demand> {
+        let h = self.vm_host[vm.0 as usize] as usize;
+        let mut d = vec![
+            Demand::unit(self.host_nic[h]),
+            Demand::unit(self.switch),
+            Demand::unit(self.nfs_nic),
+            Demand::unit(self.nfs_disk),
+        ];
+        let tax = self.spec.xen.dom0_cycles_per_disk_byte;
+        if tax > 0.0 {
+            d.push(Demand::weighted(self.host_cpu[h], tax));
+        }
+        d.push(Demand::unit(self.vio[vm.0 as usize]));
+        d
+    }
+
+    /// A virtual-disk read of `bytes` on `vm` (NFS round trip).
+    pub fn disk_read(&self, vm: VmId, bytes: f64) -> ChainSpec {
+        ChainSpec::new()
+            .delay(SimDuration::from_secs_f64(self.spec.nfs.op_latency_ms / 1e3))
+            .flow(self.disk_read_demands(vm), bytes)
+    }
+
+    /// A virtual-disk write of `bytes` on `vm` (NFS round trip).
+    pub fn disk_write(&self, vm: VmId, bytes: f64) -> ChainSpec {
+        ChainSpec::new()
+            .delay(SimDuration::from_secs_f64(self.spec.nfs.op_latency_ms / 1e3))
+            .flow(self.disk_write_demands(vm), bytes)
+    }
+
+    /// Demands for a host-to-host bulk transfer (migration traffic),
+    /// including dom0 packet-processing tax on both ends.
+    pub fn host_transfer_demands(&self, src: HostId, dst: HostId) -> Vec<Demand> {
+        assert_ne!(src, dst, "migration source and destination must differ");
+        let tax = self.spec.xen.dom0_cycles_per_net_byte;
+        let mut d = vec![
+            Demand::unit(self.host_nic[src.0 as usize]),
+            Demand::unit(self.switch),
+            Demand::unit(self.host_nic[dst.0 as usize]),
+        ];
+        if tax > 0.0 {
+            d.push(Demand::weighted(self.host_cpu[src.0 as usize], tax));
+            d.push(Demand::weighted(self.host_cpu[dst.0 as usize], tax));
+        }
+        d
+    }
+
+    /// True when the cluster spans more than one physical machine.
+    pub fn is_cross_domain(&self) -> bool {
+        let first = self.vm_host.first().copied();
+        self.vm_host.iter().any(|&h| Some(h) != first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClusterSpec, Placement};
+
+    fn build(placement: Placement) -> (Engine, VirtualCluster) {
+        let mut e = Engine::new();
+        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(placement).build();
+        let c = VirtualCluster::new(&mut e, spec);
+        (e, c)
+    }
+
+    #[test]
+    fn resources_are_registered() {
+        let (e, c) = build(Placement::SingleDomain);
+        // 2 hosts × (cpu+nic+bridge) + switch + nfs nic + disk + 4 vcpus
+        // + 4 per-VM I/O accounting resources.
+        assert_eq!(e.fluid().resource_count(), 2 * 3 + 3 + 4 + 4);
+        assert_eq!(c.vm_count(), 4);
+        assert!(!c.is_cross_domain());
+    }
+
+    #[test]
+    fn cross_domain_detected() {
+        let (_, c) = build(Placement::CrossDomain);
+        assert!(c.is_cross_domain());
+        assert_eq!(c.host_of(VmId(0)), HostId(0));
+        assert_eq!(c.host_of(VmId(1)), HostId(1));
+    }
+
+    #[test]
+    fn same_host_transfer_uses_bridge() {
+        let (_, c) = build(Placement::SingleDomain);
+        let d = c.transfer_demands(VmId(0), VmId(1));
+        // bridge + dom0 tax + 2 I/O accounting entries.
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn cross_host_transfer_uses_nics_and_switch() {
+        let (_, c) = build(Placement::CrossDomain);
+        let d = c.transfer_demands(VmId(0), VmId(1));
+        // 2 NICs + switch + 2 dom0 taxes + 2 I/O accounting entries.
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    fn same_vm_transfer_is_free() {
+        let (_, c) = build(Placement::SingleDomain);
+        assert!(c.transfer_demands(VmId(2), VmId(2)).is_empty());
+    }
+
+    #[test]
+    fn compute_applies_xen_overhead() {
+        let (mut e, c) = build(Placement::SingleDomain);
+        let spec = c.compute(VmId(0), 1e9);
+        match &spec.steps[0] {
+            simcore::engine::Step::Flow { work, .. } => {
+                assert!((*work - 1.08e9).abs() < 1.0, "overhead factor applied");
+            }
+            other => panic!("expected flow, got {other:?}"),
+        }
+        e.start_chain(spec, Tag::new(simcore::owners::USER, 0, 0));
+        let (t, _) = e.next_wakeup().expect("compute completes");
+        // 1.08e9 cycles at 2.4e9/s VCPU cap -> 0.45 s.
+        assert!((t.as_secs_f64() - 0.45).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn migration_rehomes_vm() {
+        let (_, mut c) = build(Placement::SingleDomain);
+        assert_eq!(c.host_of(VmId(3)), HostId(0));
+        c.set_host(VmId(3), HostId(1));
+        assert_eq!(c.host_of(VmId(3)), HostId(1));
+        // Transfers from vm0 (host0) to vm3 now cross the wire.
+        assert_eq!(c.transfer_demands(VmId(0), VmId(3)).len(), 7);
+    }
+
+    #[test]
+    fn cross_domain_transfer_slower_under_contention() {
+        // Two concurrent cross-host transfers share the NICs; two
+        // same-host transfers share the (faster) bridge.
+        let mb = 100e6;
+        let elapsed = |placement: Placement| {
+            let (mut e, c) = build(placement);
+            for i in 0..2 {
+                e.start_chain(c.transfer(VmId(0), VmId(1), mb), Tag::new(simcore::owners::USER, i, 0));
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = e.next_wakeup() {
+                last = t;
+            }
+            last.as_secs_f64()
+        };
+        let normal = elapsed(Placement::SingleDomain);
+        let cross = elapsed(Placement::CrossDomain);
+        assert!(
+            cross > normal * 2.0,
+            "cross-domain ({cross:.3}s) must be much slower than normal ({normal:.3}s)"
+        );
+    }
+
+    #[test]
+    fn nfs_path_contends_on_server_disk() {
+        // Reads from VMs on different hosts still share the NFS disk.
+        let (mut e, c) = build(Placement::CrossDomain);
+        let bytes = 90e6; // 1 s at full disk bw.
+        e.start_chain(c.disk_read(VmId(0), bytes), Tag::new(simcore::owners::USER, 0, 0));
+        e.start_chain(c.disk_read(VmId(1), bytes), Tag::new(simcore::owners::USER, 1, 0));
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = e.next_wakeup() {
+            last = t;
+        }
+        // Two 1-second reads sharing one disk ≈ 2 s (plus latency).
+        assert!(last.as_secs_f64() > 1.9, "disk contention visible, got {last}");
+    }
+}

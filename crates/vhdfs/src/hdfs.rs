@@ -1,0 +1,467 @@
+//! Timed HDFS operations over the virtual cluster.
+//!
+//! An [`Hdfs`] instance pairs the namenode tables ([`crate::meta::Namespace`])
+//! with the simulated datapath: writes run the replication pipeline
+//! (client → replica 1 → replica 2 → ...; every hop a network transfer,
+//! every replica an NFS-backed disk write), reads fetch each block from the
+//! closest replica. Completions are routed back to the caller through the
+//! tag it supplies, so MapReduce tasks and DFSIO clients just see their own
+//! wakeups.
+//!
+//! Note the virtualization twist faithfully kept from the paper: datanode
+//! "local disks" live inside VM images **stored on the shared NFS server**,
+//! so every HDFS disk access also crosses the network — this is why the
+//! paper finds NFS disk I/O and the network to be the platform's two
+//! bottlenecks.
+
+use crate::meta::{BlockId, BlockMeta, FileMeta, Namespace};
+use crate::placement::{choose_replicas, closest_replica};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use simcore::owners;
+use simcore::prelude::*;
+use std::collections::HashMap;
+use vcluster::cluster::{VirtualCluster, VmId};
+
+/// Namenode RPC round trip charged per block operation.
+pub const RPC_DELAY: SimDuration = SimDuration::from_micros(500);
+
+/// `dfs.*` configuration (the paper's Hadoop Module tunables).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HdfsConfig {
+    /// `dfs.block.size` in bytes.
+    pub block_size: u64,
+    /// `dfs.replication`.
+    pub replication: u32,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        // Hadoop 0.20 defaults: 64 MB blocks, 3 replicas.
+        HdfsConfig { block_size: 64 * 1024 * 1024, replication: 3 }
+    }
+}
+
+/// Handle to an in-flight HDFS operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HdfsOpId(pub u32);
+
+/// Completion of an HDFS operation, carrying the caller's tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HdfsCompletion {
+    /// Which operation finished.
+    pub op: HdfsOpId,
+    /// Tag supplied by the caller at submission.
+    pub client_tag: Tag,
+    /// Bytes moved by the operation.
+    pub bytes: u64,
+    /// When the operation was submitted.
+    pub submitted: SimTime,
+}
+
+#[derive(Debug)]
+struct PendingOp {
+    client_tag: Tag,
+    bytes: u64,
+    submitted: SimTime,
+}
+
+/// The simulated distributed file system.
+#[derive(Debug)]
+pub struct Hdfs {
+    cfg: HdfsConfig,
+    namenode: VmId,
+    datanodes: Vec<VmId>,
+    ns: Namespace,
+    ops: HashMap<u32, PendingOp>,
+    next_op: u32,
+    rng: StdRng,
+}
+
+impl Hdfs {
+    /// Formats a file system on `cluster`: VM 0 is the namenode, every
+    /// other VM a datanode (the paper's 1 namenode + 15 datanodes layout).
+    pub fn format(cluster: &VirtualCluster, cfg: HdfsConfig, seed: RootSeed) -> Self {
+        let namenode = VmId(0);
+        let datanodes: Vec<VmId> = cluster.vms().filter(|v| *v != namenode).collect();
+        assert!(!datanodes.is_empty(), "cluster too small: no datanodes");
+        Hdfs {
+            cfg,
+            namenode,
+            datanodes,
+            ns: Namespace::new(),
+            ops: HashMap::new(),
+            next_op: 0,
+            rng: seed.stream("hdfs"),
+        }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> HdfsConfig {
+        self.cfg
+    }
+
+    /// The namenode VM.
+    pub fn namenode(&self) -> VmId {
+        self.namenode
+    }
+
+    /// Datanode VMs.
+    pub fn datanodes(&self) -> &[VmId] {
+        &self.datanodes
+    }
+
+    /// Namenode tables (read-only).
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// Replica locations per block of `path`, in file order — the
+    /// JobTracker uses this for locality-aware task placement.
+    pub fn block_locations(&self, path: &str) -> Option<Vec<(BlockId, u64, Vec<VmId>)>> {
+        self.ns
+            .file_blocks(path)?
+            .into_iter()
+            .map(|(id, meta)| Some((id, meta.len, meta.replicas.clone())))
+            .collect()
+    }
+
+    /// File metadata.
+    pub fn stat(&self, path: &str) -> Option<&FileMeta> {
+        self.ns.file(path)
+    }
+
+    /// Block metadata.
+    pub fn block(&self, id: BlockId) -> &BlockMeta {
+        self.ns.block(id)
+    }
+
+    /// Deletes `path` (instant metadata operation).
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.ns.delete_file(path)
+    }
+
+    /// Registers `path` without simulating the upload (pre-loaded input
+    /// data sets). Replicas are placed as if `writer` had written it.
+    pub fn register_file(&mut self, cluster: &VirtualCluster, path: &str, len: u64, writer: VmId) -> &FileMeta {
+        let (cfg, dns) = (self.cfg, self.datanodes.clone());
+        let rng = &mut self.rng;
+        self.ns.create_file(path, len, cfg.block_size, |_| {
+            choose_replicas(cluster, &dns, writer, cfg.replication, rng)
+        })
+    }
+
+    /// Writes `len` bytes to a new file `path` from `writer`, simulating
+    /// the full replication pipeline. Completion arrives as an
+    /// `owners::HDFS` wakeup; route it through [`Hdfs::on_wakeup`] to
+    /// recover `client_tag`.
+    pub fn write_file(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        path: &str,
+        len: u64,
+        writer: VmId,
+        client_tag: Tag,
+    ) -> HdfsOpId {
+        let (cfg, dns) = (self.cfg, self.datanodes.clone());
+        let rng = &mut self.rng;
+        let meta = self.ns.create_file(path, len, cfg.block_size, |_| {
+            choose_replicas(cluster, &dns, writer, cfg.replication, rng)
+        });
+        let blocks = meta.blocks.clone();
+
+        let mut chain = ChainSpec::new();
+        for b in blocks {
+            let bm = self.ns.block(b);
+            chain = chain.delay(RPC_DELAY);
+            let mut prev = writer;
+            for &replica in &bm.replicas {
+                chain = chain
+                    .then(cluster.transfer(prev, replica, bm.len as f64))
+                    .then(cluster.disk_write(replica, bm.len as f64));
+                prev = replica;
+            }
+        }
+        self.submit(engine, chain, len, client_tag)
+    }
+
+    /// Reads all of `path` into `reader`, block by block from the closest
+    /// replicas.
+    ///
+    /// # Panics
+    /// If `path` does not exist.
+    pub fn read_file(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        path: &str,
+        reader: VmId,
+        client_tag: Tag,
+    ) -> HdfsOpId {
+        let blocks = self
+            .ns
+            .file_blocks(path)
+            .unwrap_or_else(|| panic!("HDFS file not found: {path}"))
+            .into_iter()
+            .map(|(id, m)| (id, m.len, m.replicas.clone()))
+            .collect::<Vec<_>>();
+        let mut chain = ChainSpec::new();
+        let mut total = 0u64;
+        for (_, len, replicas) in blocks {
+            total += len;
+            let src = closest_replica(cluster, &replicas, reader, &mut self.rng);
+            chain = chain
+                .delay(RPC_DELAY)
+                .then(cluster.disk_read(src, len as f64))
+                .then(cluster.transfer(src, reader, len as f64));
+        }
+        self.submit(engine, chain, total, client_tag)
+    }
+
+    /// Reads a single block into `reader` (a MapReduce input split fetch).
+    pub fn read_block(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        block: BlockId,
+        reader: VmId,
+        client_tag: Tag,
+    ) -> HdfsOpId {
+        let bm = self.ns.block(block);
+        let (len, replicas) = (bm.len, bm.replicas.clone());
+        let src = closest_replica(cluster, &replicas, reader, &mut self.rng);
+        let chain = ChainSpec::new()
+            .delay(RPC_DELAY)
+            .then(cluster.disk_read(src, len as f64))
+            .then(cluster.transfer(src, reader, len as f64));
+        self.submit(engine, chain, len, client_tag)
+    }
+
+    fn submit(&mut self, engine: &mut Engine, chain: ChainSpec, bytes: u64, client_tag: Tag) -> HdfsOpId {
+        let op = HdfsOpId(self.next_op);
+        self.next_op = self.next_op.wrapping_add(1);
+        self.ops.insert(
+            op.0,
+            PendingOp { client_tag, bytes, submitted: engine.now() },
+        );
+        engine.start_chain(chain, Tag::new(owners::HDFS, op.0, 0));
+        op
+    }
+
+    /// Routes an `owners::HDFS` wakeup to its operation; returns the
+    /// completion (with the caller's tag) or `None` for foreign wakeups
+    /// and for internal maintenance traffic (re-replication).
+    pub fn on_wakeup(&mut self, wakeup: &Wakeup) -> Option<HdfsCompletion> {
+        let Wakeup::Activity { tag, .. } = wakeup else {
+            return None;
+        };
+        if tag.owner != owners::HDFS {
+            return None;
+        }
+        let pending = self.ops.remove(&tag.a).expect("completion for unknown HDFS op");
+        if pending.client_tag.owner == owners::HDFS {
+            // Internal maintenance op (re-replication): nobody to notify.
+            return None;
+        }
+        Some(HdfsCompletion {
+            op: HdfsOpId(tag.a),
+            client_tag: pending.client_tag,
+            bytes: pending.bytes,
+            submitted: pending.submitted,
+        })
+    }
+
+    /// Fails a datanode: it stops serving, its replicas are dropped from
+    /// the namenode tables, and for every under-replicated block a
+    /// re-replication transfer (surviving replica → fresh datanode) is
+    /// started — HDFS's self-healing path, the mechanism the paper credits
+    /// for jobs surviving migration downtime. Returns the number of
+    /// blocks that had to be re-replicated; blocks whose *only* replica
+    /// lived on `vm` are lost (counted in `.1`).
+    ///
+    /// # Panics
+    /// If `vm` is not a (live) datanode.
+    pub fn fail_datanode(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        vm: VmId,
+    ) -> (usize, usize) {
+        let pos = self
+            .datanodes
+            .iter()
+            .position(|&d| d == vm)
+            .unwrap_or_else(|| panic!("{vm} is not a live datanode"));
+        self.datanodes.remove(pos);
+        assert!(!self.datanodes.is_empty(), "last datanode failed; file system lost");
+
+        let affected = self.ns.drop_replicas_on(vm);
+        let mut re_replicated = 0;
+        let mut lost = 0;
+        for (block, survivors) in affected {
+            if survivors.is_empty() {
+                lost += 1;
+                continue;
+            }
+            // Pick a source and a fresh target.
+            let src = closest_replica(cluster, &survivors, survivors[0], &mut self.rng);
+            let candidates: Vec<VmId> = self
+                .datanodes
+                .iter()
+                .copied()
+                .filter(|d| !survivors.contains(d))
+                .collect();
+            use rand::seq::SliceRandom;
+            let Some(&dst) = candidates.choose(&mut self.rng) else {
+                continue; // no node left to hold another replica
+            };
+            let len = self.ns.block(block).len;
+            self.ns.add_replica(block, dst);
+            let chain = ChainSpec::new()
+                .delay(RPC_DELAY)
+                .then(cluster.disk_read(src, len as f64))
+                .then(cluster.transfer(src, dst, len as f64))
+                .then(cluster.disk_write(dst, len as f64));
+            // Internal op: client tag owned by HDFS itself.
+            self.submit(engine, chain, len, Tag::owner(owners::HDFS));
+            re_replicated += 1;
+        }
+        (re_replicated, lost)
+    }
+
+    /// Number of in-flight operations.
+    pub fn inflight(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcluster::prelude::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn setup(placement: Placement) -> (Engine, VirtualCluster, Hdfs) {
+        let mut e = Engine::new();
+        let spec = ClusterSpec::builder().hosts(2).vms(8).placement(placement).build();
+        let c = VirtualCluster::new(&mut e, spec);
+        let h = Hdfs::format(&c, HdfsConfig { block_size: 64 * MB, replication: 2 }, RootSeed(7));
+        (e, c, h)
+    }
+
+    /// Drives the engine until `op` completes, returning (time, completion).
+    fn run_until_op(e: &mut Engine, h: &mut Hdfs, op: HdfsOpId) -> (SimTime, HdfsCompletion) {
+        while let Some((t, w)) = e.next_wakeup() {
+            if let Some(c) = h.on_wakeup(&w) {
+                if c.op == op {
+                    return (t, c);
+                }
+            }
+        }
+        panic!("op never completed");
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (mut e, c, mut h) = setup(Placement::SingleDomain);
+        let tag = Tag::new(owners::USER, 42, 0);
+        let op = h.write_file(&mut e, &c, "/data", 100 * MB, VmId(1), tag);
+        let (t_w, comp) = run_until_op(&mut e, &mut h, op);
+        assert_eq!(comp.client_tag, tag);
+        assert_eq!(comp.bytes, 100 * MB);
+        assert!(t_w.as_secs_f64() > 1.0, "write takes real time, got {t_w}");
+        assert!(h.stat("/data").is_some());
+        assert_eq!(h.stat("/data").unwrap().blocks.len(), 2);
+
+        let op = h.read_file(&mut e, &c, "/data", VmId(2), tag);
+        let (t_r, comp) = run_until_op(&mut e, &mut h, op);
+        assert_eq!(comp.bytes, 100 * MB);
+        assert!(t_r > t_w);
+    }
+
+    #[test]
+    fn read_is_faster_than_write() {
+        // Replication makes writes move more bytes than reads — the
+        // mechanism behind DFSIO's read > write throughput (Fig. 4b).
+        let (mut e, c, mut h) = setup(Placement::SingleDomain);
+        let tag = Tag::owner(owners::USER);
+        let start = e.now();
+        let op = h.write_file(&mut e, &c, "/f", 200 * MB, VmId(1), tag);
+        let (t1, _) = run_until_op(&mut e, &mut h, op);
+        let write_time = t1.saturating_since(start).as_secs_f64();
+
+        let op = h.read_file(&mut e, &c, "/f", VmId(1), tag);
+        let (t2, _) = run_until_op(&mut e, &mut h, op);
+        let read_time = t2.saturating_since(t1).as_secs_f64();
+        assert!(
+            read_time < write_time * 0.8,
+            "read ({read_time:.2}s) beats write ({write_time:.2}s)"
+        );
+    }
+
+    #[test]
+    fn local_read_beats_remote_read() {
+        let (mut e, c, mut h) = setup(Placement::CrossDomain);
+        h.register_file(&c, "/local", 64 * MB, VmId(1));
+        let tag = Tag::owner(owners::USER);
+
+        let start = e.now();
+        let op = h.read_file(&mut e, &c, "/local", VmId(1), tag);
+        let (t1, _) = run_until_op(&mut e, &mut h, op);
+        let local = t1.saturating_since(start).as_secs_f64();
+
+        // Reader that holds no replica: likely remote.
+        let far_reader = h
+            .datanodes()
+            .iter()
+            .copied()
+            .find(|v| !h.block(h.stat("/local").unwrap().blocks[0]).replicas.contains(v))
+            .expect("some non-replica VM");
+        let op = h.read_file(&mut e, &c, "/local", far_reader, tag);
+        let (t2, _) = run_until_op(&mut e, &mut h, op);
+        let remote = t2.saturating_since(t1).as_secs_f64();
+        assert!(local <= remote, "local read ({local:.3}s) ≤ remote ({remote:.3}s)");
+    }
+
+    #[test]
+    fn register_file_is_instant_and_placed() {
+        let (e, c, mut h) = setup(Placement::SingleDomain);
+        h.register_file(&c, "/pre", 130 * MB, VmId(3));
+        assert_eq!(e.now(), SimTime::ZERO);
+        let locs = h.block_locations("/pre").expect("exists");
+        assert_eq!(locs.len(), 3); // 64 + 64 + 2 MB
+        for (_, _, replicas) in locs {
+            assert_eq!(replicas.len(), 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_contend_on_nfs() {
+        // Two writers finish later than one writer.
+        let one = {
+            let (mut e, c, mut h) = setup(Placement::SingleDomain);
+            let op = h.write_file(&mut e, &c, "/a", 100 * MB, VmId(1), Tag::owner(owners::USER));
+            run_until_op(&mut e, &mut h, op).0.as_secs_f64()
+        };
+        let two = {
+            let (mut e, c, mut h) = setup(Placement::SingleDomain);
+            h.write_file(&mut e, &c, "/a", 100 * MB, VmId(1), Tag::owner(owners::USER));
+            let op2 = h.write_file(&mut e, &c, "/b", 100 * MB, VmId(2), Tag::owner(owners::USER));
+            run_until_op(&mut e, &mut h, op2).0.as_secs_f64()
+        };
+        assert!(two > one * 1.5, "NFS contention: two writers {two:.2}s vs one {one:.2}s");
+    }
+
+    #[test]
+    fn delete_releases_space() {
+        let (e, c, mut h) = setup(Placement::SingleDomain);
+        let _ = e;
+        h.register_file(&c, "/x", 64 * MB, VmId(1));
+        assert!(h.namespace().used_space(VmId(1)) > 0);
+        assert!(h.delete("/x"));
+        assert_eq!(h.namespace().used_space(VmId(1)), 0);
+        assert!(h.stat("/x").is_none());
+    }
+}

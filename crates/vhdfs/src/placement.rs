@@ -1,0 +1,181 @@
+//! Replica placement and replica selection policies.
+//!
+//! Hadoop's default placement, with the physical host standing in for the
+//! rack: first replica on the writer (if it is a datanode), second on a
+//! different host, third co-located with the second. Reads pick the
+//! *closest* replica: same VM ≻ same host ≻ remote.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vcluster::cluster::{VirtualCluster, VmId};
+
+/// Chooses `replication` replica locations for a block written by `writer`.
+///
+/// Guarantees: locations are distinct; the first is `writer` when `writer`
+/// is a datanode; the second lands on a different host than the first when
+/// the cluster spans hosts; never returns more replicas than datanodes.
+pub fn choose_replicas(
+    cluster: &VirtualCluster,
+    datanodes: &[VmId],
+    writer: VmId,
+    replication: u32,
+    rng: &mut impl Rng,
+) -> Vec<VmId> {
+    assert!(!datanodes.is_empty(), "no datanodes to place replicas on");
+    let want = (replication.max(1) as usize).min(datanodes.len());
+    let mut chosen: Vec<VmId> = Vec::with_capacity(want);
+
+    // First replica: the writer itself, when it stores data.
+    if datanodes.contains(&writer) {
+        chosen.push(writer);
+    } else {
+        chosen.push(*datanodes.choose(rng).expect("non-empty"));
+    }
+
+    // Second replica: off-host ("off-rack") from the first, if possible.
+    if chosen.len() < want {
+        let first_host = cluster.host_of(chosen[0]);
+        let off_host: Vec<VmId> = datanodes
+            .iter()
+            .copied()
+            .filter(|v| !chosen.contains(v) && cluster.host_of(*v) != first_host)
+            .collect();
+        let pool: Vec<VmId> = if off_host.is_empty() {
+            datanodes.iter().copied().filter(|v| !chosen.contains(v)).collect()
+        } else {
+            off_host
+        };
+        if let Some(&v) = pool.choose(rng) {
+            chosen.push(v);
+        }
+    }
+
+    // Third replica: same host as the second, different node.
+    if chosen.len() < want {
+        let second_host = cluster.host_of(chosen[1]);
+        let same_host: Vec<VmId> = datanodes
+            .iter()
+            .copied()
+            .filter(|v| !chosen.contains(v) && cluster.host_of(*v) == second_host)
+            .collect();
+        let pool: Vec<VmId> = if same_host.is_empty() {
+            datanodes.iter().copied().filter(|v| !chosen.contains(v)).collect()
+        } else {
+            same_host
+        };
+        if let Some(&v) = pool.choose(rng) {
+            chosen.push(v);
+        }
+    }
+
+    // Any further replicas: uniform over the remainder.
+    while chosen.len() < want {
+        let pool: Vec<VmId> = datanodes.iter().copied().filter(|v| !chosen.contains(v)).collect();
+        match pool.choose(rng) {
+            Some(&v) => chosen.push(v),
+            None => break,
+        }
+    }
+    chosen
+}
+
+/// Picks the replica a reader on `reader` should fetch from: itself if it
+/// holds one, else a same-host replica, else a uniformly random one.
+pub fn closest_replica(
+    cluster: &VirtualCluster,
+    replicas: &[VmId],
+    reader: VmId,
+    rng: &mut impl Rng,
+) -> VmId {
+    assert!(!replicas.is_empty(), "block has no replicas");
+    if replicas.contains(&reader) {
+        return reader;
+    }
+    let reader_host = cluster.host_of(reader);
+    let same_host: Vec<VmId> = replicas
+        .iter()
+        .copied()
+        .filter(|v| cluster.host_of(*v) == reader_host)
+        .collect();
+    if let Some(&v) = same_host.choose(rng) {
+        return v;
+    }
+    *replicas.choose(rng).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::prelude::*;
+    use vcluster::prelude::*;
+
+    fn cross_cluster(vms: u32) -> (Engine, VirtualCluster) {
+        let mut e = Engine::new();
+        let spec = ClusterSpec::builder()
+            .hosts(2)
+            .vms(vms)
+            .placement(Placement::CrossDomain)
+            .build();
+        let c = VirtualCluster::new(&mut e, spec);
+        (e, c)
+    }
+
+    #[test]
+    fn writer_gets_first_replica() {
+        let (_, c) = cross_cluster(8);
+        let dns: Vec<VmId> = (1..8).map(VmId).collect();
+        let mut rng = RootSeed(1).stream("t");
+        let reps = choose_replicas(&c, &dns, VmId(3), 3, &mut rng);
+        assert_eq!(reps[0], VmId(3));
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn second_replica_is_off_host() {
+        let (_, c) = cross_cluster(8);
+        let dns: Vec<VmId> = (1..8).map(VmId).collect();
+        let mut rng = RootSeed(2).stream("t");
+        for _ in 0..20 {
+            let reps = choose_replicas(&c, &dns, VmId(2), 3, &mut rng);
+            assert_ne!(
+                c.host_of(reps[0]),
+                c.host_of(reps[1]),
+                "second replica must be on a different host"
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_bounded() {
+        let (_, c) = cross_cluster(4);
+        let dns: Vec<VmId> = (1..4).map(VmId).collect();
+        let mut rng = RootSeed(3).stream("t");
+        // Ask for more replicas than datanodes: capped at 3.
+        let reps = choose_replicas(&c, &dns, VmId(1), 10, &mut rng);
+        assert_eq!(reps.len(), 3);
+        let mut dedup = reps.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), reps.len(), "replicas must be distinct");
+    }
+
+    #[test]
+    fn non_datanode_writer_places_randomly() {
+        let (_, c) = cross_cluster(8);
+        let dns: Vec<VmId> = (1..8).map(VmId).collect();
+        let mut rng = RootSeed(4).stream("t");
+        let reps = choose_replicas(&c, &dns, VmId(0), 3, &mut rng);
+        assert!(dns.contains(&reps[0]), "first replica must be a datanode");
+    }
+
+    #[test]
+    fn closest_replica_prefers_local_then_host() {
+        let (_, c) = cross_cluster(8);
+        let mut rng = RootSeed(5).stream("t");
+        // Reader holds a replica.
+        assert_eq!(closest_replica(&c, &[VmId(1), VmId(2)], VmId(2), &mut rng), VmId(2));
+        // Same-host replica: vm0 and vm2 are both on host 0 (round-robin).
+        let picked = closest_replica(&c, &[VmId(2), VmId(3)], VmId(0), &mut rng);
+        assert_eq!(picked, VmId(2), "same-host replica preferred");
+    }
+}

@@ -1,0 +1,94 @@
+//! Datanode failure and self-healing re-replication.
+
+use simcore::prelude::*;
+use vcluster::prelude::*;
+use vhdfs::hdfs::{Hdfs, HdfsConfig};
+
+const MB: u64 = 1 << 20;
+
+fn setup(vms: u32, replication: u32) -> (Engine, VirtualCluster, Hdfs) {
+    let mut e = Engine::new();
+    let spec = ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
+    let c = VirtualCluster::new(&mut e, spec);
+    let h = Hdfs::format(&c, HdfsConfig { block_size: 4 * MB, replication }, RootSeed(60));
+    (e, c, h)
+}
+
+/// A datanode that actually holds replicas of `/data`.
+fn replica_holder(h: &Hdfs, path: &str) -> VmId {
+    let blocks = h.stat(path).expect("exists").blocks.clone();
+    h.block(blocks[0]).replicas[0]
+}
+
+#[test]
+fn failure_triggers_re_replication() {
+    let (mut e, c, mut h) = setup(8, 3);
+    h.register_file(&c, "/data", 16 * MB, VmId(1));
+    let victim = replica_holder(&h, "/data");
+    let (re_replicated, lost) = h.fail_datanode(&mut e, &c, victim);
+    assert!(re_replicated > 0, "under-replicated blocks get new copies");
+    assert_eq!(lost, 0, "replication 3 survives one failure");
+
+    // Drain the repair traffic; it must take simulated time.
+    let wakeups = e.run_to_quiescence();
+    let _ = wakeups;
+    assert!(e.now() > SimTime::ZERO, "repair transfers consumed time");
+
+    // Every block back at full replication, none on the dead node.
+    for (_, _, replicas) in h.block_locations("/data").expect("exists") {
+        assert_eq!(replicas.len(), 3, "replication restored");
+        assert!(!replicas.contains(&victim), "dead node dropped");
+    }
+    assert!(!h.datanodes().contains(&victim));
+}
+
+#[test]
+fn reads_survive_failure() {
+    let (mut e, c, mut h) = setup(8, 2);
+    h.register_file(&c, "/data", 8 * MB, VmId(1));
+    let victim = replica_holder(&h, "/data");
+    h.fail_datanode(&mut e, &c, victim);
+
+    // A read right after the failure succeeds from surviving replicas.
+    let reader = h.datanodes()[0];
+    let op = h.read_file(&mut e, &c, "/data", reader, Tag::owner(simcore::owners::USER));
+    let mut done = false;
+    while let Some((_, w)) = e.next_wakeup() {
+        if let Some(comp) = h.on_wakeup(&w) {
+            if comp.op == op {
+                done = true;
+            }
+        }
+    }
+    assert!(done, "read completed from surviving replicas");
+}
+
+#[test]
+fn single_replica_failure_loses_data() {
+    let (mut e, c, mut h) = setup(4, 1);
+    h.register_file(&c, "/fragile", 4 * MB, VmId(1));
+    let victim = replica_holder(&h, "/fragile");
+    let (re_replicated, lost) = h.fail_datanode(&mut e, &c, victim);
+    assert_eq!(re_replicated, 0);
+    assert!(lost > 0, "replication 1 cannot survive");
+}
+
+#[test]
+fn new_files_avoid_dead_nodes() {
+    let (mut e, c, mut h) = setup(6, 3);
+    let victim = h.datanodes()[0];
+    h.fail_datanode(&mut e, &c, victim);
+    h.register_file(&c, "/after", 8 * MB, VmId(1));
+    for (_, _, replicas) in h.block_locations("/after").expect("exists") {
+        assert!(!replicas.contains(&victim), "placement skips dead node");
+    }
+}
+
+#[test]
+#[should_panic(expected = "not a live datanode")]
+fn double_failure_rejected() {
+    let (mut e, c, mut h) = setup(6, 2);
+    let victim = h.datanodes()[0];
+    h.fail_datanode(&mut e, &c, victim);
+    h.fail_datanode(&mut e, &c, victim);
+}

@@ -1,0 +1,18 @@
+//! # vmonitor — the vHadoop platform's nmon Monitor and nmon analyser
+//!
+//! [`monitor::Monitor`] samples every simulated resource's utilization on
+//! a fixed interval (CPU, memory-path, disk, and network — what the paper
+//! extends nmon to collect on all master and worker VMs in parallel);
+//! [`analyser::MonitorReport`] turns the samples into summaries,
+//! bottleneck findings, CSV, text tables, and sparkline charts.
+
+#![warn(missing_docs)]
+
+pub mod analyser;
+pub mod monitor;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::analyser::{sparkline, MonitorReport, ResourceSummary};
+    pub use crate::monitor::{Column, Monitor, Sample};
+}

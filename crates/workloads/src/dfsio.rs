@@ -1,0 +1,154 @@
+//! TestDFSIO — "a read and write test for HDFS" (paper Table I, Fig. 4b
+//! workload).
+//!
+//! N client VMs concurrently write one file each, then read them back.
+//! Throughput is reported the way TestDFSIO does: total bytes moved over
+//! the span from first start to last completion. Replication makes writes
+//! push R× the bytes of reads, and every byte crosses the NFS server —
+//! which is precisely why the paper measures read throughput above write
+//! throughput and both degrading in the cross-domain configuration.
+
+use mapreduce::prelude::VmId;
+use simcore::owners;
+use simcore::prelude::*;
+use vcluster::cluster::VirtualCluster;
+use vcluster::spec::ClusterSpec;
+use vhdfs::hdfs::{Hdfs, HdfsConfig};
+
+/// One DFSIO measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfsioReport {
+    /// Number of files (= concurrent clients).
+    pub files: u32,
+    /// Bytes per file.
+    pub file_bytes: u64,
+    /// Aggregate write throughput, MB/s.
+    pub write_mb_s: f64,
+    /// Aggregate read throughput, MB/s.
+    pub read_mb_s: f64,
+    /// Write phase wall time, seconds.
+    pub write_time_s: f64,
+    /// Read phase wall time, seconds.
+    pub read_time_s: f64,
+}
+
+/// Runs TestDFSIO with `files` clients × `file_bytes` each on a fresh
+/// cluster described by `cluster_spec`.
+pub fn run_dfsio(cluster_spec: ClusterSpec, files: u32, file_bytes: u64, seed: RootSeed) -> DfsioReport {
+    assert!(files > 0, "need at least one file");
+    let mut engine = Engine::new();
+    let cluster = VirtualCluster::new(&mut engine, cluster_spec);
+    let mut hdfs = Hdfs::format(&cluster, HdfsConfig::default(), seed);
+
+    let clients: Vec<VmId> = hdfs.datanodes().iter().copied().cycle().take(files as usize).collect();
+
+    // --- write phase -----------------------------------------------------
+    let w_start = engine.now();
+    for (i, &vm) in clients.iter().enumerate() {
+        hdfs.write_file(
+            &mut engine,
+            &cluster,
+            &format!("/dfsio/f{i}"),
+            file_bytes,
+            vm,
+            Tag::new(owners::WORKLOAD, i as u32, 0),
+        );
+    }
+    let write_time_s = drain(&mut engine, &mut hdfs, files).saturating_since(w_start).as_secs_f64();
+
+    // --- read phase ------------------------------------------------------
+    let r_start = engine.now();
+    for (i, &vm) in clients.iter().enumerate() {
+        // Read a different client's file so reads are not all local.
+        let j = (i + 1) % clients.len();
+        hdfs.read_file(
+            &mut engine,
+            &cluster,
+            &format!("/dfsio/f{j}"),
+            vm,
+            Tag::new(owners::WORKLOAD, i as u32, 1),
+        );
+    }
+    let read_time_s = drain(&mut engine, &mut hdfs, files).saturating_since(r_start).as_secs_f64();
+
+    let total_mb = (u64::from(files) * file_bytes) as f64 / 1e6;
+    DfsioReport {
+        files,
+        file_bytes,
+        write_mb_s: total_mb / write_time_s.max(1e-9),
+        read_mb_s: total_mb / read_time_s.max(1e-9),
+        write_time_s,
+        read_time_s,
+    }
+}
+
+/// Drives the engine until `n` workload-tagged HDFS ops complete; returns
+/// the completion instant of the last one.
+fn drain(engine: &mut Engine, hdfs: &mut Hdfs, n: u32) -> SimTime {
+    let mut done = 0;
+    let mut last = engine.now();
+    while done < n {
+        let (t, w) = engine.next_wakeup().expect("DFSIO ops must complete");
+        if let Some(c) = hdfs.on_wakeup(&w) {
+            debug_assert_eq!(c.client_tag.owner, owners::WORKLOAD);
+            done += 1;
+            last = t;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcluster::spec::Placement;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn cluster(placement: Placement) -> ClusterSpec {
+        ClusterSpec::builder().hosts(2).vms(8).placement(placement).build()
+    }
+
+    #[test]
+    fn read_throughput_beats_write() {
+        let rep = run_dfsio(cluster(Placement::SingleDomain), 4, 32 * MB, RootSeed(4));
+        assert!(
+            rep.read_mb_s > rep.write_mb_s,
+            "read ({:.1} MB/s) > write ({:.1} MB/s)",
+            rep.read_mb_s,
+            rep.write_mb_s
+        );
+    }
+
+    #[test]
+    fn cross_domain_degrades_throughput() {
+        let normal = run_dfsio(cluster(Placement::SingleDomain), 4, 32 * MB, RootSeed(4));
+        let cross = run_dfsio(cluster(Placement::CrossDomain), 4, 32 * MB, RootSeed(4));
+        assert!(
+            cross.write_mb_s <= normal.write_mb_s * 1.05,
+            "cross write {:.1} vs normal {:.1}",
+            cross.write_mb_s,
+            normal.write_mb_s
+        );
+    }
+
+    #[test]
+    fn more_files_more_contention() {
+        let few = run_dfsio(cluster(Placement::SingleDomain), 2, 32 * MB, RootSeed(4));
+        let many = run_dfsio(cluster(Placement::SingleDomain), 6, 32 * MB, RootSeed(4));
+        assert!(
+            many.write_time_s > few.write_time_s,
+            "6 files ({:.1}s) slower than 2 ({:.1}s)",
+            many.write_time_s,
+            few.write_time_s
+        );
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let rep = run_dfsio(cluster(Placement::SingleDomain), 3, 16 * MB, RootSeed(4));
+        assert_eq!(rep.files, 3);
+        assert_eq!(rep.file_bytes, 16 * MB);
+        assert!(rep.write_time_s > 0.0 && rep.read_time_s > 0.0);
+    }
+}

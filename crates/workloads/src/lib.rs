@@ -1,0 +1,32 @@
+//! # workloads — the paper's MapReduce benchmark suite (Table I)
+//!
+//! | Name        | Category           | Module |
+//! |-------------|--------------------|--------|
+//! | Wordcount   | MapReduce          | [`wordcount`] |
+//! | MRBench     | MapReduce          | [`mrbench`] |
+//! | TeraSort    | MapReduce & HDFS   | [`terasort`] |
+//! | TestDFSIO   | HDFS               | [`dfsio`] |
+//!
+//! Plus [`textgen`], the TOEFL-reading-material stand-in (Zipf-distributed
+//! English-like corpus). Every driver builds a fresh simulated cluster per
+//! measurement so runs are independent, as in the paper's methodology of
+//! averaging three fresh runs.
+
+#![warn(missing_docs)]
+
+pub mod dfsio;
+pub mod loadgen;
+pub mod mrbench;
+pub mod terasort;
+pub mod textgen;
+pub mod wordcount;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::dfsio::{run_dfsio, DfsioReport};
+    pub use crate::loadgen::{submit_load_job, SyntheticLoadApp};
+    pub use crate::mrbench::{run_mrbench, MrBenchApp, MrBenchReport};
+    pub use crate::terasort::{run_terasort, validate, TeraSortReport};
+    pub use crate::textgen::TextCorpus;
+    pub use crate::wordcount::{run_wordcount, WordCountApp, WordcountReport};
+}

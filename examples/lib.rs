@@ -1,0 +1,5 @@
+//! Example-binaries crate for the vHadoop workspace.
+//!
+//! The runnable examples are the `[[bin]]` targets declared in
+//! `Cargo.toml`: `quickstart`, `ml_pipeline`, `datacenter_migration`,
+//! and `tuning_session`.

@@ -1,0 +1,68 @@
+//! Quickstart: boot a 16-node hadoop virtual cluster, upload text, run
+//! Wordcount, and read the nmon monitor's verdict.
+//!
+//! ```sh
+//! cargo run -p vhadoop-examples --bin quickstart
+//! ```
+
+use vhadoop::prelude::*;
+use workloads::textgen::TextCorpus;
+
+fn main() {
+    // 1.–3. Launch the platform: 2 physical machines, 16 VMs (1 namenode +
+    // 15 datanodes), Xen-style virtualization, images on NFS.
+    let mut platform = VHadoop::launch(PlatformConfig {
+        cluster: ClusterSpec::paper_normal(),
+        ..Default::default()
+    });
+    println!("platform up: {} VMs on {} hosts", 16, 2);
+
+    // 4. Upload 32 MB of text to HDFS (simulated replication pipeline).
+    let input_bytes: u64 = 32 << 20;
+    let upload = platform.upload_input("/books", input_bytes, VmId(1));
+    println!("uploaded {} MB in {upload} of simulated time", input_bytes >> 20);
+
+    // 5.–8. Run Wordcount. The map/reduce code executes for real; elapsed
+    // time comes from the contention model.
+    let corpus = TextCorpus::english_like(RootSeed(7));
+    let blocks = platform.rt.hdfs.stat("/books").expect("uploaded").blocks.len();
+    let block_size = platform.rt.hdfs.config().block_size;
+    let last = blocks - 1;
+    let input = GeneratorInput::new(blocks, block_size, move |idx| {
+        let bytes = if idx == last { input_bytes - last as u64 * block_size } else { block_size };
+        corpus.split_records(idx, bytes)
+    });
+    let config = JobConfig::default().with_reduces(4);
+    let spec = JobSpec::new("wordcount", "/books", "/counts").with_config(config);
+    let result = platform.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
+
+    println!(
+        "wordcount finished in {:.1}s (map {:.1}s, reduce {:.1}s)",
+        result.elapsed_secs(),
+        result.map_phase.as_secs_f64(),
+        result.reduce_phase.as_secs_f64()
+    );
+    println!(
+        "  {} input records, {} distinct words, {:.0}% data-local maps",
+        result.counters.map_input_records,
+        result.counters.reduce_input_groups,
+        result.counters.data_locality() * 100.0
+    );
+
+    // Top-5 words.
+    let mut top: Vec<_> = result.outputs.iter().collect();
+    top.sort_by_key(|(_, v)| std::cmp::Reverse(v.as_int()));
+    println!("  top words:");
+    for (k, v) in top.iter().take(5) {
+        println!("    {:>8}  {}", v.as_int(), k.as_text());
+    }
+
+    // 9. What does the monitor say?
+    if let Some(report) = platform.monitor_report() {
+        println!("\nnmon monitor ({} samples):", report.samples);
+        print!("{}", report.to_table());
+        if let Some(b) = report.bottleneck() {
+            println!("bottleneck: {} (mean {:.0}% utilized)", b.name, b.util.mean * 100.0);
+        }
+    }
+}

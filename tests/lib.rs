@@ -1,0 +1,4 @@
+//! Integration-test crate for the vHadoop workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library target exists
+//! only so Cargo accepts the package.

@@ -1,0 +1,98 @@
+//! Reduced-scale shape assertions for the dynamic-performance experiment
+//! (Fig. 5 / Table II): memory scaling, busy-vs-idle ratios, per-VM
+//! downtime spread.
+
+
+use vcluster::cluster::HostId;
+use vcluster::migration::ClusterMigrationReport;
+use vcluster::spec::{ClusterSpec, Placement};
+use vhadoop::platform::{PlatformConfig, VHadoop};
+use vhdfs::hdfs::HdfsConfig;
+use workloads::loadgen::submit_load_job;
+
+fn migrate(vms: u32, mem_mib: u64, busy: bool) -> ClusterMigrationReport {
+    let cluster = ClusterSpec::builder()
+        .hosts(2)
+        .vms(vms)
+        .vm_mem_mib(mem_mib)
+        .placement(Placement::SingleDomain)
+        .build();
+    let mut platform = VHadoop::launch(PlatformConfig {
+        cluster,
+        // Small blocks -> enough concurrent map tasks to keep slots busy.
+        hdfs: HdfsConfig { block_size: 4 << 20, replication: 2 },
+        ..Default::default()
+    });
+    if busy {
+        let mut run = 0u32;
+        platform
+            .migrate_cluster_under_load(HostId(1), |rt| {
+                // Synthetic busy load: every tracker gets CPU + I/O work.
+                submit_load_job(rt, run, 2 * (vms - 1), 2.0, 24 << 20);
+                run += 1;
+                true
+            })
+            .0
+    } else {
+        platform.migrate_cluster(HostId(1))
+    }
+}
+
+#[test]
+fn migration_time_scales_with_memory_downtime_does_not() {
+    let m512 = migrate(4, 512, false);
+    let m1024 = migrate(4, 1024, false);
+    assert!(
+        m1024.total_time_s() > 1.6 * m512.total_time_s(),
+        "1024 MB ({:.1}s) ≈ 2× 512 MB ({:.1}s)",
+        m1024.total_time_s(),
+        m512.total_time_s()
+    );
+    let d512 = m512.total_downtime.as_millis_f64();
+    let d1024 = m1024.total_downtime.as_millis_f64();
+    assert!(
+        (d1024 - d512).abs() < 0.5 * d512.max(100.0),
+        "idle downtime uncorrelated with memory: {d512:.0} vs {d1024:.0} ms"
+    );
+}
+
+trait TotalTime {
+    fn total_time_s(&self) -> f64;
+}
+impl TotalTime for ClusterMigrationReport {
+    fn total_time_s(&self) -> f64 {
+        self.total_time.as_secs_f64()
+    }
+}
+
+#[test]
+fn busy_cluster_migrates_slower_with_much_worse_downtime() {
+    let idle = migrate(4, 512, false);
+    let busy = migrate(4, 512, true);
+    let t_ratio = busy.total_time_s() / idle.total_time_s();
+    let d_ratio =
+        busy.total_downtime.as_millis_f64() / idle.total_downtime.as_millis_f64().max(1.0);
+    println!("time ratio {t_ratio:.2}, downtime ratio {d_ratio:.2}");
+    assert!(t_ratio > 1.2, "busy migration slower, got {t_ratio:.2}x");
+    assert!(d_ratio > 3.0, "busy downtime much worse, got {d_ratio:.2}x");
+}
+
+#[test]
+fn busy_downtime_varies_across_vms() {
+    let busy = migrate(4, 512, true);
+    let downs: Vec<f64> = busy.per_vm.iter().map(|r| r.downtime.as_millis_f64()).collect();
+    let min = downs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = downs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max > 1.5 * min.max(1.0),
+        "per-VM downtime spread under load: {min:.0}..{max:.0} ms"
+    );
+}
+
+#[test]
+fn every_vm_lands_on_destination() {
+    let rep = migrate(5, 512, false);
+    assert_eq!(rep.per_vm.len(), 5);
+    assert!(rep.per_vm.iter().all(|r| r.dst == 1));
+    assert!(rep.per_vm.iter().all(|r| r.transferred >= r.mem as f64));
+}

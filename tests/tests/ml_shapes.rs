@@ -1,0 +1,101 @@
+//! Reduced-scale shape and quality assertions for the parallel machine
+//! learning experiments (Figs. 6–8).
+
+use mlkit::prelude::*;
+use simcore::rng::RootSeed;
+
+#[test]
+fn fig6_shape_fixed_data_bigger_cluster_costs_more() {
+    let data = control_chart(RootSeed(5), 15, 60); // 90 × 60, fast
+    for alg in Algorithm::FIG6 {
+        let t = |vms: u32| {
+            run_algorithm(alg, DatasetKind::ControlChart, data.points.clone(), vms, RootSeed(5))
+                .stats
+                .elapsed_s
+        };
+        let (t2, t8) = (t(2), t(8));
+        assert!(
+            t8 > t2,
+            "{}: 8 VMs ({t8:.1}s) slower than 2 VMs ({t2:.1}s) on fixed data",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_shape_light_workload_scales_smoothly() {
+    let data = gaussian_mixture(RootSeed(6), 1);
+    for alg in [Algorithm::KMeans, Algorithm::Canopy, Algorithm::MinHash] {
+        let t = |vms: u32| {
+            run_algorithm(alg, DatasetKind::Display, data.points.clone(), vms, RootSeed(6))
+                .stats
+                .elapsed_s
+        };
+        let (t2, t8) = (t(2), t(8));
+        let growth = t8 / t2.max(1e-9);
+        assert!(
+            growth < 3.0,
+            "{}: light workload grew {growth:.2}x from 2 to 8 VMs",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn clustering_quality_on_platform_matches_structure() {
+    // k-means on the control chart: six generated classes; purity should
+    // comfortably beat chance (1/6 ≈ 0.17) even at reduced size.
+    let data = control_chart(RootSeed(7), 20, 60);
+    let run = run_algorithm(Algorithm::KMeans, DatasetKind::ControlChart, data.points.clone(), 4, RootSeed(7));
+    let model = run.model.expect("kmeans produces a model");
+    let p = purity(&data.labels, &model.assignments);
+    assert!(p > 0.5, "k-means purity {p:.2} on control chart");
+}
+
+#[test]
+fn mr_and_reference_agree_on_the_platform() {
+    // End-to-end check that running through the full simulated platform
+    // does not perturb algorithm semantics.
+    let data = gaussian_mixture(RootSeed(8), 1);
+    let params = KMeansParams { k: 3, max_iters: 6, convergence: 0.01, ..Default::default() };
+    let mut ml = MlRuntime::new(scaled_cluster(4), data.points.clone(), RootSeed(8));
+    let (mr_model, _) = mlkit::kmeans::run_mr(&mut ml, params, RootSeed(9));
+    let (ref_model, _) = mlkit::kmeans::reference(&data.points, params, RootSeed(9));
+    for (a, b) in mr_model.centers.iter().zip(&ref_model.centers) {
+        assert!(
+            Distance::Euclidean.between(a, b) < 1e-6,
+            "platform execution changed the model"
+        );
+    }
+}
+
+#[test]
+fn fig8_renderers_produce_output_for_all_algorithms() {
+    let data = gaussian_mixture(RootSeed(10), 1);
+    for alg in Algorithm::ALL {
+        let run = run_algorithm(alg, DatasetKind::Display, data.points.clone(), 4, RootSeed(10));
+        if let Some(model) = run.model {
+            let svg = render_svg(alg.name(), &data.points, &model, &IterationTrail::new(), 320, 240);
+            assert!(svg.contains("<svg") && svg.len() > 1000, "{} SVG renders", alg.name());
+            let ascii = render_ascii(&data.points, &model, 40, 12);
+            assert_eq!(ascii.lines().count(), 12);
+        }
+    }
+}
+
+#[test]
+fn dirichlet_components_track_the_data() {
+    // One tight blob: the finite-DP approximation may split it across
+    // several near-identical components (a valid posterior mode), but
+    // every *significant* component must sit on the blob.
+    let blob: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![5.0 + (i % 14) as f64 * 0.01, 5.0 + (i / 14) as f64 * 0.01])
+        .collect();
+    let (_, clustering) =
+        mlkit::dirichlet::reference(&blob, DirichletParams::default(), RootSeed(11));
+    assert!(clustering.k() <= 10, "bounded by k0, got {}", clustering.k());
+    for c in &clustering.centers {
+        let d = Distance::Euclidean.between(c, &[5.065, 5.07]);
+        assert!(d < 0.5, "component center {c:?} drifted off the blob");
+    }
+}
