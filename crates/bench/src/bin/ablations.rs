@@ -5,26 +5,38 @@
 //! * `dom0`            — dom0 I/O CPU-steal modelling ON vs. OFF;
 //! * `migration-order` — sequential vs. fully concurrent cluster migration;
 //! * `speculation`     — backup attempts for straggling maps ON vs. OFF
-//!   (with one tracker VM crushed by outside load).
+//!   (with one tracker VM crushed by outside load);
+//! * `scheduler`       — FIFO vs. fair vs. job-driven task scheduling with
+//!   two wordcount jobs contending for the same slots.
 //!
 //! ```sh
-//! cargo run --release -p vhadoop-bench --bin ablations [--scale 8|--full]
+//! cargo run --release -p vhadoop-bench --bin ablations \
+//!     [--scale 8|--full] [--case <name>]
 //! ```
 
 use mapreduce::config::JobConfig;
+use mapreduce::scheduler::SchedulerPolicy;
 use simcore::rng::RootSeed;
 use vcluster::migration::MigrationConfig;
 use vcluster::spec::{ClusterSpec, Placement, XenParams};
 use vcluster::virtlm::{VirtLm, WorkloadProfile};
-use vhadoop_bench::{cli_scale, ResultSink};
-use workloads::wordcount::run_wordcount;
+use vhadoop_bench::{cli_case, cli_scale, ResultSink};
+use workloads::wordcount::{run_wordcount, submit_wordcount};
 
 fn cluster(placement: Placement, xen: XenParams) -> ClusterSpec {
     ClusterSpec::builder().hosts(2).vms(16).placement(placement).xen(xen).build()
 }
 
+const CASES: &[&str] =
+    &["locality", "combiner", "dom0", "migration-order", "speculation", "scheduler"];
+
 fn main() {
     let scale = cli_scale();
+    let case = cli_case();
+    if let Some(c) = case.as_deref() {
+        assert!(CASES.contains(&c), "unknown --case {c:?}; known cases: {CASES:?}");
+    }
+    let wanted = |name: &str| case.as_deref().is_none_or(|c| c == name);
     let mb = ((128.0 / scale).max(4.0)) as u64;
     let seed = RootSeed(99);
     let mut sink = ResultSink::new("ablations", "variant (0=off/seq 1=on/conc)", "seconds");
@@ -32,29 +44,43 @@ fn main() {
     // --- locality-aware scheduling ---------------------------------------
     // Cross-domain placement makes remote reads expensive; locality off
     // should hurt there.
-    for (x, on) in [(0.0, false), (1.0, true)] {
+    for (x, on) in [(0.0, false), (1.0, true)].into_iter().filter(|_| wanted("locality")) {
         let cfg = JobConfig::default().with_locality(on);
-        let t = run_wordcount(cluster(Placement::CrossDomain, XenParams::default()), mb << 20, cfg, seed)
-            .elapsed_s;
+        let t = run_wordcount(
+            cluster(Placement::CrossDomain, XenParams::default()),
+            mb << 20,
+            cfg,
+            seed,
+        )
+        .elapsed_s;
         println!("locality={on}: {t:.1}s");
         sink.push("locality", x, t);
     }
 
     // --- combiner ---------------------------------------------------------
-    for (x, on) in [(0.0, false), (1.0, true)] {
+    for (x, on) in [(0.0, false), (1.0, true)].into_iter().filter(|_| wanted("combiner")) {
         let cfg = JobConfig::default().with_combiner(on);
-        let t = run_wordcount(cluster(Placement::SingleDomain, XenParams::default()), mb << 20, cfg, seed)
-            .elapsed_s;
+        let t = run_wordcount(
+            cluster(Placement::SingleDomain, XenParams::default()),
+            mb << 20,
+            cfg,
+            seed,
+        )
+        .elapsed_s;
         println!("combiner={on}: {t:.1}s");
         sink.push("combiner", x, t);
     }
 
     // --- dom0 I/O CPU steal ------------------------------------------------
-    for (x, on) in [(0.0, false), (1.0, true)] {
+    for (x, on) in [(0.0, false), (1.0, true)].into_iter().filter(|_| wanted("dom0")) {
         let xen = if on {
             XenParams::default()
         } else {
-            XenParams { dom0_cycles_per_net_byte: 0.0, dom0_cycles_per_disk_byte: 0.0, ..Default::default() }
+            XenParams {
+                dom0_cycles_per_net_byte: 0.0,
+                dom0_cycles_per_disk_byte: 0.0,
+                ..Default::default()
+            }
         };
         // dom0 steal matters most when I/O and CPU contend on one host.
         let t = run_wordcount(
@@ -69,7 +95,9 @@ fn main() {
     }
 
     // --- migration order ----------------------------------------------------
-    for (x, concurrency) in [(0.0, 1u32), (1.0, 16)] {
+    for (x, concurrency) in
+        [(0.0, 1u32), (1.0, 16)].into_iter().filter(|_| wanted("migration-order"))
+    {
         let bench = VirtLm {
             n_vms: 16,
             mem_mib: vec![1024],
@@ -85,26 +113,73 @@ fn main() {
     }
 
     // --- speculative execution under a crushed tracker ---------------------
-    for (x, on) in [(0.0, false), (1.0, true)] {
+    for (x, on) in [(0.0, false), (1.0, true)].into_iter().filter(|_| wanted("speculation")) {
         let t = run_straggler_job(on, seed);
         println!("speculation={on}: {t:.1}s");
         sink.push("speculation", x, t);
     }
 
+    // --- task-scheduler policy under 2-job contention -----------------------
+    if wanted("scheduler") {
+        for (x, policy) in SchedulerPolicy::all().iter().enumerate() {
+            let (makespan, mean_job) = run_contending_jobs(*policy, mb, seed);
+            println!("scheduler={policy}: makespan {makespan:.1}s, mean job {mean_job:.1}s");
+            sink.push("scheduler-makespan", x as f64, makespan);
+            sink.push("scheduler-mean-job", x as f64, mean_job);
+        }
+    }
+
     sink.finish();
 
-    // Shape checks.
+    // Shape checks (only for the studies that actually ran).
     let pts = |s: &str| sink.series_points(s);
-    assert!(pts("combiner")[1].1 < pts("combiner")[0].1, "combiner speeds wordcount up");
-    assert!(pts("dom0")[1].1 >= pts("dom0")[0].1, "dom0 steal can only slow things down");
-    assert!(
-        pts("locality")[1].1 <= pts("locality")[0].1 * 1.05,
-        "locality-aware scheduling does not hurt"
-    );
-    assert!(
-        pts("speculation")[1].1 < pts("speculation")[0].1,
-        "speculation rescues the straggler"
-    );
+    if wanted("combiner") {
+        assert!(pts("combiner")[1].1 < pts("combiner")[0].1, "combiner speeds wordcount up");
+    }
+    if wanted("dom0") {
+        assert!(pts("dom0")[1].1 >= pts("dom0")[0].1, "dom0 steal can only slow things down");
+    }
+    if wanted("locality") {
+        assert!(
+            pts("locality")[1].1 <= pts("locality")[0].1 * 1.05,
+            "locality-aware scheduling does not hurt"
+        );
+    }
+    if wanted("speculation") {
+        assert!(
+            pts("speculation")[1].1 < pts("speculation")[0].1,
+            "speculation rescues the straggler"
+        );
+    }
+    if wanted("scheduler") {
+        let mk = pts("scheduler-makespan");
+        assert_eq!(mk.len(), SchedulerPolicy::all().len(), "one makespan per policy");
+        assert!(mk.iter().all(|&(_, y)| y > 0.0), "every policy finishes both jobs");
+    }
+}
+
+/// Two identical wordcount jobs submitted back-to-back onto one cluster
+/// small enough that their tasks contend for slots under `policy`;
+/// returns (makespan, mean job elapsed) in seconds.
+fn run_contending_jobs(policy: SchedulerPolicy, mb: u64, seed: RootSeed) -> (f64, f64) {
+    use vhdfs::hdfs::HdfsConfig;
+    let spec = ClusterSpec::builder().hosts(2).vms(5).placement(Placement::CrossDomain).build();
+    // Small blocks → each job alone oversubscribes the map slots, so both
+    // jobs have pending maps at once and the policies' ordering choices
+    // actually show.
+    let hdfs = HdfsConfig { block_size: 512 << 10, replication: 3 };
+    let mut rt = mapreduce::runtime::MrRuntime::new(spec, hdfs, seed);
+    rt.mr.set_policy(policy);
+    let cfg = JobConfig::default().with_reduces(4);
+    for run in 0..2 {
+        submit_wordcount(&mut rt, run, (mb << 20) / 2, cfg.clone(), seed);
+    }
+    let results = rt.drive_all();
+    assert_eq!(results.len(), 2, "both jobs must complete under {policy}");
+    let makespan = rt.now().as_secs_f64();
+    let mean_job =
+        results.iter().map(|r| r.elapsed.as_secs_f64()).sum::<f64>() / results.len() as f64;
+    (makespan, mean_job)
 }
 
 /// A CPU-heavy job with one tracker VM crushed by external load; returns
@@ -138,18 +213,17 @@ fn run_straggler_job(speculative: bool, seed: RootSeed) -> f64 {
     rt.register_input("/in", (8 << 20) - 1, VmId(1));
     for i in 0..8 {
         let demands = rt.cluster.cpu_demands(VmId(1));
-        rt.engine
-            .start_flow(demands, 2.4e9 * 600.0, simcore::ids::Tag::new(simcore::owners::USER, i, 0));
+        rt.engine.start_flow(
+            demands,
+            2.4e9 * 600.0,
+            simcore::ids::Tag::new(simcore::owners::USER, i, 0),
+        );
     }
     let input = GeneratorInput::new(8, 1 << 20, |idx| {
         (0..40).map(|i| (K::Int((idx * 100 + i) as i64), V::Float(i as f64))).collect()
     });
-    let config = JobConfig {
-        speculative,
-        locality_aware: false,
-        use_combiner: false,
-        ..Default::default()
-    };
+    let config =
+        JobConfig { speculative, locality_aware: false, use_combiner: false, ..Default::default() };
     let job = JobSpec::new("heavy", "/in", format!("/out-{speculative}")).with_config(config);
     rt.run_job(job, Box::new(HeavyApp), Box::new(input)).elapsed_secs()
 }

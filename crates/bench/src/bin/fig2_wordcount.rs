@@ -48,6 +48,10 @@ fn main() {
     assert!(non_decreasing(&cross, 0.05), "runtime grows with input size (cross)");
     let gap_small = cross[0].1 / normal[0].1;
     let gap_large = cross.last().expect("points").1 / normal.last().expect("points").1;
-    println!("cross/normal gap: {gap_small:.2}x at {} MB -> {gap_large:.2}x at {} MB", normal[0].0, normal.last().expect("points").0);
+    println!(
+        "cross/normal gap: {gap_small:.2}x at {} MB -> {gap_large:.2}x at {} MB",
+        normal[0].0,
+        normal.last().expect("points").0
+    );
     assert!(gap_large >= 1.0, "cross-domain never beats normal at scale");
 }

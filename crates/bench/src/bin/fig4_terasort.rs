@@ -14,10 +14,8 @@ use workloads::terasort::run_terasort;
 fn main() {
     let scale = cli_scale();
     // Paper x-axis: 100 MB – 1 GB.
-    let sizes_mb: Vec<u64> = [100u64, 200, 400, 600, 800]
-        .iter()
-        .map(|&s| (s as f64 / scale).max(2.0) as u64)
-        .collect();
+    let sizes_mb: Vec<u64> =
+        [100u64, 200, 400, 600, 800].iter().map(|&s| (s as f64 / scale).max(2.0) as u64).collect();
     println!("fig4a: terasort, 16 VMs, sizes {sizes_mb:?} MB (scale {scale})");
 
     let mut sink = ResultSink::new("fig4a_terasort", "data MB", "time s");
@@ -44,11 +42,7 @@ fn main() {
     }
     let last = sizes_mb.last().copied().expect("sizes") as f64;
     let at = |s: &str| {
-        sink.series_points(s)
-            .iter()
-            .find(|(x, _)| (*x - last).abs() < 1e-9)
-            .expect("measured")
-            .1
+        sink.series_points(s).iter().find(|(x, _)| (*x - last).abs() < 1e-9).expect("measured").1
     };
     assert!(at("normal/sort") > at("normal/gen"), "sorting beats generating in cost");
     assert!(at("cross-domain/sort") >= at("normal/sort") * 0.95, "cross-domain no faster");

@@ -14,14 +14,20 @@ use vhadoop_bench::{cli_scale, ResultSink};
 
 fn main() {
     let _ = cli_scale(); // in-memory data set is small; always run full size
-    // Paper data set: 600 series × 60 points.
+                         // Paper data set: 600 series × 60 points.
     let data = control_chart(RootSeed(2012), 100, 60);
     println!("fig6: clustering {} control-chart series at cluster scales 2..16", data.len());
 
     let mut sink = ResultSink::new("fig6_control_chart", "cluster VMs", "running time s");
     for alg in Algorithm::FIG6 {
         for vms in [2u32, 4, 8, 12, 16] {
-            let run = run_algorithm(alg, DatasetKind::ControlChart, data.points.clone(), vms, RootSeed(61));
+            let run = run_algorithm(
+                alg,
+                DatasetKind::ControlChart,
+                data.points.clone(),
+                vms,
+                RootSeed(61),
+            );
             println!(
                 "  {:<12} {vms:>2} VMs -> {:>7.1}s ({} clusters, {} passes)",
                 alg.name(),

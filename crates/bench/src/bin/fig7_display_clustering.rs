@@ -19,7 +19,8 @@ fn main() {
     let mut sink = ResultSink::new("fig7_display_clustering", "cluster VMs", "running time s");
     for alg in Algorithm::ALL {
         for vms in [2u32, 4, 8, 12, 16] {
-            let run = run_algorithm(alg, DatasetKind::Display, data.points.clone(), vms, RootSeed(71));
+            let run =
+                run_algorithm(alg, DatasetKind::Display, data.points.clone(), vms, RootSeed(71));
             println!(
                 "  {:<13} {vms:>2} VMs -> {:>6.1}s ({} clusters)",
                 alg.name(),

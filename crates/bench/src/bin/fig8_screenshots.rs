@@ -10,7 +10,9 @@
 use mlkit::datasets::gaussian_mixture_1000;
 use mlkit::display::{render_ascii, render_svg, IterationTrail};
 use mlkit::mlrt::Clustering;
-use mlkit::prelude::{CanopyParams, Distance, FuzzyKMeansParams, KMeansParams, MeanShiftParams, MinHashParams};
+use mlkit::prelude::{
+    CanopyParams, Distance, FuzzyKMeansParams, KMeansParams, MeanShiftParams, MinHashParams,
+};
 use mlkit::vector::nearest;
 use simcore::rng::RootSeed;
 

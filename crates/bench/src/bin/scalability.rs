@@ -28,7 +28,8 @@ fn main() {
 
     for &vms in &sizes {
         let workers = u64::from(vms - 1);
-        let spec = ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
         // Weak scaling: one block per worker, data ∝ workers.
         let bytes = (workers * per_worker_mb) << 20;
         let hdfs = HdfsConfig { block_size: (bytes / workers).max(1 << 20), replication: 2 };

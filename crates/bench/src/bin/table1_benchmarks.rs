@@ -15,10 +15,7 @@ fn cluster() -> ClusterSpec {
 }
 
 fn main() {
-    println!(
-        "{:<12} {:<18} {:<52} {:>10}",
-        "Name", "Category", "Description", "smoke(s)"
-    );
+    println!("{:<12} {:<18} {:<52} {:>10}", "Name", "Category", "Description", "smoke(s)");
     let rows: [(&str, &str, &str); 4] = [
         ("Wordcount", "MapReduce", "Reads text files and counts how often words occur"),
         ("MRBench", "MapReduce", "Checks whether small job runs are responsive/efficient"),

@@ -64,12 +64,8 @@ impl ResultSink {
 
     /// Y values of one series, ordered by x.
     pub fn series_points(&self, series: &str) -> Vec<(f64, f64)> {
-        let mut pts: Vec<(f64, f64)> = self
-            .records
-            .iter()
-            .filter(|r| r.series == series)
-            .map(|r| (r.x, r.y))
-            .collect();
+        let mut pts: Vec<(f64, f64)> =
+            self.records.iter().filter(|r| r.series == series).map(|r| (r.x, r.y)).collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
         pts
     }
@@ -109,12 +105,37 @@ impl ResultSink {
         out
     }
 
+    /// Renders the sink as pretty-printed JSON (hand-rolled — the offline
+    /// build has no serde_json; the schema is flat enough to emit by hand).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"experiment\": \"{}\",", esc(&self.experiment));
+        let _ = writeln!(out, "  \"x_label\": \"{}\",", esc(&self.x_label));
+        let _ = writeln!(out, "  \"y_label\": \"{}\",", esc(&self.y_label));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"series\": \"{}\", \"x\": {}, \"y\": {} }}{comma}",
+                esc(&r.series),
+                r.x,
+                r.y
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Writes `results/<experiment>.json` and `.csv`; returns the paths.
     pub fn write(&self) -> std::io::Result<Vec<PathBuf>> {
         let dir = PathBuf::from("results");
         std::fs::create_dir_all(&dir)?;
         let json_path = dir.join(format!("{}.json", self.experiment));
-        std::fs::write(&json_path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(&json_path, self.to_json())?;
         let csv_path = dir.join(format!("{}.csv", self.experiment));
         let mut csv = format!("series,{},{}\n", self.x_label, self.y_label);
         for r in &self.records {
@@ -153,6 +174,13 @@ pub fn cli_scale() -> f64 {
         .and_then(|v| v.parse::<f64>().ok())
         .filter(|&s| s > 0.0)
         .unwrap_or(8.0)
+}
+
+/// Parses `--case <name>` from the process args: restricts a multi-case
+/// binary (e.g. `ablations`) to the one named study. `None` runs them all.
+pub fn cli_case() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--case").and_then(|i| args.get(i + 1)).cloned()
 }
 
 /// Checks a series is non-decreasing in x up to `slack` relative dips

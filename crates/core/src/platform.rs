@@ -22,6 +22,7 @@ use mapreduce::config::JobConfig;
 use mapreduce::input::InputFormat;
 use mapreduce::job::{JobEvent, JobResult, JobSpec};
 use mapreduce::runtime::MrRuntime;
+use mapreduce::scheduler::SchedulerPolicy;
 use simcore::owners;
 use simcore::prelude::*;
 use vcluster::cluster::{HostId, VmId};
@@ -48,6 +49,10 @@ pub struct PlatformConfig {
     pub migration: MigrationConfig,
     /// nmon sampling interval; `None` disables monitoring.
     pub monitor_interval: Option<SimDuration>,
+    /// Engine-wide task-scheduler policy the JobTracker starts with.
+    /// Individual submissions may override it via
+    /// [`JobConfig::with_scheduler`].
+    pub scheduler: SchedulerPolicy,
     /// Root seed — the whole run is a pure function of config + seed.
     pub seed: u64,
 }
@@ -59,6 +64,7 @@ impl Default for PlatformConfig {
             hdfs: HdfsConfig::default(),
             migration: MigrationConfig::default(),
             monitor_interval: Some(SimDuration::from_secs(1)),
+            scheduler: SchedulerPolicy::default(),
             seed: 42,
         }
     }
@@ -82,9 +88,8 @@ impl VHadoop {
         let seed = RootSeed(config.seed);
         let vms = config.cluster.vms;
         let mut rt = MrRuntime::new(config.cluster, config.hdfs, seed);
-        let monitor = config
-            .monitor_interval
-            .map(|iv| Monitor::attach(&mut rt.engine, iv));
+        rt.mr.set_policy(config.scheduler);
+        let monitor = config.monitor_interval.map(|iv| Monitor::attach(&mut rt.engine, iv));
         VHadoop {
             rt,
             monitor,
@@ -115,9 +120,7 @@ impl VHadoop {
     pub fn upload_input(&mut self, path: &str, bytes: u64, writer: VmId) -> SimDuration {
         let start = self.rt.engine.now();
         let marker = Tag::new(owners::USER, u32::MAX, 0xB10C);
-        self.rt
-            .hdfs
-            .write_file(&mut self.rt.engine, &self.rt.cluster, path, bytes, writer, marker);
+        self.rt.hdfs.write_file(&mut self.rt.engine, &self.rt.cluster, path, bytes, writer, marker);
         loop {
             let (t, w) = self
                 .rt
@@ -143,11 +146,8 @@ impl VHadoop {
     ) -> JobResult {
         let id = self.rt.submit(spec, app, input);
         loop {
-            let (_, w) = self
-                .rt
-                .engine
-                .next_wakeup()
-                .expect("job must finish before the simulation drains");
+            let (_, w) =
+                self.rt.engine.next_wakeup().expect("job must finish before the simulation drains");
             for ev in self.route(&w) {
                 if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
                     if res.id == id {
@@ -160,15 +160,10 @@ impl VHadoop {
 
     /// Live-migrates every VM to `dst` with the cluster otherwise idle.
     pub fn migrate_cluster(&mut self, dst: HostId) -> ClusterMigrationReport {
-        let vms: Vec<VmId> = self
-            .rt
-            .cluster
-            .vms()
-            .filter(|&v| self.rt.cluster.host_of(v) != dst)
-            .collect();
+        let vms: Vec<VmId> =
+            self.rt.cluster.vms().filter(|&v| self.rt.cluster.host_of(v) != dst).collect();
         assert!(!vms.is_empty(), "every VM already lives on {dst}");
-        self.migration
-            .start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
+        self.migration.start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
         self.migration_report = None;
         loop {
             let (_, w) = self
@@ -196,10 +191,7 @@ impl VHadoop {
         start_after: SimDuration,
     ) -> (ClusterMigrationReport, JobResult) {
         let id = self.rt.submit(spec, app, input);
-        self.rt.engine.set_timer_in(
-            start_after,
-            Tag::new(owners::USER, 0, MIGRATION_START_MARK),
-        );
+        self.rt.engine.set_timer_in(start_after, Tag::new(owners::USER, 0, MIGRATION_START_MARK));
         self.migration_report = None;
         let mut job_result = None;
         let mut started = false;
@@ -210,12 +202,12 @@ impl VHadoop {
             if let Wakeup::Timer { tag, .. } = &w {
                 if tag.owner == owners::USER && tag.b == MIGRATION_START_MARK {
                     let vms: Vec<VmId> = self
-            .rt
-            .cluster
-            .vms()
-            .filter(|&v| self.rt.cluster.host_of(v) != dst)
-            .collect();
-        assert!(!vms.is_empty(), "every VM already lives on {dst}");
+                        .rt
+                        .cluster
+                        .vms()
+                        .filter(|&v| self.rt.cluster.host_of(v) != dst)
+                        .collect();
+                    assert!(!vms.is_empty(), "every VM already lives on {dst}");
                     self.migration.start_cluster_migration(
                         &mut self.rt.engine,
                         &self.rt.cluster,
@@ -247,15 +239,10 @@ impl VHadoop {
     /// simulation — combine with [`VHadoop::step`] to interleave your own
     /// workload (e.g. back-to-back jobs keeping the cluster busy).
     pub fn start_migration(&mut self, dst: HostId) {
-        let vms: Vec<VmId> = self
-            .rt
-            .cluster
-            .vms()
-            .filter(|&v| self.rt.cluster.host_of(v) != dst)
-            .collect();
+        let vms: Vec<VmId> =
+            self.rt.cluster.vms().filter(|&v| self.rt.cluster.host_of(v) != dst).collect();
         assert!(!vms.is_empty(), "every VM already lives on {dst}");
-        self.migration
-            .start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
+        self.migration.start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
         self.migration_report = None;
     }
 
@@ -296,10 +283,7 @@ impl VHadoop {
         while more && self.rt.mr.active_jobs() < PIPELINE {
             more = submit_next(&mut self.rt);
         }
-        assert!(
-            self.rt.mr.active_jobs() > 0,
-            "the load generator must submit at least one job"
-        );
+        assert!(self.rt.mr.active_jobs() > 0, "the load generator must submit at least one job");
         self.start_migration(dst);
         loop {
             let Some((_, events)) = self.step() else {
@@ -329,10 +313,7 @@ impl VHadoop {
     /// If `vm` is the namenode or not a live worker.
     pub fn fail_node(&mut self, vm: VmId) -> (usize, usize) {
         assert_ne!(vm, self.rt.hdfs.namenode(), "cannot fail the master VM");
-        let blocks = self
-            .rt
-            .hdfs
-            .fail_datanode(&mut self.rt.engine, &self.rt.cluster, vm);
+        let blocks = self.rt.hdfs.fail_datanode(&mut self.rt.engine, &self.rt.cluster, vm);
         self.rt.mr.fail_tracker(&mut self.rt.engine, &self.rt.cluster, vm);
         blocks
     }
@@ -397,4 +378,21 @@ pub enum PlatformEvent {
     Migration(MigrationEvent),
     /// A direct HDFS operation (upload, DFSIO) completed.
     Hdfs(vhdfs::hdfs::HdfsCompletion),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_applies_scheduler_policy() {
+        let p = VHadoop::launch(PlatformConfig {
+            cluster: ClusterSpec::builder().hosts(1).vms(2).build(),
+            monitor_interval: None,
+            scheduler: SchedulerPolicy::Fair,
+            ..Default::default()
+        });
+        assert_eq!(p.rt.mr.policy(), SchedulerPolicy::Fair);
+        assert_eq!(VHadoop::paper_default().rt.mr.policy(), SchedulerPolicy::Fifo);
+    }
 }

@@ -169,11 +169,8 @@ mod tests {
 
     #[test]
     fn group_by_key_sorts_and_groups() {
-        let recs = vec![
-            (K::from("b"), V::Int(1)),
-            (K::from("a"), V::Int(2)),
-            (K::from("b"), V::Int(3)),
-        ];
+        let recs =
+            vec![(K::from("b"), V::Int(1)), (K::from("a"), V::Int(2)), (K::from("b"), V::Int(3))];
         let grouped = group_by_key(recs);
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped[0].0, K::from("a"));
@@ -182,11 +179,8 @@ mod tests {
 
     #[test]
     fn combiner_shrinks_output() {
-        let recs = vec![
-            (K::from("x"), V::Int(1)),
-            (K::from("x"), V::Int(1)),
-            (K::from("y"), V::Int(1)),
-        ];
+        let recs =
+            vec![(K::from("x"), V::Int(1)), (K::from("x"), V::Int(1)), (K::from("y"), V::Int(1))];
         let combined = run_combiner(&CountApp, recs).expect("has combiner");
         assert_eq!(combined.len(), 2);
         let x = combined.iter().find(|(k, _)| *k == K::from("x")).unwrap();

@@ -1,6 +1,7 @@
 //! Job configuration — the knobs the paper's Hadoop Module and MapReduce
 //! Tuner turn.
 
+use crate::scheduler::SchedulerPolicy;
 use serde::{Deserialize, Serialize};
 use simcore::time::SimDuration;
 
@@ -32,6 +33,10 @@ pub struct JobConfig {
     /// (`mapred.map.tasks.speculative.execution`). The first attempt to
     /// finish wins; the loser's work is discarded.
     pub speculative: bool,
+    /// Task-scheduler policy this submission asks for. `None` inherits the
+    /// engine-wide policy (from `PlatformConfig::scheduler`, default FIFO);
+    /// `Some(p)` switches the engine to `p` at submit time.
+    pub scheduler: Option<SchedulerPolicy>,
 }
 
 impl Default for JobConfig {
@@ -46,6 +51,7 @@ impl Default for JobConfig {
             assignment_stagger: SimDuration::from_millis(400),
             output_replication: 3,
             speculative: false,
+            scheduler: None,
         }
     }
 }
@@ -77,6 +83,12 @@ impl JobConfig {
     /// Toggles speculative execution, builder style.
     pub fn with_speculative(mut self, on: bool) -> Self {
         self.speculative = on;
+        self
+    }
+
+    /// Selects the task-scheduler policy, builder style.
+    pub fn with_scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.scheduler = Some(policy);
         self
     }
 }

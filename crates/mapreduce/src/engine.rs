@@ -1,14 +1,18 @@
-//! The JobTracker: task scheduling, the map/shuffle/sort/reduce state
-//! machine, and real execution of user code.
+//! The JobTracker: event routing, the job lifecycle state machine, and
+//! slot accounting. Placement decisions live in [`crate::scheduler`]; map
+//! execution in [`crate::maptask`]; the shuffle/sort/reduce pipeline in
+//! [`crate::shuffle`]; straggler backup attempts in [`crate::speculation`];
+//! tracker-failure recovery in [`crate::recovery`].
 //!
+//! Paper mechanism modelled: the Hadoop Module's master VM — JobTracker
+//! plus namenode on VM 0 — driving TaskTrackers on every worker VM.
 //! Timing and data are computed together: when a map task's (simulated)
 //! input read completes, the engine *actually runs* the application's map
 //! function over the split's records, measures the intermediate data it
 //! emitted, and sizes the subsequent compute/spill/shuffle flows from those
-//! measurements. Reduce tasks likewise really merge, group, and reduce.
-//! The result is a simulation whose outputs are bit-for-bit real (TeraSort
-//! really sorts; k-means really converges) while elapsed time comes from
-//! the fluid contention model.
+//! measurements. The result is a simulation whose outputs are bit-for-bit
+//! real (TeraSort really sorts; k-means really converges) while elapsed
+//! time comes from the fluid contention model.
 //!
 //! Faithfulness notes (vs. Hadoop 0.20):
 //! * task launch cost (heartbeat wait + JVM spawn) is one configurable
@@ -18,168 +22,35 @@
 //!   shape the paper reports;
 //! * map output spills once (`io.sort.mb` never overflows mid-task).
 
-use crate::app::{group_by_key, run_combiner, MapReduceApp, Partitioner};
+use crate::app::MapReduceApp;
 use crate::config::JobConfig;
 use crate::counters::Counters;
 use crate::input::InputFormat;
 use crate::job::{JobEvent, JobId, JobResult, JobSpec};
-use crate::types::{records_size, Record, K, V};
+use crate::scheduler::{
+    make_scheduler, Assignment, JobView, SchedulerPolicy, SchedulerView, TaskKind, TaskScheduler,
+    TrackerInfo,
+};
+use crate::speculation::SPECULATION_HEARTBEAT;
+use crate::state::{
+    decode, tag, tag_full, JobState, SplitInfo, TaskPhase, PH_IGNORE, PH_MAP_COMPUTE, PH_MAP_READ,
+    PH_MAP_STARTUP, PH_MAP_WRITE, PH_REDUCE_COMPUTE, PH_REDUCE_STARTUP, PH_REDUCE_WRITE,
+    PH_SHUFFLE, PH_SPECULATE,
+};
 use simcore::owners;
 use simcore::prelude::*;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use vcluster::cluster::{VirtualCluster, VmId};
 use vhdfs::hdfs::{Hdfs, HdfsCompletion};
-use vhdfs::meta::BlockId;
-
-// Phase codes stored in bits 56..64 of the tag payload.
-const PH_MAP_STARTUP: u8 = 0;
-const PH_MAP_READ: u8 = 1;
-const PH_MAP_COMPUTE: u8 = 2;
-const PH_MAP_WRITE: u8 = 3;
-const PH_REDUCE_STARTUP: u8 = 4;
-const PH_SHUFFLE: u8 = 5;
-const PH_REDUCE_COMPUTE: u8 = 6;
-const PH_REDUCE_WRITE: u8 = 7;
-/// Periodic speculation heartbeat (only armed when speculative execution
-/// is enabled — Hadoop's JobTracker re-evaluates stragglers on TaskTracker
-/// heartbeats, not on task events).
-const PH_SPECULATE: u8 = 8;
-/// Batch-member completions we deliberately ignore.
-const PH_IGNORE: u8 = 15;
-
-/// Interval of the straggler-detection heartbeat.
-const SPECULATION_HEARTBEAT: SimDuration = SimDuration::from_millis(2_000);
-
-/// Attempt flag: set for the speculative (second) attempt of a task.
-const ATTEMPT_BIT: u64 = 1 << 55;
-/// Per-task relaunch epoch, bits 48..55 (7 bits, wrapping): events whose
-/// epoch disagrees with the task's current epoch belong to an attempt
-/// killed by a tracker failure and are dropped.
-const EPOCH_SHIFT: u64 = 48;
-const EPOCH_MASK: u64 = 0x7F << EPOCH_SHIFT;
-const TASK_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
-
-fn tag(job: JobId, phase: u8, task: usize) -> Tag {
-    tag_full(job, phase, 0, 0, task)
-}
-
-fn tag_full(job: JobId, phase: u8, attempt: usize, epoch: u8, task: usize) -> Tag {
-    let attempt_bit = if attempt == 0 { 0 } else { ATTEMPT_BIT };
-    let epoch_bits = (u64::from(epoch) << EPOCH_SHIFT) & EPOCH_MASK;
-    Tag::new(
-        owners::MAPREDUCE,
-        job.0,
-        (u64::from(phase) << 56) | attempt_bit | epoch_bits | task as u64,
-    )
-}
-
-fn decode(t: Tag) -> (JobId, u8, usize, u8, usize) {
-    let attempt = usize::from(t.b & ATTEMPT_BIT != 0);
-    (
-        JobId(t.a),
-        (t.b >> 56) as u8,
-        attempt,
-        ((t.b & EPOCH_MASK) >> EPOCH_SHIFT) as u8,
-        (t.b & TASK_MASK) as usize,
-    )
-}
-
-#[derive(Debug, Clone)]
-struct SplitInfo {
-    block: Option<BlockId>,
-    bytes: u64,
-    locations: Vec<VmId>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TaskPhase {
-    Pending,
-    Running(VmId),
-    Done,
-}
-
-struct JobState {
-    id: JobId,
-    spec: JobSpec,
-    app: Box<dyn MapReduceApp>,
-    input: Box<dyn InputFormat>,
-    partitioner: Box<dyn Partitioner>,
-    splits: Vec<SplitInfo>,
-    maps: Vec<TaskPhase>,
-    reduces: Vec<TaskPhase>,
-    /// VM the *winning* attempt of each map ran on (shuffle source).
-    map_vm: Vec<Option<VmId>>,
-    /// VM per map attempt (index 0 = primary, 1 = speculative).
-    map_attempt_vm: Vec<[Option<VmId>; 2]>,
-    /// Launch instant of each map's primary attempt.
-    map_started_at: Vec<Option<SimTime>>,
-    /// Durations of completed maps (drives the speculation threshold).
-    map_durations: Vec<f64>,
-    /// Whether a speculative attempt was already launched per map.
-    speculated: Vec<bool>,
-    /// Map-only jobs: whether some attempt already claimed the HDFS write.
-    write_claimed: Vec<bool>,
-    /// Whether each map attempt currently holds a slot.
-    attempt_active: Vec<[bool; 2]>,
-    /// Relaunch epoch per map task (bumped when a tracker failure kills
-    /// its attempts).
-    map_epoch: Vec<u8>,
-    /// Relaunch epoch per reduce task.
-    reduce_epoch: Vec<u8>,
-    pending_maps: VecDeque<usize>,
-    pending_reduces: VecDeque<usize>,
-    /// Per map: per reduce partition, the (possibly combined) records.
-    /// Consumed (taken) by the owning reduce during merge. Map-only jobs
-    /// store the whole map output in a single pseudo-partition.
-    map_outputs: Vec<Vec<Option<Vec<Record>>>>,
-    /// Per reduce: output records awaiting the HDFS write.
-    reduce_outputs: Vec<Option<Vec<Record>>>,
-    completed_maps: usize,
-    completed_reduces: usize,
-    counters: Counters,
-    submitted: SimTime,
-    map_phase_done: Option<SimTime>,
-}
-
-impl JobState {
-    fn config(&self) -> &JobConfig {
-        &self.spec.config
-    }
-
-    fn num_reduces(&self) -> usize {
-        self.spec.config.num_reduces as usize
-    }
-
-    fn map_only(&self) -> bool {
-        self.spec.config.num_reduces == 0
-    }
-
-    fn running_reduce_vm(&self, r: usize) -> VmId {
-        match self.reduces[r] {
-            TaskPhase::Running(vm) => vm,
-            other => panic!("reduce {r} in unexpected state {other:?}"),
-        }
-    }
-}
-
-impl std::fmt::Debug for JobState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobState")
-            .field("id", &self.id)
-            .field("name", &self.spec.name)
-            .field("completed_maps", &self.completed_maps)
-            .field("completed_reduces", &self.completed_reduces)
-            .finish()
-    }
-}
 
 /// The MapReduce engine (JobTracker + all TaskTrackers).
 pub struct MrEngine {
-    trackers: Vec<VmId>,
-    jobs: HashMap<u32, JobState>,
-    next_job: u32,
-    used_map_slots: HashMap<u32, u32>,
-    used_reduce_slots: HashMap<u32, u32>,
+    pub(crate) trackers: Vec<VmId>,
+    pub(crate) jobs: HashMap<u32, JobState>,
+    pub(crate) next_job: u32,
+    pub(crate) used_map_slots: HashMap<u32, u32>,
+    pub(crate) used_reduce_slots: HashMap<u32, u32>,
+    pub(crate) scheduler: Box<dyn TaskScheduler>,
 }
 
 impl std::fmt::Debug for MrEngine {
@@ -187,20 +58,41 @@ impl std::fmt::Debug for MrEngine {
         f.debug_struct("MrEngine")
             .field("trackers", &self.trackers.len())
             .field("jobs", &self.jobs.len())
+            .field("policy", &self.scheduler.policy())
             .finish()
     }
 }
 
 impl MrEngine {
     /// A TaskTracker on every datanode of `hdfs` (the JobTracker shares
-    /// VM 0 with the namenode, as in the paper's master VM).
+    /// VM 0 with the namenode, as in the paper's master VM), scheduling
+    /// with the default [`SchedulerPolicy::Fifo`].
     pub fn new(hdfs: &Hdfs) -> Self {
+        Self::with_policy(hdfs, SchedulerPolicy::default())
+    }
+
+    /// Like [`MrEngine::new`] with an explicit scheduling policy.
+    pub fn with_policy(hdfs: &Hdfs, policy: SchedulerPolicy) -> Self {
         MrEngine {
             trackers: hdfs.datanodes().to_vec(),
             jobs: HashMap::new(),
             next_job: 0,
             used_map_slots: HashMap::new(),
             used_reduce_slots: HashMap::new(),
+            scheduler: make_scheduler(policy),
+        }
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.scheduler.policy()
+    }
+
+    /// Switches the scheduling policy. Takes effect from the next
+    /// scheduling round; already-placed tasks are unaffected.
+    pub fn set_policy(&mut self, policy: SchedulerPolicy) {
+        if policy != self.scheduler.policy() {
+            self.scheduler = make_scheduler(policy);
         }
     }
 
@@ -214,8 +106,30 @@ impl MrEngine {
         self.jobs.len()
     }
 
+    /// Live trackers currently holding at least one map or reduce slot,
+    /// busiest first (ties to the lowest id). Useful for tests and
+    /// failure-injection scenarios that need a victim that is mid-job.
+    pub fn busy_trackers(&self) -> Vec<VmId> {
+        let mut busy: Vec<(u32, VmId)> = self
+            .trackers
+            .iter()
+            .map(|&vm| {
+                let held = self.used_map_slots.get(&vm.0).copied().unwrap_or(0)
+                    + self.used_reduce_slots.get(&vm.0).copied().unwrap_or(0);
+                (held, vm)
+            })
+            .filter(|&(held, _)| held > 0)
+            .collect();
+        busy.sort_by_key(|&(held, vm)| (std::cmp::Reverse(held), vm.0));
+        busy.into_iter().map(|(_, vm)| vm).collect()
+    }
+
     /// Submits a job. For HDFS-fed jobs, the input file must already exist
     /// and its block count must equal `input.split_count()`.
+    ///
+    /// If the job's [`JobConfig::scheduler`] names a policy, the engine
+    /// switches to it before scheduling (the last submission wins when
+    /// jobs run concurrently).
     ///
     /// Completion arrives as a [`JobEvent::JobDone`] from a later
     /// [`MrEngine::on_wakeup`] / [`MrEngine::on_hdfs_done`] call.
@@ -228,6 +142,9 @@ impl MrEngine {
         app: Box<dyn MapReduceApp>,
         input: Box<dyn InputFormat>,
     ) -> JobId {
+        if let Some(policy) = spec.config.scheduler {
+            self.set_policy(policy);
+        }
         let splits: Vec<SplitInfo> = match &spec.input_path {
             Some(path) => {
                 let locs = hdfs
@@ -239,11 +156,19 @@ impl MrEngine {
                     "input format split count must match HDFS block count for {path}"
                 );
                 locs.into_iter()
-                    .map(|(block, bytes, locations)| SplitInfo { block: Some(block), bytes, locations })
+                    .map(|(block, bytes, locations)| SplitInfo {
+                        block: Some(block),
+                        bytes,
+                        locations,
+                    })
                     .collect()
             }
             None => (0..input.split_count())
-                .map(|i| SplitInfo { block: None, bytes: input.split_bytes(i), locations: Vec::new() })
+                .map(|i| SplitInfo {
+                    block: None,
+                    bytes: input.split_bytes(i),
+                    locations: Vec::new(),
+                })
                 .collect(),
         };
 
@@ -279,7 +204,6 @@ impl MrEngine {
             counters: Counters::default(),
             submitted: engine.now(),
             map_phase_done: None,
-
         };
         let arm_heartbeat = state.spec.config.speculative;
         self.jobs.insert(id.0, state);
@@ -295,132 +219,132 @@ impl MrEngine {
 
     // ----- scheduling -----------------------------------------------------
 
-    fn free_map_slots(&self, vm: VmId, cfg: &JobConfig) -> u32 {
-        cfg.map_slots_per_node
-            .saturating_sub(self.used_map_slots.get(&vm.0).copied().unwrap_or(0))
+    pub(crate) fn free_map_slots(&self, vm: VmId, cfg: &JobConfig) -> u32 {
+        cfg.map_slots_per_node.saturating_sub(self.used_map_slots.get(&vm.0).copied().unwrap_or(0))
     }
 
-    fn free_reduce_slots(&self, vm: VmId, cfg: &JobConfig) -> u32 {
+    pub(crate) fn free_reduce_slots(&self, vm: VmId, cfg: &JobConfig) -> u32 {
         cfg.reduce_slots_per_node
             .saturating_sub(self.used_reduce_slots.get(&vm.0).copied().unwrap_or(0))
     }
 
-    /// Assigns pending tasks to free slots. Deterministic: jobs in id
-    /// order, the emptiest (lowest-id) tracker first, locality preferred.
-    fn schedule(&mut self, engine: &mut Engine, cluster: &VirtualCluster) {
+    /// Builds the immutable [`SchedulerView`] snapshot and hands it (with
+    /// the active scheduler) to `f`. All placement flows through here.
+    pub(crate) fn with_view<R>(
+        &mut self,
+        cluster: &VirtualCluster,
+        f: impl FnOnce(&mut dyn TaskScheduler, &SchedulerView) -> R,
+    ) -> R {
+        let trackers: Vec<TrackerInfo> =
+            self.trackers.iter().map(|&vm| TrackerInfo { vm, host: cluster.host_of(vm) }).collect();
+        let vm_hosts: Vec<vcluster::cluster::HostId> =
+            cluster.vms().map(|v| cluster.host_of(v)).collect();
         let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
         job_ids.sort_unstable();
-        // The k-th task assigned in this wave waits k heartbeats before
-        // launching (JobTracker hands out one task per TT heartbeat).
-        let mut wave: u64 = 0;
-        for jid in job_ids {
-            // Maps.
-            loop {
-                let (m, cfg, locations) = {
-                    let job = self.jobs.get(&jid).expect("job present");
-                    let Some(&m) = job.pending_maps.front() else { break };
-                    (m, job.config().clone(), job.splits[m].locations.clone())
-                };
-                let Some(vm) = self.pick_map_vm(cluster, &cfg, &locations, cfg.locality_aware)
-                else {
-                    break;
-                };
-                *self.used_map_slots.entry(vm.0).or_insert(0) += 1;
-                let job = self.jobs.get_mut(&jid).expect("job present");
-                job.pending_maps.pop_front();
-                job.maps[m] = TaskPhase::Running(vm);
-                job.map_attempt_vm[m][0] = Some(vm);
-                job.attempt_active[m][0] = true;
-                job.map_started_at[m] = Some(engine.now());
-                job.counters.launched_maps += 1;
-                if locations.contains(&vm) {
-                    job.counters.data_local_maps += 1;
-                } else if locations.iter().any(|&l| cluster.host_of(l) == cluster.host_of(vm)) {
-                    job.counters.rack_local_maps += 1;
+        let jobs: Vec<JobView> = job_ids
+            .iter()
+            .map(|jid| {
+                let job = &self.jobs[jid];
+                JobView {
+                    id: *jid,
+                    config: job.config(),
+                    pending_maps: &job.pending_maps,
+                    pending_reduces: &job.pending_reduces,
+                    map_locations: job.splits.iter().map(|s| s.locations.as_slice()).collect(),
+                    reduces_open: job.map_phase_done.is_some(),
+                    partition_bytes: job.partition_bytes(),
                 }
-                let ep = job.map_epoch[m];
-                engine.start_chain(
-                    Self::startup_chain(cluster, vm, &cfg, wave),
-                    tag_full(JobId(jid), PH_MAP_STARTUP, 0, ep, m),
-                );
-                wave += 1;
-            }
-            // Reduces: only once the map phase finished.
-            loop {
-                let (r, cfg) = {
-                    let job = self.jobs.get(&jid).expect("job present");
-                    if job.map_phase_done.is_none() {
-                        break;
-                    }
-                    let Some(&r) = job.pending_reduces.front() else { break };
-                    (r, job.config().clone())
-                };
-                let Some(vm) = self.pick_reduce_vm(&cfg) else { break };
-                *self.used_reduce_slots.entry(vm.0).or_insert(0) += 1;
-                let job = self.jobs.get_mut(&jid).expect("job present");
-                job.pending_reduces.pop_front();
-                job.reduces[r] = TaskPhase::Running(vm);
-                job.counters.launched_reduces += 1;
-                let ep = job.reduce_epoch[r];
-                engine.start_chain(
-                    Self::startup_chain(cluster, vm, &cfg, wave),
-                    tag_full(JobId(jid), PH_REDUCE_STARTUP, 0, ep, r),
-                );
-                wave += 1;
-            }
+            })
+            .collect();
+        let view = SchedulerView {
+            trackers: &trackers,
+            vm_hosts: &vm_hosts,
+            used_map_slots: &self.used_map_slots,
+            used_reduce_slots: &self.used_reduce_slots,
+            jobs,
+        };
+        f(&mut *self.scheduler, &view)
+    }
+
+    /// Asks the scheduler for placements against the current snapshot and
+    /// applies them in order (the k-th assignment of a wave waits k
+    /// heartbeats — the JobTracker hands out one task per TT heartbeat),
+    /// then runs the straggler check per job.
+    pub(crate) fn schedule(&mut self, engine: &mut Engine, cluster: &VirtualCluster) {
+        let assignments = self.with_view(cluster, |sched, view| sched.assign(view));
+        let mut wave: u64 = 0;
+        for a in assignments {
+            self.apply_assignment(engine, cluster, a, &mut wave);
+        }
+        let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
+        job_ids.sort_unstable();
+        for jid in job_ids {
             self.maybe_speculate(engine, cluster, jid);
         }
     }
 
-    /// Launches backup attempts for straggling maps (Hadoop's speculative
-    /// execution): once no maps are pending, a running map that has taken
-    /// over 1.5× the mean completed-map duration gets a second attempt on
-    /// a different tracker; the first attempt to finish wins, the loser's
-    /// results are discarded.
-    fn maybe_speculate(&mut self, engine: &mut Engine, cluster: &VirtualCluster, jid: u32) {
-        let candidates: Vec<(usize, VmId)> = {
-            let Some(job) = self.jobs.get(&jid) else { return };
-            let cfg = job.config();
-            if !cfg.speculative || !job.pending_maps.is_empty() || job.map_durations.is_empty() {
-                return;
+    /// Applies one placement, re-validating it against live state (the
+    /// policy worked from a snapshot; a stale decision is dropped — the
+    /// task stays pending for the next round).
+    fn apply_assignment(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        a: Assignment,
+        wave: &mut u64,
+    ) {
+        let Some(job) = self.jobs.get(&a.job) else { return };
+        let cfg = job.config().clone();
+        if !self.trackers.contains(&a.vm) {
+            return;
+        }
+        match a.kind {
+            TaskKind::Map(m) => {
+                let Some(pos) = job.pending_maps.iter().position(|&x| x == m) else { return };
+                if self.free_map_slots(a.vm, &cfg) == 0 {
+                    return;
+                }
+                *self.used_map_slots.entry(a.vm.0).or_insert(0) += 1;
+                let job = self.jobs.get_mut(&a.job).expect("job present");
+                job.pending_maps.remove(pos);
+                job.maps[m] = TaskPhase::Running(a.vm);
+                job.map_attempt_vm[m][0] = Some(a.vm);
+                job.attempt_active[m][0] = true;
+                job.map_started_at[m] = Some(engine.now());
+                job.counters.launched_maps += 1;
+                let locations = &job.splits[m].locations;
+                if locations.contains(&a.vm) {
+                    job.counters.data_local_maps += 1;
+                } else if locations.iter().any(|&l| cluster.host_of(l) == cluster.host_of(a.vm)) {
+                    job.counters.rack_local_maps += 1;
+                }
+                let ep = job.map_epoch[m];
+                engine.start_chain(
+                    Self::startup_chain(cluster, a.vm, &cfg, *wave),
+                    tag_full(JobId(a.job), PH_MAP_STARTUP, 0, ep, m),
+                );
+                *wave += 1;
             }
-            let mean = job.map_durations.iter().sum::<f64>() / job.map_durations.len() as f64;
-            let now = engine.now();
-            (0..job.maps.len())
-                .filter(|&m| {
-                    matches!(job.maps[m], TaskPhase::Running(_))
-                        && !job.speculated[m]
-                        && job.map_started_at[m].is_some_and(|t0| {
-                            now.saturating_since(t0).as_secs_f64() > 1.5 * mean
-                        })
-                })
-                .filter_map(|m| job.map_attempt_vm[m][0].map(|vm0| (m, vm0)))
-                .collect()
-        };
-        for (m, vm0) in candidates {
-            let cfg = self.jobs.get(&jid).expect("job present").config().clone();
-            // A different tracker with a free slot.
-            let Some(vm) = self
-                .trackers
-                .iter()
-                .copied()
-                .filter(|&v| v != vm0 && self.free_map_slots(v, &cfg) > 0)
-                .max_by_key(|&v| (self.free_map_slots(v, &cfg), std::cmp::Reverse(v.0)))
-            else {
-                continue;
-            };
-            *self.used_map_slots.entry(vm.0).or_insert(0) += 1;
-            let job = self.jobs.get_mut(&jid).expect("job present");
-            job.speculated[m] = true;
-            job.map_attempt_vm[m][1] = Some(vm);
-            job.attempt_active[m][1] = true;
-            job.counters.launched_maps += 1;
-            job.counters.speculative_maps += 1;
-            let ep = job.map_epoch[m];
-            engine.start_chain(
-                Self::startup_chain(cluster, vm, &cfg, 0),
-                tag_full(JobId(jid), PH_MAP_STARTUP, 1, ep, m),
-            );
+            TaskKind::Reduce(r) => {
+                if job.map_phase_done.is_none() {
+                    return;
+                }
+                let Some(pos) = job.pending_reduces.iter().position(|&x| x == r) else { return };
+                if self.free_reduce_slots(a.vm, &cfg) == 0 {
+                    return;
+                }
+                *self.used_reduce_slots.entry(a.vm.0).or_insert(0) += 1;
+                let job = self.jobs.get_mut(&a.job).expect("job present");
+                job.pending_reduces.remove(pos);
+                job.reduces[r] = TaskPhase::Running(a.vm);
+                job.counters.launched_reduces += 1;
+                let ep = job.reduce_epoch[r];
+                engine.start_chain(
+                    Self::startup_chain(cluster, a.vm, &cfg, *wave),
+                    tag_full(JobId(a.job), PH_REDUCE_STARTUP, 0, ep, r),
+                );
+                *wave += 1;
+            }
         }
     }
 
@@ -428,156 +352,17 @@ impl MrEngine {
     /// JVM spawn half of `task_startup` burns real guest CPU — 30 task
     /// JVMs starting across a consolidated host contend, which is part of
     /// the virtualization overhead the paper measures.
-    fn startup_chain(cluster: &VirtualCluster, vm: VmId, cfg: &JobConfig, wave: u64) -> ChainSpec {
+    pub(crate) fn startup_chain(
+        cluster: &VirtualCluster,
+        vm: VmId,
+        cfg: &JobConfig,
+        wave: u64,
+    ) -> ChainSpec {
         let half = cfg.task_startup / 2;
         let spawn_cycles = half.as_secs_f64() * cluster.spec().host.core_hz;
         ChainSpec::new()
             .delay(half + cfg.assignment_stagger * wave)
             .then(cluster.compute(vm, spawn_cycles))
-    }
-
-    /// Handles the loss of a TaskTracker VM (crash, or a migration blackout
-    /// long enough that the JobTracker declares it dead): running attempts
-    /// on it are re-queued, and — while the map phase is still open —
-    /// completed map output stored on it is re-executed elsewhere, exactly
-    /// Hadoop's recovery story ("the hadoop fault tolerance mechanism will
-    /// re-run the job or restore from other available backup data").
-    ///
-    /// Simplification: once a job's reduce phase has begun, its shuffle is
-    /// treated as already fetched, so map output loss no longer matters.
-    ///
-    /// # Panics
-    /// If `vm` is not a live tracker.
-    pub fn fail_tracker(&mut self, engine: &mut Engine, cluster: &VirtualCluster, vm: VmId) {
-        let pos = self
-            .trackers
-            .iter()
-            .position(|&t| t == vm)
-            .unwrap_or_else(|| panic!("{vm} is not a live TaskTracker"));
-        self.trackers.remove(pos);
-        self.used_map_slots.remove(&vm.0);
-        self.used_reduce_slots.remove(&vm.0);
-
-        let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
-        job_ids.sort_unstable();
-        for jid in job_ids {
-            let job = self.jobs.get_mut(&jid).expect("job present");
-            for m in 0..job.maps.len() {
-                let involved = job.map_attempt_vm[m].iter().flatten().any(|&a| a == vm);
-                if !involved {
-                    continue;
-                }
-                match job.maps[m] {
-                    TaskPhase::Running(_) => {
-                        // Kill every attempt of the task (a surviving
-                        // speculative twin is re-run too — its events are
-                        // orphaned by the epoch bump). Release any slot an
-                        // attempt holds on a *surviving* tracker.
-                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
-                        Self::requeue_map(job, m);
-                    }
-                    TaskPhase::Done
-                        if job.map_vm[m] == Some(vm) && job.map_phase_done.is_none() =>
-                    {
-                        // Completed output lost before any reduce could
-                        // fetch it: run the map again (a straggling loser
-                        // attempt may still hold a slot somewhere).
-                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
-                        job.completed_maps -= 1;
-                        Self::requeue_map(job, m);
-                    }
-                    _ => {}
-                }
-            }
-            for r in 0..job.reduces.len() {
-                if job.reduces[r] == TaskPhase::Running(vm) {
-                    job.reduce_epoch[r] = (job.reduce_epoch[r] + 1) & 0x7F;
-                    job.reduces[r] = TaskPhase::Pending;
-                    job.pending_reduces.push_back(r);
-                    job.reduce_outputs[r] = None;
-                    job.counters.relaunched_tasks += 1;
-                }
-            }
-        }
-        self.schedule(engine, cluster);
-    }
-
-    /// Frees the slots of map `m`'s still-active attempts that run on
-    /// trackers other than the failed `dead` VM.
-    fn release_surviving_slots(
-        job: &mut JobState,
-        m: usize,
-        dead: VmId,
-        used_map_slots: &mut HashMap<u32, u32>,
-    ) {
-        for attempt in 0..2 {
-            if !job.attempt_active[m][attempt] {
-                continue;
-            }
-            job.attempt_active[m][attempt] = false;
-            let Some(vm) = job.map_attempt_vm[m][attempt] else { continue };
-            if vm != dead {
-                if let Some(held) = used_map_slots.get_mut(&vm.0) {
-                    *held -= 1;
-                }
-            }
-        }
-    }
-
-    /// Resets map `m` to pending under a fresh epoch.
-    fn requeue_map(job: &mut JobState, m: usize) {
-        job.map_epoch[m] = (job.map_epoch[m] + 1) & 0x7F;
-        job.maps[m] = TaskPhase::Pending;
-        job.pending_maps.push_back(m);
-        job.map_attempt_vm[m] = [None, None];
-        job.attempt_active[m] = [false, false];
-        job.map_vm[m] = None;
-        job.map_started_at[m] = None;
-        job.speculated[m] = false;
-        job.write_claimed[m] = false;
-        job.counters.relaunched_tasks += 1;
-    }
-
-    fn pick_map_vm(
-        &self,
-        cluster: &VirtualCluster,
-        cfg: &JobConfig,
-        locations: &[VmId],
-        locality: bool,
-    ) -> Option<VmId> {
-        if locality {
-            // Data-local first (the replica host must still be a live
-            // tracker — datanodes can fail).
-            if let Some(&vm) = locations
-                .iter()
-                .find(|&&v| self.trackers.contains(&v) && self.free_map_slots(v, cfg) > 0)
-            {
-                return Some(vm);
-            }
-            // Host-local second.
-            let hosts: Vec<_> = locations.iter().map(|&l| cluster.host_of(l)).collect();
-            if let Some(&vm) = self
-                .trackers
-                .iter()
-                .find(|&&v| self.free_map_slots(v, cfg) > 0 && hosts.contains(&cluster.host_of(v)))
-            {
-                return Some(vm);
-            }
-        }
-        // Emptiest tracker, lowest id.
-        self.trackers
-            .iter()
-            .copied()
-            .filter(|&v| self.free_map_slots(v, cfg) > 0)
-            .max_by_key(|&v| (self.free_map_slots(v, cfg), std::cmp::Reverse(v.0)))
-    }
-
-    fn pick_reduce_vm(&self, cfg: &JobConfig) -> Option<VmId> {
-        self.trackers
-            .iter()
-            .copied()
-            .filter(|&v| self.free_reduce_slots(v, cfg) > 0)
-            .max_by_key(|&v| (self.free_reduce_slots(v, cfg), std::cmp::Reverse(v.0)))
     }
 
     // ----- event handling ---------------------------------------------------
@@ -688,353 +473,7 @@ impl MrEngine {
         events
     }
 
-    /// Releases the map slot held by `(task, attempt)` of `jid`.
-    fn release_map_slot(&mut self, jid: JobId, m: usize, attempt: usize) {
-        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-        debug_assert!(job.attempt_active[m][attempt], "double slot release");
-        job.attempt_active[m][attempt] = false;
-        let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
-        if let Some(held) = self.used_map_slots.get_mut(&vm.0) {
-            *held -= 1;
-        }
-    }
-
-    fn map_started(
-        &mut self,
-        engine: &mut Engine,
-        cluster: &VirtualCluster,
-        hdfs: &mut Hdfs,
-        jid: JobId,
-        attempt: usize,
-        m: usize,
-    ) {
-        let (block, vm, done) = {
-            let job = self.jobs.get(&jid.0).expect("unknown job");
-            (
-                job.splits[m].block,
-                job.map_attempt_vm[m][attempt].expect("attempt ran somewhere"),
-                job.maps[m] == TaskPhase::Done,
-            )
-        };
-        if done {
-            // The other attempt already won; abandon this one.
-            self.release_map_slot(jid, m, attempt);
-            return;
-        }
-        match block {
-            Some(block) => {
-                // Simulated HDFS read; records materialize at completion.
-                let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
-                hdfs.read_block(engine, cluster, block, vm, tag_full(jid, PH_MAP_READ, attempt, ep, m));
-            }
-            None => {
-                // Generator-fed map: no input I/O, go straight to execute.
-                self.execute_map(engine, cluster, jid, attempt, m);
-            }
-        }
-    }
-
-    /// Runs the real map function and starts the compute + spill chain.
-    fn execute_map(
-        &mut self,
-        engine: &mut Engine,
-        cluster: &VirtualCluster,
-        jid: JobId,
-        attempt: usize,
-        m: usize,
-    ) {
-        if self.jobs.get(&jid.0).expect("unknown job").maps[m] == TaskPhase::Done {
-            self.release_map_slot(jid, m, attempt);
-            return;
-        }
-        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-        let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
-        let records = job.input.read_split(m);
-        let in_records = records.len() as u64;
-        let in_bytes = if job.splits[m].bytes > 0 {
-            job.splits[m].bytes
-        } else {
-            records_size(&records)
-        };
-
-        // Really run the user's map function.
-        let mut emitted: Vec<Record> = Vec::new();
-        for (k, v) in &records {
-            let mut emit = |ek: K, ev: V| emitted.push((ek, ev));
-            job.app.map(k, v, &mut emit);
-        }
-        drop(records);
-        let out_records = emitted.len() as u64;
-        let out_bytes = records_size(&emitted);
-
-        job.counters.map_input_records += in_records;
-        job.counters.map_input_bytes += in_bytes;
-        job.counters.map_output_records += out_records;
-        job.counters.map_output_bytes += out_bytes;
-
-        let cost = job.app.cost();
-        let cycles =
-            cost.map_cpu_per_byte * in_bytes as f64 + cost.map_cpu_per_record * in_records as f64;
-
-        let spill_bytes;
-        if job.map_only() {
-            // Map-only: emitted records ARE the output; the compute-done
-            // handler writes them to HDFS.
-            spill_bytes = 0.0;
-            job.map_outputs[m] = vec![Some(emitted)];
-        } else {
-            // Partition, optionally combine, then spill to local (NFS) disk.
-            let n_red = job.num_reduces();
-            let mut parts: Vec<Vec<Record>> = (0..n_red).map(|_| Vec::new()).collect();
-            for (k, v) in emitted {
-                let p = job.partitioner.partition(&k, n_red as u32) as usize;
-                parts[p.min(n_red - 1)].push((k, v));
-            }
-            let mut combined_records = 0u64;
-            let mut total_bytes = 0u64;
-            let use_combiner = job.spec.config.use_combiner;
-            let app = job.app.as_ref();
-            let stored: Vec<Option<Vec<Record>>> = parts
-                .into_iter()
-                .map(|p| {
-                    let p = if use_combiner {
-                        run_combiner(app, p.clone()).unwrap_or(p)
-                    } else {
-                        p
-                    };
-                    combined_records += p.len() as u64;
-                    total_bytes += records_size(&p);
-                    Some(p)
-                })
-                .collect();
-            job.counters.combine_output_records += combined_records;
-            spill_bytes = total_bytes as f64;
-            job.map_outputs[m] = stored;
-        }
-
-        let mut chain = cluster.compute(vm, cycles);
-        if spill_bytes > 0.0 {
-            chain = chain.then(cluster.disk_write(vm, spill_bytes));
-        }
-        let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
-        engine.start_chain(chain, tag_full(jid, PH_MAP_COMPUTE, attempt, ep, m));
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn map_compute_done(
-        &mut self,
-        engine: &mut Engine,
-        cluster: &VirtualCluster,
-        hdfs: &mut Hdfs,
-        jid: JobId,
-        attempt: usize,
-        m: usize,
-        events: &mut Vec<JobEvent>,
-    ) {
-        enum Outcome {
-            Loser,
-            Winner { done_all: bool },
-            MapOnlyWrite { vm: VmId, bytes: u64, path: String },
-        }
-        let outcome = {
-            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-            let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
-            if job.maps[m] == TaskPhase::Done || (job.map_only() && job.write_claimed[m]) {
-                Outcome::Loser
-            } else if job.map_only() {
-                // First attempt to finish computing claims the HDFS write.
-                job.write_claimed[m] = true;
-                job.map_vm[m] = Some(vm);
-                let recs = job.map_outputs[m][0].as_ref().expect("map output present");
-                Outcome::MapOnlyWrite {
-                    vm,
-                    bytes: records_size(recs),
-                    path: format!("{}/part-m-{m:05}", job.spec.output_path),
-                }
-            } else {
-                job.maps[m] = TaskPhase::Done;
-                job.map_vm[m] = Some(vm);
-                job.completed_maps += 1;
-                if let Some(t0) = job.map_started_at[m] {
-                    job.map_durations
-                        .push(engine.now().saturating_since(t0).as_secs_f64());
-                }
-                let done_all = job.completed_maps == job.maps.len();
-                if done_all {
-                    job.map_phase_done = Some(engine.now());
-                }
-                Outcome::Winner { done_all }
-            }
-        };
-        match outcome {
-            Outcome::Loser => {
-                self.release_map_slot(jid, m, attempt);
-            }
-            Outcome::MapOnlyWrite { vm, bytes, path } => {
-                // Write this map's output straight to HDFS (output
-                // replication follows dfs.replication, as in Hadoop). A
-                // re-run after a failure replaces the killed attempt's
-                // uncommitted output.
-                if hdfs.stat(&path).is_some() {
-                    hdfs.delete(&path);
-                }
-                let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
-                hdfs.write_file(engine, cluster, &path, bytes, vm, tag_full(jid, PH_MAP_WRITE, attempt, ep, m));
-            }
-            Outcome::Winner { done_all } => {
-                self.release_map_slot(jid, m, attempt);
-                events.push(JobEvent::MapDone(jid, m));
-                if done_all {
-                    events.push(JobEvent::MapPhaseDone(jid));
-                }
-            }
-        }
-    }
-
-    fn map_write_done(
-        &mut self,
-        engine: &mut Engine,
-        jid: JobId,
-        attempt: usize,
-        m: usize,
-        events: &mut Vec<JobEvent>,
-    ) {
-        let finished = {
-            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-            debug_assert!(job.write_claimed[m], "write completion without claim");
-            job.maps[m] = TaskPhase::Done;
-            job.completed_maps += 1;
-            if let Some(t0) = job.map_started_at[m] {
-                job.map_durations
-                    .push(engine.now().saturating_since(t0).as_secs_f64());
-            }
-            let recs = job.map_outputs[m][0].as_ref().expect("map output present");
-            job.counters.output_bytes += records_size(recs);
-            job.counters.reduce_output_records += recs.len() as u64;
-            let finished = job.completed_maps == job.maps.len();
-            if finished {
-                job.map_phase_done = Some(engine.now());
-            }
-            finished
-        };
-        self.release_map_slot(jid, m, attempt);
-        events.push(JobEvent::MapDone(jid, m));
-        if finished {
-            events.push(JobEvent::MapPhaseDone(jid));
-            let result = self.finish_job(engine, jid);
-            events.push(JobEvent::JobDone(Box::new(result)));
-        }
-    }
-
-    fn reduce_started(&mut self, engine: &mut Engine, cluster: &VirtualCluster, jid: JobId, r: usize) {
-        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-        let vm = job.running_reduce_vm(r);
-        // Shuffle: one fetch chain per map whose partition r is non-empty.
-        let mut members: Vec<(ChainSpec, Tag)> = Vec::new();
-        let mut shuffle_bytes = 0u64;
-        for m in 0..job.maps.len() {
-            let Some(part) = job.map_outputs[m][r].as_ref() else { continue };
-            if part.is_empty() {
-                continue;
-            }
-            let bytes = records_size(part);
-            shuffle_bytes += bytes;
-            let map_vm = job.map_vm[m].expect("map ran somewhere");
-            let chain = cluster
-                .transfer(map_vm, vm, bytes as f64)
-                .then(cluster.disk_write(vm, bytes as f64));
-            members.push((chain, tag(jid, PH_IGNORE, m)));
-        }
-        job.counters.shuffle_bytes += shuffle_bytes;
-        let ep = job.reduce_epoch[r];
-        engine.start_batch(members, tag_full(jid, PH_SHUFFLE, 0, ep, r));
-    }
-
-    fn shuffle_done(&mut self, engine: &mut Engine, cluster: &VirtualCluster, jid: JobId, r: usize) {
-        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-        let vm = job.running_reduce_vm(r);
-        // Merge all fetched partitions, group, and really reduce. The
-        // partitions are kept (cloned, not taken) until the job finishes
-        // so a failed reduce can re-run from them, as Hadoop re-fetches
-        // map output that is still alive.
-        let mut merged: Vec<Record> = Vec::new();
-        let mut segments = 0u32;
-        for m in 0..job.maps.len() {
-            if let Some(part) = job.map_outputs[m][r].clone() {
-                if !part.is_empty() {
-                    segments += 1;
-                }
-                merged.extend(part);
-            }
-        }
-        let in_records = merged.len() as u64;
-        let in_bytes = records_size(&merged);
-        let grouped = group_by_key(merged);
-        let groups = grouped.len() as u64;
-
-        let mut out: Vec<Record> = Vec::new();
-        for (k, vals) in &grouped {
-            let mut emit = |ek: K, ev: V| out.push((ek, ev));
-            job.app.reduce(k, vals, &mut emit);
-        }
-        job.counters.reduce_input_records += in_records;
-        job.counters.reduce_input_groups += groups;
-
-        let cost = job.app.cost();
-        let sort_cycles =
-            cost.sort_cpu_per_byte * in_bytes as f64 * f64::from(segments.max(2)).log2();
-        let cycles = cost.reduce_cpu_per_byte * in_bytes as f64
-            + cost.reduce_cpu_per_record * in_records as f64
-            + sort_cycles;
-        job.reduce_outputs[r] = Some(out);
-        let ep = job.reduce_epoch[r];
-        engine.start_chain(cluster.compute(vm, cycles), tag_full(jid, PH_REDUCE_COMPUTE, 0, ep, r));
-    }
-
-    fn reduce_compute_done(
-        &mut self,
-        engine: &mut Engine,
-        cluster: &VirtualCluster,
-        hdfs: &mut Hdfs,
-        jid: JobId,
-        r: usize,
-    ) {
-        let (vm, bytes, path) = {
-            let job = self.jobs.get(&jid.0).expect("unknown job");
-            let vm = job.running_reduce_vm(r);
-            let recs = job.reduce_outputs[r].as_ref().expect("reduce output present");
-            (vm, records_size(recs), format!("{}/part-r-{r:05}", job.spec.output_path))
-        };
-        // A reduce re-run after a failure may find the partial output of
-        // its killed predecessor; replace it, as Hadoop's output committer
-        // discards uncommitted attempt output.
-        if hdfs.stat(&path).is_some() {
-            hdfs.delete(&path);
-        }
-        let ep = self.jobs.get(&jid.0).expect("unknown job").reduce_epoch[r];
-        hdfs.write_file(engine, cluster, &path, bytes, vm, tag_full(jid, PH_REDUCE_WRITE, 0, ep, r));
-    }
-
-    fn reduce_write_done(&mut self, engine: &mut Engine, jid: JobId, r: usize, events: &mut Vec<JobEvent>) {
-        let (vm, finished) = {
-            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
-            let vm = job.running_reduce_vm(r);
-            job.reduces[r] = TaskPhase::Done;
-            job.completed_reduces += 1;
-            let recs = job.reduce_outputs[r].as_ref().expect("reduce output present");
-            job.counters.output_bytes += records_size(recs);
-            job.counters.reduce_output_records += recs.len() as u64;
-            (vm, job.completed_reduces == job.reduces.len())
-        };
-        *self.used_reduce_slots.get_mut(&vm.0).expect("slot held") -= 1;
-        events.push(JobEvent::ReduceDone(jid, r));
-        if finished {
-            let result = self.finish_job(engine, jid);
-            events.push(JobEvent::JobDone(Box::new(result)));
-        }
-    }
-
-    fn finish_job(&mut self, engine: &mut Engine, jid: JobId) -> JobResult {
+    pub(crate) fn finish_job(&mut self, engine: &mut Engine, jid: JobId) -> JobResult {
         let mut job = self.jobs.remove(&jid.0).expect("unknown job");
         let finished = engine.now();
         let map_done = job.map_phase_done.unwrap_or(finished);
@@ -1042,7 +481,7 @@ impl MrEngine {
         // first, then partition 1's, ... (map index order for map-only
         // jobs). With a total-order partitioner this makes `outputs`
         // globally sorted — exactly TeraValidate's contract.
-        let mut outputs: Vec<Record> = Vec::new();
+        let mut outputs: Vec<crate::types::Record> = Vec::new();
         let mut partition_sizes = Vec::new();
         if job.spec.config.num_reduces == 0 {
             for m in 0..job.maps.len() {
@@ -1069,5 +508,24 @@ impl MrEngine {
             outputs,
             partition_sizes,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_switch_is_idempotent_and_visible() {
+        let mut e = Engine::new();
+        let spec = vcluster::spec::ClusterSpec::builder().hosts(2).vms(4).build();
+        let c = VirtualCluster::new(&mut e, spec);
+        let h = Hdfs::format(&c, vhdfs::hdfs::HdfsConfig::default(), RootSeed(7));
+        let mut mr = MrEngine::new(&h);
+        assert_eq!(mr.policy(), SchedulerPolicy::Fifo);
+        mr.set_policy(SchedulerPolicy::JobDriven);
+        assert_eq!(mr.policy(), SchedulerPolicy::JobDriven);
+        mr.set_policy(SchedulerPolicy::JobDriven);
+        assert_eq!(mr.policy(), SchedulerPolicy::JobDriven);
     }
 }

@@ -1,7 +1,7 @@
 //! Job descriptions, results, and progress events.
 
-use crate::counters::Counters;
 use crate::config::JobConfig;
+use crate::counters::Counters;
 use crate::types::Record;
 use serde::{Deserialize, Serialize};
 use simcore::time::{SimDuration, SimTime};
@@ -32,7 +32,11 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Standard spec reading `input` and writing under `output`.
-    pub fn new(name: impl Into<String>, input: impl Into<String>, output: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
         JobSpec {
             name: name.into(),
             input_path: Some(input.into()),

@@ -45,7 +45,13 @@ pub mod counters;
 pub mod engine;
 pub mod input;
 pub mod job;
+mod maptask;
+mod recovery;
 pub mod runtime;
+pub mod scheduler;
+mod shuffle;
+mod speculation;
+mod state;
 pub mod types;
 
 /// Convenience imports.
@@ -60,6 +66,7 @@ pub mod prelude {
     pub use crate::input::{GeneratorInput, InputFormat, VecInput};
     pub use crate::job::{JobEvent, JobId, JobResult, JobSpec};
     pub use crate::runtime::MrRuntime;
+    pub use crate::scheduler::{Assignment, SchedulerPolicy, TaskKind, TaskScheduler};
     pub use crate::types::{records_size, Record, K, V};
     pub use vcluster::cluster::VmId;
 }

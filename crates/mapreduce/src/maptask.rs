@@ -1,0 +1,264 @@
+//! Map-side task execution: split read, real map-function invocation,
+//! partition/combine/spill, and the map-only direct-to-HDFS output path.
+//!
+//! Paper mechanism modelled: steps 5–6 of the paper's execution flow —
+//! "the master will assign the map tasks ... the worker who is assigned a
+//! map task reads the contents of the corresponding input split" and runs
+//! the user's map function; intermediate results are partitioned (and
+//! optionally combined) before spilling to the VM's (NFS-backed) disk,
+//! which is where the paper's NFS-bottleneck conclusion bites.
+
+use crate::app::run_combiner;
+use crate::job::{JobEvent, JobId};
+use crate::state::{tag_full, TaskPhase, PH_MAP_COMPUTE, PH_MAP_READ, PH_MAP_WRITE};
+use crate::types::{records_size, Record, K, V};
+use simcore::prelude::*;
+use vcluster::cluster::{VirtualCluster, VmId};
+use vhdfs::hdfs::Hdfs;
+
+use crate::engine::MrEngine;
+
+impl MrEngine {
+    /// Releases the map slot held by `(task, attempt)` of `jid`.
+    pub(crate) fn release_map_slot(&mut self, jid: JobId, m: usize, attempt: usize) {
+        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+        debug_assert!(job.attempt_active[m][attempt], "double slot release");
+        job.attempt_active[m][attempt] = false;
+        let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
+        if let Some(held) = self.used_map_slots.get_mut(&vm.0) {
+            *held -= 1;
+        }
+    }
+
+    pub(crate) fn map_started(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        hdfs: &mut Hdfs,
+        jid: JobId,
+        attempt: usize,
+        m: usize,
+    ) {
+        let (block, vm, done) = {
+            let job = self.jobs.get(&jid.0).expect("unknown job");
+            (
+                job.splits[m].block,
+                job.map_attempt_vm[m][attempt].expect("attempt ran somewhere"),
+                job.maps[m] == TaskPhase::Done,
+            )
+        };
+        if done {
+            // The other attempt already won; abandon this one.
+            self.release_map_slot(jid, m, attempt);
+            return;
+        }
+        match block {
+            Some(block) => {
+                // Simulated HDFS read; records materialize at completion.
+                let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
+                hdfs.read_block(
+                    engine,
+                    cluster,
+                    block,
+                    vm,
+                    tag_full(jid, PH_MAP_READ, attempt, ep, m),
+                );
+            }
+            None => {
+                // Generator-fed map: no input I/O, go straight to execute.
+                self.execute_map(engine, cluster, jid, attempt, m);
+            }
+        }
+    }
+
+    /// Runs the real map function and starts the compute + spill chain.
+    pub(crate) fn execute_map(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        jid: JobId,
+        attempt: usize,
+        m: usize,
+    ) {
+        if self.jobs.get(&jid.0).expect("unknown job").maps[m] == TaskPhase::Done {
+            self.release_map_slot(jid, m, attempt);
+            return;
+        }
+        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+        let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
+        let records = job.input.read_split(m);
+        let in_records = records.len() as u64;
+        let in_bytes =
+            if job.splits[m].bytes > 0 { job.splits[m].bytes } else { records_size(&records) };
+
+        // Really run the user's map function.
+        let mut emitted: Vec<Record> = Vec::new();
+        for (k, v) in &records {
+            let mut emit = |ek: K, ev: V| emitted.push((ek, ev));
+            job.app.map(k, v, &mut emit);
+        }
+        drop(records);
+        let out_records = emitted.len() as u64;
+        let out_bytes = records_size(&emitted);
+
+        job.counters.map_input_records += in_records;
+        job.counters.map_input_bytes += in_bytes;
+        job.counters.map_output_records += out_records;
+        job.counters.map_output_bytes += out_bytes;
+
+        let cost = job.app.cost();
+        let cycles =
+            cost.map_cpu_per_byte * in_bytes as f64 + cost.map_cpu_per_record * in_records as f64;
+
+        let spill_bytes;
+        if job.map_only() {
+            // Map-only: emitted records ARE the output; the compute-done
+            // handler writes them to HDFS.
+            spill_bytes = 0.0;
+            job.map_outputs[m] = vec![Some(emitted)];
+        } else {
+            // Partition, optionally combine, then spill to local (NFS) disk.
+            let n_red = job.num_reduces();
+            let mut parts: Vec<Vec<Record>> = (0..n_red).map(|_| Vec::new()).collect();
+            for (k, v) in emitted {
+                let p = job.partitioner.partition(&k, n_red as u32) as usize;
+                parts[p.min(n_red - 1)].push((k, v));
+            }
+            let mut combined_records = 0u64;
+            let mut total_bytes = 0u64;
+            let use_combiner = job.spec.config.use_combiner;
+            let app = job.app.as_ref();
+            let stored: Vec<Option<Vec<Record>>> = parts
+                .into_iter()
+                .map(|p| {
+                    let p =
+                        if use_combiner { run_combiner(app, p.clone()).unwrap_or(p) } else { p };
+                    combined_records += p.len() as u64;
+                    total_bytes += records_size(&p);
+                    Some(p)
+                })
+                .collect();
+            job.counters.combine_output_records += combined_records;
+            spill_bytes = total_bytes as f64;
+            job.map_outputs[m] = stored;
+        }
+
+        let mut chain = cluster.compute(vm, cycles);
+        if spill_bytes > 0.0 {
+            chain = chain.then(cluster.disk_write(vm, spill_bytes));
+        }
+        let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
+        engine.start_chain(chain, tag_full(jid, PH_MAP_COMPUTE, attempt, ep, m));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn map_compute_done(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        hdfs: &mut Hdfs,
+        jid: JobId,
+        attempt: usize,
+        m: usize,
+        events: &mut Vec<JobEvent>,
+    ) {
+        enum Outcome {
+            Loser,
+            Winner { done_all: bool },
+            MapOnlyWrite { vm: VmId, bytes: u64, path: String },
+        }
+        let outcome = {
+            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+            let vm = job.map_attempt_vm[m][attempt].expect("attempt ran somewhere");
+            if job.maps[m] == TaskPhase::Done || (job.map_only() && job.write_claimed[m]) {
+                Outcome::Loser
+            } else if job.map_only() {
+                // First attempt to finish computing claims the HDFS write.
+                job.write_claimed[m] = true;
+                job.map_vm[m] = Some(vm);
+                let recs = job.map_outputs[m][0].as_ref().expect("map output present");
+                Outcome::MapOnlyWrite {
+                    vm,
+                    bytes: records_size(recs),
+                    path: format!("{}/part-m-{m:05}", job.spec.output_path),
+                }
+            } else {
+                job.maps[m] = TaskPhase::Done;
+                job.map_vm[m] = Some(vm);
+                job.completed_maps += 1;
+                if let Some(t0) = job.map_started_at[m] {
+                    job.map_durations.push(engine.now().saturating_since(t0).as_secs_f64());
+                }
+                let done_all = job.completed_maps == job.maps.len();
+                if done_all {
+                    job.map_phase_done = Some(engine.now());
+                }
+                Outcome::Winner { done_all }
+            }
+        };
+        match outcome {
+            Outcome::Loser => {
+                self.release_map_slot(jid, m, attempt);
+            }
+            Outcome::MapOnlyWrite { vm, bytes, path } => {
+                // Write this map's output straight to HDFS (output
+                // replication follows dfs.replication, as in Hadoop). A
+                // re-run after a failure replaces the killed attempt's
+                // uncommitted output.
+                if hdfs.stat(&path).is_some() {
+                    hdfs.delete(&path);
+                }
+                let ep = self.jobs.get(&jid.0).expect("unknown job").map_epoch[m];
+                hdfs.write_file(
+                    engine,
+                    cluster,
+                    &path,
+                    bytes,
+                    vm,
+                    tag_full(jid, PH_MAP_WRITE, attempt, ep, m),
+                );
+            }
+            Outcome::Winner { done_all } => {
+                self.release_map_slot(jid, m, attempt);
+                events.push(JobEvent::MapDone(jid, m));
+                if done_all {
+                    events.push(JobEvent::MapPhaseDone(jid));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn map_write_done(
+        &mut self,
+        engine: &mut Engine,
+        jid: JobId,
+        attempt: usize,
+        m: usize,
+        events: &mut Vec<JobEvent>,
+    ) {
+        let finished = {
+            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+            debug_assert!(job.write_claimed[m], "write completion without claim");
+            job.maps[m] = TaskPhase::Done;
+            job.completed_maps += 1;
+            if let Some(t0) = job.map_started_at[m] {
+                job.map_durations.push(engine.now().saturating_since(t0).as_secs_f64());
+            }
+            let recs = job.map_outputs[m][0].as_ref().expect("map output present");
+            job.counters.output_bytes += records_size(recs);
+            job.counters.reduce_output_records += recs.len() as u64;
+            let finished = job.completed_maps == job.maps.len();
+            if finished {
+                job.map_phase_done = Some(engine.now());
+            }
+            finished
+        };
+        self.release_map_slot(jid, m, attempt);
+        events.push(JobEvent::MapDone(jid, m));
+        if finished {
+            events.push(JobEvent::MapPhaseDone(jid));
+            let result = self.finish_job(engine, jid);
+            events.push(JobEvent::JobDone(Box::new(result)));
+        }
+    }
+}

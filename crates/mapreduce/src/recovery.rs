@@ -1,0 +1,120 @@
+//! Tracker-failure recovery: epoch-based attempt invalidation and task
+//! re-queueing.
+//!
+//! Paper mechanism modelled: Hadoop's fault tolerance under VM crashes and
+//! live-migration blackouts — "the hadoop fault tolerance mechanism will
+//! re-run the job or restore from other available backup data" (paper,
+//! conclusion iii). A failed TaskTracker's running attempts are re-queued
+//! under a fresh epoch (so their in-flight events are orphaned and
+//! swallowed), and completed map output stored only on the dead VM is
+//! re-executed elsewhere while the map phase is still open.
+
+use crate::state::{JobState, TaskPhase};
+use simcore::prelude::*;
+use std::collections::HashMap;
+use vcluster::cluster::{VirtualCluster, VmId};
+
+use crate::engine::MrEngine;
+
+impl MrEngine {
+    /// Handles the loss of a TaskTracker VM (crash, or a migration blackout
+    /// long enough that the JobTracker declares it dead): running attempts
+    /// on it are re-queued, and — while the map phase is still open —
+    /// completed map output stored on it is re-executed elsewhere, exactly
+    /// Hadoop's recovery story.
+    ///
+    /// Simplification: once a job's reduce phase has begun, its shuffle is
+    /// treated as already fetched, so map output loss no longer matters.
+    ///
+    /// # Panics
+    /// If `vm` is not a live tracker.
+    pub fn fail_tracker(&mut self, engine: &mut Engine, cluster: &VirtualCluster, vm: VmId) {
+        let pos = self
+            .trackers
+            .iter()
+            .position(|&t| t == vm)
+            .unwrap_or_else(|| panic!("{vm} is not a live TaskTracker"));
+        self.trackers.remove(pos);
+        self.used_map_slots.remove(&vm.0);
+        self.used_reduce_slots.remove(&vm.0);
+
+        let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
+        job_ids.sort_unstable();
+        for jid in job_ids {
+            let job = self.jobs.get_mut(&jid).expect("job present");
+            for m in 0..job.maps.len() {
+                let involved = job.map_attempt_vm[m].iter().flatten().any(|&a| a == vm);
+                if !involved {
+                    continue;
+                }
+                match job.maps[m] {
+                    TaskPhase::Running(_) => {
+                        // Kill every attempt of the task (a surviving
+                        // speculative twin is re-run too — its events are
+                        // orphaned by the epoch bump). Release any slot an
+                        // attempt holds on a *surviving* tracker.
+                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
+                        Self::requeue_map(job, m);
+                    }
+                    TaskPhase::Done
+                        if job.map_vm[m] == Some(vm) && job.map_phase_done.is_none() =>
+                    {
+                        // Completed output lost before any reduce could
+                        // fetch it: run the map again (a straggling loser
+                        // attempt may still hold a slot somewhere).
+                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
+                        job.completed_maps -= 1;
+                        Self::requeue_map(job, m);
+                    }
+                    _ => {}
+                }
+            }
+            for r in 0..job.reduces.len() {
+                if job.reduces[r] == TaskPhase::Running(vm) {
+                    job.reduce_epoch[r] = (job.reduce_epoch[r] + 1) & 0x7F;
+                    job.reduces[r] = TaskPhase::Pending;
+                    job.pending_reduces.push_back(r);
+                    job.reduce_outputs[r] = None;
+                    job.counters.relaunched_tasks += 1;
+                }
+            }
+        }
+        self.schedule(engine, cluster);
+    }
+
+    /// Frees the slots of map `m`'s still-active attempts that run on
+    /// trackers other than the failed `dead` VM.
+    fn release_surviving_slots(
+        job: &mut JobState,
+        m: usize,
+        dead: VmId,
+        used_map_slots: &mut HashMap<u32, u32>,
+    ) {
+        for attempt in 0..2 {
+            if !job.attempt_active[m][attempt] {
+                continue;
+            }
+            job.attempt_active[m][attempt] = false;
+            let Some(vm) = job.map_attempt_vm[m][attempt] else { continue };
+            if vm != dead {
+                if let Some(held) = used_map_slots.get_mut(&vm.0) {
+                    *held -= 1;
+                }
+            }
+        }
+    }
+
+    /// Resets map `m` to pending under a fresh epoch.
+    fn requeue_map(job: &mut JobState, m: usize) {
+        job.map_epoch[m] = (job.map_epoch[m] + 1) & 0x7F;
+        job.maps[m] = TaskPhase::Pending;
+        job.pending_maps.push_back(m);
+        job.map_attempt_vm[m] = [None, None];
+        job.attempt_active[m] = [false, false];
+        job.map_vm[m] = None;
+        job.map_started_at[m] = None;
+        job.speculated[m] = false;
+        job.write_claimed[m] = false;
+        job.counters.relaunched_tasks += 1;
+    }
+}

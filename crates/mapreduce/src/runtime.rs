@@ -3,10 +3,10 @@
 //! `vhadoop` facade wraps it together with monitoring, tuning, and
 //! migration.
 
+use crate::app::MapReduceApp;
 use crate::engine::MrEngine;
 use crate::input::InputFormat;
 use crate::job::{JobEvent, JobId, JobResult, JobSpec};
-use crate::app::MapReduceApp;
 use simcore::owners;
 use simcore::prelude::*;
 use vcluster::cluster::{VirtualCluster, VmId};
@@ -56,8 +56,7 @@ impl MrRuntime {
     pub fn upload(&mut self, path: &str, bytes: u64, writer: VmId) -> SimDuration {
         let start = self.engine.now();
         let marker = Tag::new(owners::USER, u32::MAX, 0xB10C);
-        self.hdfs
-            .write_file(&mut self.engine, &self.cluster, path, bytes, writer, marker);
+        self.hdfs.write_file(&mut self.engine, &self.cluster, path, bytes, writer, marker);
         loop {
             let (t, w) = self
                 .engine
@@ -68,12 +67,10 @@ impl MrRuntime {
                     return t.saturating_since(start);
                 }
                 if c.client_tag.owner == owners::MAPREDUCE {
-                    self.mr
-                        .on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
+                    self.mr.on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
                 }
             } else if w.tag().owner == owners::MAPREDUCE {
-                self.mr
-                    .on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, &w);
+                self.mr.on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, &w);
             }
         }
     }
@@ -85,8 +82,7 @@ impl MrRuntime {
         app: Box<dyn MapReduceApp>,
         input: Box<dyn InputFormat>,
     ) -> JobId {
-        self.mr
-            .submit(&mut self.engine, &self.cluster, &mut self.hdfs, spec, app, input)
+        self.mr.submit(&mut self.engine, &self.cluster, &mut self.hdfs, spec, app, input)
     }
 
     /// Submits a job and drives the simulation until it completes.
@@ -97,8 +93,7 @@ impl MrRuntime {
         input: Box<dyn InputFormat>,
     ) -> JobResult {
         let id = self.submit(spec, app, input);
-        self.drive_until_done(id)
-            .expect("job must finish before the simulation drains")
+        self.drive_until_done(id).expect("job must finish before the simulation drains")
     }
 
     /// Drives the event loop until `job` finishes (or events drain).
@@ -143,17 +138,14 @@ impl MrRuntime {
             if let Some(c) = self.hdfs.on_wakeup(w) {
                 if c.client_tag.owner == owners::MAPREDUCE {
                     let job_events =
-                        self.mr
-                            .on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
+                        self.mr.on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);
                     return Routed { job_events, hdfs_completion: None };
                 }
                 return Routed { job_events: Vec::new(), hdfs_completion: Some(c) };
             }
             Routed::default()
         } else if owner == owners::MAPREDUCE {
-            let job_events = self
-                .mr
-                .on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, w);
+            let job_events = self.mr.on_wakeup(&mut self.engine, &self.cluster, &mut self.hdfs, w);
             Routed { job_events, hdfs_completion: None }
         } else {
             Routed::default()

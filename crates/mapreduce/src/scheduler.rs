@@ -1,0 +1,643 @@
+//! The pluggable task-scheduler layer: every task-placement decision the
+//! JobTracker makes goes through the [`TaskScheduler`] trait.
+//!
+//! Paper mechanism modelled: the Hadoop Module's task-assignment loop —
+//! the JobTracker answering TaskTracker heartbeats with task assignments.
+//! The paper runs stock Hadoop 0.20 FIFO scheduling; [`Fifo`] reproduces
+//! that byte-for-byte (verified by a golden determinism test). [`Fair`]
+//! models the fair-scheduler contrib (round-robin slot sharing across
+//! concurrent jobs), and [`JobDriven`] follows Lee & Lin's job-driven
+//! scheduling: locality-first map matching plus partition-size-aware (LPT)
+//! reduce placement.
+//!
+//! Policies are pure functions of an immutable [`SchedulerView`] snapshot:
+//! they never touch engine state, never consult wall-clock time or
+//! ambient randomness, and return [`Assignment`]s in a deterministic
+//! order (the order fixes heartbeat-stagger waves, so it is part of the
+//! contract, not a cosmetic detail).
+
+use crate::config::JobConfig;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{HashMap, VecDeque};
+use vcluster::cluster::{HostId, VmId};
+
+/// Which placement policy drives the JobTracker. Selected engine-wide via
+/// `PlatformConfig::scheduler` or per submission via
+/// [`JobConfig::with_scheduler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Hadoop 0.20 stock behavior: jobs in submission order, each job
+    /// greedily fills free slots (locality-preferring for maps).
+    #[default]
+    Fifo,
+    /// Round-robin slot sharing across active jobs: each scheduling round
+    /// hands every job at most one map and one reduce before any job gets
+    /// a second, so concurrent jobs split the cluster evenly.
+    Fair,
+    /// Lee & Lin's job-driven scheduling: maps are matched to replicas
+    /// first (data-local, then host-local, then anywhere); reduces are
+    /// placed largest-partition-first on the least-loaded trackers.
+    JobDriven,
+}
+
+impl SchedulerPolicy {
+    /// Stable lowercase name (CLI flags, CSV series).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::Fair => "fair",
+            SchedulerPolicy::JobDriven => "job-driven",
+        }
+    }
+
+    /// All policies, in ablation-sweep order.
+    pub fn all() -> [SchedulerPolicy; 3] {
+        [SchedulerPolicy::Fifo, SchedulerPolicy::Fair, SchedulerPolicy::JobDriven]
+    }
+}
+
+impl std::fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchedulerPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(SchedulerPolicy::Fifo),
+            "fair" => Ok(SchedulerPolicy::Fair),
+            "job-driven" | "jobdriven" => Ok(SchedulerPolicy::JobDriven),
+            other => Err(format!("unknown scheduler policy '{other}' (fifo|fair|job-driven)")),
+        }
+    }
+}
+
+/// One live TaskTracker as the scheduler sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerInfo {
+    /// The tracker VM.
+    pub vm: VmId,
+    /// The physical host currently running it (for host-local placement).
+    pub host: HostId,
+}
+
+/// One unfinished job as the scheduler sees it. Jobs appear in ascending
+/// id (submission) order.
+#[derive(Debug)]
+pub struct JobView<'a> {
+    /// Job id.
+    pub id: u32,
+    /// The job's configuration (slot capacities, locality flag, ...).
+    pub config: &'a JobConfig,
+    /// Map task indices awaiting assignment, FIFO order.
+    pub pending_maps: &'a VecDeque<usize>,
+    /// Reduce task indices awaiting assignment, FIFO order.
+    pub pending_reduces: &'a VecDeque<usize>,
+    /// Per map task: the VMs holding a replica of its input split.
+    pub map_locations: Vec<&'a [VmId]>,
+    /// True once the map phase finished — reduces may only be placed then
+    /// (the engine models no shuffle/map overlap).
+    pub reduces_open: bool,
+    /// Bytes of map output per reduce partition; empty until reduces are
+    /// schedulable. Drives [`SchedulerPolicy::JobDriven`] LPT placement.
+    pub partition_bytes: Vec<u64>,
+}
+
+/// Immutable snapshot of everything a policy may consult.
+#[derive(Debug)]
+pub struct SchedulerView<'a> {
+    /// Live TaskTrackers, engine order (ascending VM id).
+    pub trackers: &'a [TrackerInfo],
+    /// Physical host of every VM, indexed by `VmId.0` (covers replica VMs
+    /// that are not live trackers, e.g. a failed datanode whose host still
+    /// counts as "near" for host-local placement).
+    pub vm_hosts: &'a [HostId],
+    /// Map slots currently held, by tracker VM id.
+    pub used_map_slots: &'a HashMap<u32, u32>,
+    /// Reduce slots currently held, by tracker VM id.
+    pub used_reduce_slots: &'a HashMap<u32, u32>,
+    /// Unfinished jobs, ascending id.
+    pub jobs: Vec<JobView<'a>>,
+}
+
+/// What kind of task an [`Assignment`] places.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Map task with this index.
+    Map(usize),
+    /// Reduce task with this index.
+    Reduce(usize),
+}
+
+/// One placement decision: run `kind` of job `job` on tracker `vm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Owning job id.
+    pub job: u32,
+    /// Which task.
+    pub kind: TaskKind,
+    /// Where it runs.
+    pub vm: VmId,
+}
+
+/// A placement policy. Implementations must be deterministic: the same
+/// view must always yield the same assignments in the same order.
+pub trait TaskScheduler: std::fmt::Debug + Send {
+    /// The policy this scheduler implements.
+    fn policy(&self) -> SchedulerPolicy;
+
+    /// Decides every placement possible against `view`'s free slots. The
+    /// engine applies the assignments in the returned order (the k-th one
+    /// launches after k heartbeat staggers) and re-validates each against
+    /// live state, so a stale assignment is dropped, never misapplied.
+    fn assign(&mut self, view: &SchedulerView) -> Vec<Assignment>;
+
+    /// Places a speculative (backup) map attempt for `job`, avoiding
+    /// `avoid` (the tracker running the straggling primary). Default:
+    /// the emptiest other tracker, ties to the lowest id — stock Hadoop.
+    fn place_speculative(&mut self, view: &SchedulerView, job: u32, avoid: VmId) -> Option<VmId> {
+        let cfg = view.jobs.iter().find(|j| j.id == job)?.config;
+        let slots = Slots::snapshot(view);
+        view.trackers
+            .iter()
+            .map(|t| t.vm)
+            .filter(|&v| v != avoid && slots.free_map(v, cfg) > 0)
+            .max_by_key(|&v| (slots.free_map(v, cfg), Reverse(v.0)))
+    }
+}
+
+/// Builds the scheduler implementing `policy`.
+pub fn make_scheduler(policy: SchedulerPolicy) -> Box<dyn TaskScheduler> {
+    match policy {
+        SchedulerPolicy::Fifo => Box::new(Fifo),
+        SchedulerPolicy::Fair => Box::new(Fair),
+        SchedulerPolicy::JobDriven => Box::new(JobDriven),
+    }
+}
+
+/// Scratch slot ledger: policies charge tentative assignments against a
+/// copy of the engine's slot tables so one `assign` round never
+/// over-commits a tracker.
+#[derive(Debug, Clone)]
+struct Slots {
+    used_map: HashMap<u32, u32>,
+    used_reduce: HashMap<u32, u32>,
+}
+
+impl Slots {
+    fn snapshot(view: &SchedulerView) -> Self {
+        Slots { used_map: view.used_map_slots.clone(), used_reduce: view.used_reduce_slots.clone() }
+    }
+
+    fn free_map(&self, vm: VmId, cfg: &JobConfig) -> u32 {
+        cfg.map_slots_per_node.saturating_sub(self.used_map.get(&vm.0).copied().unwrap_or(0))
+    }
+
+    fn free_reduce(&self, vm: VmId, cfg: &JobConfig) -> u32 {
+        cfg.reduce_slots_per_node.saturating_sub(self.used_reduce.get(&vm.0).copied().unwrap_or(0))
+    }
+
+    /// Map + reduce slots held on `vm` — total tracker load.
+    fn total_used(&self, vm: VmId) -> u32 {
+        self.used_map.get(&vm.0).copied().unwrap_or(0)
+            + self.used_reduce.get(&vm.0).copied().unwrap_or(0)
+    }
+
+    fn take_map(&mut self, vm: VmId) {
+        *self.used_map.entry(vm.0).or_insert(0) += 1;
+    }
+
+    fn take_reduce(&mut self, vm: VmId) {
+        *self.used_reduce.entry(vm.0).or_insert(0) += 1;
+    }
+}
+
+/// Stock Hadoop map placement: data-local replica first, host-local
+/// second, otherwise the emptiest tracker (ties to the lowest id).
+fn pick_map_vm(
+    view: &SchedulerView,
+    slots: &Slots,
+    cfg: &JobConfig,
+    locations: &[VmId],
+    locality: bool,
+) -> Option<VmId> {
+    if locality {
+        // Data-local first (the replica host must still be a live
+        // tracker — datanodes can fail).
+        if let Some(&vm) = locations
+            .iter()
+            .find(|&&v| view.trackers.iter().any(|t| t.vm == v) && slots.free_map(v, cfg) > 0)
+        {
+            return Some(vm);
+        }
+        // Host-local second.
+        let hosts: Vec<HostId> = locations.iter().map(|&l| view.vm_hosts[l.0 as usize]).collect();
+        if let Some(t) =
+            view.trackers.iter().find(|t| slots.free_map(t.vm, cfg) > 0 && hosts.contains(&t.host))
+        {
+            return Some(t.vm);
+        }
+    }
+    // Emptiest tracker, lowest id.
+    view.trackers
+        .iter()
+        .map(|t| t.vm)
+        .filter(|&v| slots.free_map(v, cfg) > 0)
+        .max_by_key(|&v| (slots.free_map(v, cfg), Reverse(v.0)))
+}
+
+/// Reduce placement: the tracker with the most free reduce slots, ties
+/// broken toward the *least loaded* tracker overall (map + reduce slots
+/// held), then the lowest id. The total-load tie-break fixes the seed
+/// engine's bug of ignoring map load: under 2-job contention a tracker
+/// still churning through job A's maps no longer ties with an idle one
+/// for job B's reduces.
+fn pick_reduce_vm(view: &SchedulerView, slots: &Slots, cfg: &JobConfig) -> Option<VmId> {
+    view.trackers
+        .iter()
+        .map(|t| t.vm)
+        .filter(|&v| slots.free_reduce(v, cfg) > 0)
+        .max_by_key(|&v| (slots.free_reduce(v, cfg), Reverse(slots.total_used(v)), Reverse(v.0)))
+}
+
+/// Hadoop 0.20 stock scheduling (the paper's configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl TaskScheduler for Fifo {
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::Fifo
+    }
+
+    fn assign(&mut self, view: &SchedulerView) -> Vec<Assignment> {
+        let mut slots = Slots::snapshot(view);
+        let mut out = Vec::new();
+        for job in &view.jobs {
+            let cfg = job.config;
+            for &m in job.pending_maps {
+                let Some(vm) =
+                    pick_map_vm(view, &slots, cfg, job.map_locations[m], cfg.locality_aware)
+                else {
+                    break;
+                };
+                slots.take_map(vm);
+                out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+            }
+            if job.reduces_open {
+                for &r in job.pending_reduces {
+                    let Some(vm) = pick_reduce_vm(view, &slots, cfg) else { break };
+                    slots.take_reduce(vm);
+                    out.push(Assignment { job: job.id, kind: TaskKind::Reduce(r), vm });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Round-robin slot sharing across active jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fair;
+
+impl TaskScheduler for Fair {
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::Fair
+    }
+
+    fn assign(&mut self, view: &SchedulerView) -> Vec<Assignment> {
+        let mut slots = Slots::snapshot(view);
+        let mut out = Vec::new();
+        // Cursors into each job's pending queues: one task per job per
+        // round, so slots split evenly among jobs that still want them.
+        let mut map_cursor = vec![0usize; view.jobs.len()];
+        let mut red_cursor = vec![0usize; view.jobs.len()];
+        loop {
+            let mut progress = false;
+            for (ji, job) in view.jobs.iter().enumerate() {
+                let cfg = job.config;
+                if let Some(&m) = job.pending_maps.get(map_cursor[ji]) {
+                    if let Some(vm) =
+                        pick_map_vm(view, &slots, cfg, job.map_locations[m], cfg.locality_aware)
+                    {
+                        slots.take_map(vm);
+                        out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+                        map_cursor[ji] += 1;
+                        progress = true;
+                    }
+                }
+                if job.reduces_open {
+                    if let Some(&r) = job.pending_reduces.get(red_cursor[ji]) {
+                        if let Some(vm) = pick_reduce_vm(view, &slots, cfg) {
+                            slots.take_reduce(vm);
+                            out.push(Assignment { job: job.id, kind: TaskKind::Reduce(r), vm });
+                            red_cursor[ji] += 1;
+                            progress = true;
+                        }
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Lee & Lin's job-driven scheduling: per job, place every data-local map
+/// pairing first, then host-local, then the remainder; reduces go
+/// largest-partition-first (LPT) onto the least-loaded trackers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobDriven;
+
+impl TaskScheduler for JobDriven {
+    fn policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy::JobDriven
+    }
+
+    fn assign(&mut self, view: &SchedulerView) -> Vec<Assignment> {
+        let mut slots = Slots::snapshot(view);
+        let mut out = Vec::new();
+        for job in &view.jobs {
+            let cfg = job.config;
+            // Maps: three passes. Unlike FIFO, a map deep in the queue may
+            // jump ahead if its replica tracker has a free slot — that is
+            // the locality-first matching.
+            let mut remaining: Vec<usize> = job.pending_maps.iter().copied().collect();
+            // Pass 1: data-local.
+            remaining.retain(|&m| {
+                let local = job.map_locations[m].iter().copied().find(|&v| {
+                    view.trackers.iter().any(|t| t.vm == v) && slots.free_map(v, cfg) > 0
+                });
+                match local {
+                    Some(vm) => {
+                        slots.take_map(vm);
+                        out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+                        false
+                    }
+                    None => true,
+                }
+            });
+            // Pass 2: host-local.
+            remaining.retain(|&m| {
+                let hosts: Vec<HostId> =
+                    job.map_locations[m].iter().map(|&l| view.vm_hosts[l.0 as usize]).collect();
+                let near = view
+                    .trackers
+                    .iter()
+                    .find(|t| slots.free_map(t.vm, cfg) > 0 && hosts.contains(&t.host));
+                match near {
+                    Some(t) => {
+                        let vm = t.vm;
+                        slots.take_map(vm);
+                        out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+                        false
+                    }
+                    None => true,
+                }
+            });
+            // Pass 3: whatever is left goes to the emptiest trackers.
+            for m in remaining {
+                let Some(vm) = view
+                    .trackers
+                    .iter()
+                    .map(|t| t.vm)
+                    .filter(|&v| slots.free_map(v, cfg) > 0)
+                    .max_by_key(|&v| (slots.free_map(v, cfg), Reverse(v.0)))
+                else {
+                    break;
+                };
+                slots.take_map(vm);
+                out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+            }
+            // Reduces: largest partition first, least-loaded tracker first
+            // — classic LPT makespan balancing over reduce inputs.
+            if job.reduces_open {
+                let mut by_size: Vec<usize> = job.pending_reduces.iter().copied().collect();
+                by_size.sort_by_key(|&r| {
+                    (Reverse(job.partition_bytes.get(r).copied().unwrap_or(0)), r)
+                });
+                for r in by_size {
+                    let Some(vm) = view
+                        .trackers
+                        .iter()
+                        .map(|t| t.vm)
+                        .filter(|&v| slots.free_reduce(v, cfg) > 0)
+                        .max_by_key(|&v| {
+                            (slots.free_reduce(v, cfg), Reverse(slots.total_used(v)), Reverse(v.0))
+                        })
+                    else {
+                        break;
+                    };
+                    slots.take_reduce(vm);
+                    out.push(Assignment { job: job.id, kind: TaskKind::Reduce(r), vm });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trackers(n: u32) -> Vec<TrackerInfo> {
+        // Two hosts, round-robin placement, VM 0 excluded (master).
+        (1..=n).map(|i| TrackerInfo { vm: VmId(i), host: HostId(i % 2) }).collect()
+    }
+
+    struct ViewFixture {
+        trackers: Vec<TrackerInfo>,
+        vm_hosts: Vec<HostId>,
+        used_map: HashMap<u32, u32>,
+        used_reduce: HashMap<u32, u32>,
+        configs: Vec<JobConfig>,
+        pending_maps: Vec<VecDeque<usize>>,
+        pending_reduces: Vec<VecDeque<usize>>,
+        locations: Vec<Vec<Vec<VmId>>>,
+        reduces_open: Vec<bool>,
+        partition_bytes: Vec<Vec<u64>>,
+    }
+
+    impl ViewFixture {
+        fn new(n_trackers: u32) -> Self {
+            ViewFixture {
+                trackers: trackers(n_trackers),
+                vm_hosts: (0..=n_trackers).map(|i| HostId(i % 2)).collect(),
+                used_map: HashMap::new(),
+                used_reduce: HashMap::new(),
+                configs: Vec::new(),
+                pending_maps: Vec::new(),
+                pending_reduces: Vec::new(),
+                locations: Vec::new(),
+                reduces_open: Vec::new(),
+                partition_bytes: Vec::new(),
+            }
+        }
+
+        fn job(
+            &mut self,
+            cfg: JobConfig,
+            maps: usize,
+            locations: Vec<Vec<VmId>>,
+            reduces_open: bool,
+            partition_bytes: Vec<u64>,
+        ) -> &mut Self {
+            assert_eq!(locations.len(), maps);
+            self.configs.push(cfg.clone());
+            self.pending_maps.push((0..maps).collect());
+            self.pending_reduces.push((0..cfg.num_reduces as usize).collect());
+            self.locations.push(locations);
+            self.reduces_open.push(reduces_open);
+            self.partition_bytes.push(partition_bytes);
+            self
+        }
+
+        fn view(&self) -> SchedulerView<'_> {
+            SchedulerView {
+                trackers: &self.trackers,
+                vm_hosts: &self.vm_hosts,
+                used_map_slots: &self.used_map,
+                used_reduce_slots: &self.used_reduce,
+                jobs: (0..self.configs.len())
+                    .map(|j| JobView {
+                        id: j as u32,
+                        config: &self.configs[j],
+                        pending_maps: &self.pending_maps[j],
+                        pending_reduces: &self.pending_reduces[j],
+                        map_locations: self.locations[j].iter().map(Vec::as_slice).collect(),
+                        reduces_open: self.reduces_open[j],
+                        partition_bytes: self.partition_bytes[j].clone(),
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    fn count_for_job(assignments: &[Assignment], job: u32) -> usize {
+        assignments.iter().filter(|a| a.job == job).count()
+    }
+
+    #[test]
+    fn fifo_drains_first_job_before_second() {
+        let mut fx = ViewFixture::new(2); // 2 trackers × 2 map slots = 4 slots
+        let cfg = JobConfig::default().with_locality(false);
+        fx.job(cfg.clone(), 4, vec![vec![]; 4], false, vec![]);
+        fx.job(cfg, 4, vec![vec![]; 4], false, vec![]);
+        let a = Fifo.assign(&fx.view());
+        assert_eq!(a.len(), 4, "all four slots filled");
+        assert_eq!(count_for_job(&a, 0), 4, "FIFO gives job 0 everything");
+        assert_eq!(count_for_job(&a, 1), 0);
+    }
+
+    #[test]
+    fn fair_splits_slots_across_jobs() {
+        let mut fx = ViewFixture::new(3); // 6 map slots
+        let cfg = JobConfig::default().with_locality(false);
+        fx.job(cfg.clone(), 6, vec![vec![]; 6], false, vec![]);
+        fx.job(cfg, 6, vec![vec![]; 6], false, vec![]);
+        let a = Fair.assign(&fx.view());
+        assert_eq!(a.len(), 6, "all six slots filled");
+        let (j0, j1) = (count_for_job(&a, 0), count_for_job(&a, 1));
+        assert_eq!(j0 + j1, 6);
+        assert!(j0.abs_diff(j1) <= 1, "even split, got {j0} vs {j1}");
+        // Interleaved hand-out: the first two assignments serve different
+        // jobs (that ordering drives the heartbeat stagger).
+        assert_ne!(a[0].job, a[1].job, "round-robin interleaves jobs");
+    }
+
+    #[test]
+    fn fair_never_overcommits_slots() {
+        let mut fx = ViewFixture::new(2);
+        let cfg = JobConfig::default().with_locality(false);
+        fx.job(cfg.clone(), 10, vec![vec![]; 10], false, vec![]);
+        fx.job(cfg.clone(), 10, vec![vec![]; 10], false, vec![]);
+        fx.job(cfg.clone(), 10, vec![vec![]; 10], false, vec![]);
+        let a = Fair.assign(&fx.view());
+        let mut per_vm: HashMap<u32, u32> = HashMap::new();
+        for x in &a {
+            *per_vm.entry(x.vm.0).or_insert(0) += 1;
+        }
+        for (&vm, &n) in &per_vm {
+            assert!(
+                n <= cfg.map_slots_per_node,
+                "vm {vm} got {n} tasks for {} slots",
+                cfg.map_slots_per_node
+            );
+        }
+        assert_eq!(a.len(), 4, "exactly the free slot count");
+    }
+
+    #[test]
+    fn job_driven_prefers_locality_over_queue_order() {
+        // One free slot situation: tracker 1 full, tracker 2 free. Map 0
+        // (queue front) has its replica on the full tracker; map 1 lives
+        // on the free one. FIFO would give the slot to map 0 (remote);
+        // JobDriven matches map 1 to its replica first.
+        let mut fx = ViewFixture::new(2);
+        fx.used_map.insert(1, 2); // tracker 1 full
+        let cfg = JobConfig::default();
+        fx.job(cfg, 2, vec![vec![VmId(1)], vec![VmId(2)]], false, vec![]);
+        let a = JobDriven.assign(&fx.view());
+        let first = a.first().expect("an assignment");
+        assert_eq!(first.kind, TaskKind::Map(1), "local map jumps the queue");
+        assert_eq!(first.vm, VmId(2));
+        // FIFO on the same view places the queue head remotely.
+        let f = Fifo.assign(&fx.view());
+        assert_eq!(f.first().expect("an assignment").kind, TaskKind::Map(0));
+    }
+
+    #[test]
+    fn job_driven_places_largest_partition_first() {
+        let mut fx = ViewFixture::new(2);
+        let cfg = JobConfig::default().with_reduces(3);
+        fx.job(cfg, 0, vec![], true, vec![10, 5000, 70]);
+        let a = JobDriven.assign(&fx.view());
+        let order: Vec<usize> = a
+            .iter()
+            .filter_map(|x| match x.kind {
+                TaskKind::Reduce(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 0], "LPT: biggest reduce partition placed first");
+    }
+
+    /// Regression for the seed engine's reduce-placement bug: the picker
+    /// compared free *reduce* slots only, so a tracker buried in another
+    /// job's maps tied with an idle one and won on id. The total-load
+    /// tie-break must send the reduce to the idle tracker.
+    #[test]
+    fn reduce_placement_avoids_map_loaded_tracker() {
+        let mut fx = ViewFixture::new(2);
+        fx.used_map.insert(1, 2); // tracker 1 busy with maps; reduce slots equal
+        let cfg = JobConfig::default().with_reduces(1);
+        fx.job(cfg, 0, vec![], true, vec![100]);
+        for a in Fifo.assign(&fx.view()) {
+            assert_eq!(a.vm, VmId(2), "reduce avoids the map-loaded tracker");
+        }
+        assert_eq!(Fifo.assign(&fx.view()).len(), 1);
+    }
+
+    #[test]
+    fn speculative_placement_avoids_straggler_host() {
+        let mut fx = ViewFixture::new(3);
+        let cfg = JobConfig::default();
+        fx.job(cfg, 1, vec![vec![]], false, vec![]);
+        let vm = Fifo.place_speculative(&fx.view(), 0, VmId(1)).expect("free slot exists");
+        assert_ne!(vm, VmId(1), "backup attempt runs elsewhere");
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in SchedulerPolicy::all() {
+            assert_eq!(p.name().parse::<SchedulerPolicy>(), Ok(p));
+        }
+        assert!("nonsense".parse::<SchedulerPolicy>().is_err());
+    }
+}

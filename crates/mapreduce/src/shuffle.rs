@@ -1,0 +1,155 @@
+//! Shuffle/sort bookkeeping and the reduce-side pipeline: per-map fetch
+//! flows, merge + group + real reduce execution, and the replicated HDFS
+//! output write.
+//!
+//! Paper mechanism modelled: step 7 of the paper's execution flow — "the
+//! worker who is assigned a reduce task ... reads the buffered data from
+//! the local disks of the map workers, sorts it by the intermediate keys"
+//! and reduces each group. Shuffle traffic crossing VM (and Xen domain)
+//! boundaries is what separates the paper's normal vs. cross-domain
+//! wordcount curves (Fig. 2).
+
+use crate::app::group_by_key;
+use crate::job::{JobEvent, JobId};
+use crate::state::{tag, tag_full, PH_IGNORE, PH_REDUCE_COMPUTE, PH_REDUCE_WRITE, PH_SHUFFLE};
+use crate::types::{records_size, Record, K, V};
+use simcore::prelude::*;
+use vcluster::cluster::VirtualCluster;
+use vhdfs::hdfs::Hdfs;
+
+use crate::engine::MrEngine;
+
+impl MrEngine {
+    pub(crate) fn reduce_started(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        jid: JobId,
+        r: usize,
+    ) {
+        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+        let vm = job.running_reduce_vm(r);
+        // Shuffle: one fetch chain per map whose partition r is non-empty.
+        let mut members: Vec<(ChainSpec, Tag)> = Vec::new();
+        let mut shuffle_bytes = 0u64;
+        for m in 0..job.maps.len() {
+            let Some(part) = job.map_outputs[m][r].as_ref() else { continue };
+            if part.is_empty() {
+                continue;
+            }
+            let bytes = records_size(part);
+            shuffle_bytes += bytes;
+            let map_vm = job.map_vm[m].expect("map ran somewhere");
+            let chain = cluster
+                .transfer(map_vm, vm, bytes as f64)
+                .then(cluster.disk_write(vm, bytes as f64));
+            members.push((chain, tag(jid, PH_IGNORE, m)));
+        }
+        job.counters.shuffle_bytes += shuffle_bytes;
+        let ep = job.reduce_epoch[r];
+        engine.start_batch(members, tag_full(jid, PH_SHUFFLE, 0, ep, r));
+    }
+
+    pub(crate) fn shuffle_done(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        jid: JobId,
+        r: usize,
+    ) {
+        let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+        let vm = job.running_reduce_vm(r);
+        // Merge all fetched partitions, group, and really reduce. The
+        // partitions are kept (cloned, not taken) until the job finishes
+        // so a failed reduce can re-run from them, as Hadoop re-fetches
+        // map output that is still alive.
+        let mut merged: Vec<Record> = Vec::new();
+        let mut segments = 0u32;
+        for m in 0..job.maps.len() {
+            if let Some(part) = job.map_outputs[m][r].clone() {
+                if !part.is_empty() {
+                    segments += 1;
+                }
+                merged.extend(part);
+            }
+        }
+        let in_records = merged.len() as u64;
+        let in_bytes = records_size(&merged);
+        let grouped = group_by_key(merged);
+        let groups = grouped.len() as u64;
+
+        let mut out: Vec<Record> = Vec::new();
+        for (k, vals) in &grouped {
+            let mut emit = |ek: K, ev: V| out.push((ek, ev));
+            job.app.reduce(k, vals, &mut emit);
+        }
+        job.counters.reduce_input_records += in_records;
+        job.counters.reduce_input_groups += groups;
+
+        let cost = job.app.cost();
+        let sort_cycles =
+            cost.sort_cpu_per_byte * in_bytes as f64 * f64::from(segments.max(2)).log2();
+        let cycles = cost.reduce_cpu_per_byte * in_bytes as f64
+            + cost.reduce_cpu_per_record * in_records as f64
+            + sort_cycles;
+        job.reduce_outputs[r] = Some(out);
+        let ep = job.reduce_epoch[r];
+        engine.start_chain(cluster.compute(vm, cycles), tag_full(jid, PH_REDUCE_COMPUTE, 0, ep, r));
+    }
+
+    pub(crate) fn reduce_compute_done(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        hdfs: &mut Hdfs,
+        jid: JobId,
+        r: usize,
+    ) {
+        let (vm, bytes, path) = {
+            let job = self.jobs.get(&jid.0).expect("unknown job");
+            let vm = job.running_reduce_vm(r);
+            let recs = job.reduce_outputs[r].as_ref().expect("reduce output present");
+            (vm, records_size(recs), format!("{}/part-r-{r:05}", job.spec.output_path))
+        };
+        // A reduce re-run after a failure may find the partial output of
+        // its killed predecessor; replace it, as Hadoop's output committer
+        // discards uncommitted attempt output.
+        if hdfs.stat(&path).is_some() {
+            hdfs.delete(&path);
+        }
+        let ep = self.jobs.get(&jid.0).expect("unknown job").reduce_epoch[r];
+        hdfs.write_file(
+            engine,
+            cluster,
+            &path,
+            bytes,
+            vm,
+            tag_full(jid, PH_REDUCE_WRITE, 0, ep, r),
+        );
+    }
+
+    pub(crate) fn reduce_write_done(
+        &mut self,
+        engine: &mut Engine,
+        jid: JobId,
+        r: usize,
+        events: &mut Vec<JobEvent>,
+    ) {
+        let (vm, finished) = {
+            let job = self.jobs.get_mut(&jid.0).expect("unknown job");
+            let vm = job.running_reduce_vm(r);
+            job.reduces[r] = crate::state::TaskPhase::Done;
+            job.completed_reduces += 1;
+            let recs = job.reduce_outputs[r].as_ref().expect("reduce output present");
+            job.counters.output_bytes += records_size(recs);
+            job.counters.reduce_output_records += recs.len() as u64;
+            (vm, job.completed_reduces == job.reduces.len())
+        };
+        *self.used_reduce_slots.get_mut(&vm.0).expect("slot held") -= 1;
+        events.push(JobEvent::ReduceDone(jid, r));
+        if finished {
+            let result = self.finish_job(engine, jid);
+            events.push(JobEvent::JobDone(Box::new(result)));
+        }
+    }
+}

@@ -60,12 +60,7 @@ fn wordcount_produces_correct_counts() {
     let result = register_and_run(&mut rt, 3, JobConfig::default());
     // 150 lines over 3 texts → expected totals computable.
     let get = |w: &str| -> i64 {
-        result
-            .outputs
-            .iter()
-            .find(|(k, _)| *k == K::from(w))
-            .map(|(_, v)| v.as_int())
-            .unwrap_or(0)
+        result.outputs.iter().find(|(k, _)| *k == K::from(w)).map(|(_, v)| v.as_int()).unwrap_or(0)
     };
     // Lines are distributed evenly over the 3 texts: 150 lines total, 50
     // each; "the" appears once per text.
@@ -146,17 +141,10 @@ fn more_reduces_spread_output_partitions() {
     let result = register_and_run(&mut rt, 3, JobConfig::default().with_reduces(4));
     assert_eq!(result.counters.launched_reduces, 4);
     for r in 0..4 {
-        assert!(
-            rt.hdfs.stat(&format!("/out/part-r-{r:05}")).is_some(),
-            "part-r-{r:05} written"
-        );
+        assert!(rt.hdfs.stat(&format!("/out/part-r-{r:05}")).is_some(), "part-r-{r:05} written");
     }
     // All words still counted exactly once across partitions.
-    let total: i64 = result
-        .outputs
-        .iter()
-        .map(|(_, v)| v.as_int())
-        .sum();
+    let total: i64 = result.outputs.iter().map(|(_, v)| v.as_int()).sum();
     assert_eq!(total, 150 * 4, "every word occurrence counted once");
 }
 

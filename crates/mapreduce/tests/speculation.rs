@@ -87,8 +87,5 @@ fn speculation_idle_cluster_launches_no_backups() {
     let config = JobConfig { speculative: true, ..Default::default() };
     let job = JobSpec::new("sq", "/in", "/out").with_config(config);
     let result = rt.run_job(job, Box::new(SlowSquare), Box::new(input));
-    assert_eq!(
-        result.counters.speculative_maps, 0,
-        "balanced cluster needs no speculation"
-    );
+    assert_eq!(result.counters.speculative_maps, 0, "balanced cluster needs no speculation");
 }

@@ -97,11 +97,7 @@ impl BayesModel {
 
     /// Accuracy on a labelled set.
     pub fn accuracy(&self, points: &[Vec<f64>], labels: &[usize]) -> f64 {
-        let correct = points
-            .iter()
-            .zip(labels)
-            .filter(|(p, &l)| self.predict(p) == l)
-            .count();
+        let correct = points.iter().zip(labels).filter(|(p, &l)| self.predict(p) == l).count();
         correct as f64 / points.len().max(1) as f64
     }
 }
@@ -178,11 +174,7 @@ pub fn train_mr(ml: &mut MlRuntime, labels: &[usize]) -> (BayesModel, MlRunStats
     for (k, v) in &result.outputs {
         let t = v.as_tuple();
         let l = k.as_int() as usize;
-        suff[l] = (
-            t[0].as_vector().to_vec(),
-            t[1].as_vector().to_vec(),
-            t[2].as_float() as u64,
-        );
+        suff[l] = (t[0].as_vector().to_vec(), t[1].as_vector().to_vec(), t[2].as_float() as u64);
     }
     let stats = MlRunStats {
         iterations: 1,
@@ -230,7 +222,8 @@ mod tests {
         use vcluster::spec::{ClusterSpec, Placement};
         let d = gaussian_mixture(RootSeed(44), 1);
         let reference = BayesModel::train(&d.points, &d.labels);
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = crate::mlrt::MlRuntime::new(spec, d.points.clone(), RootSeed(44));
         let (mr_model, stats) = train_mr(&mut ml, &d.labels);
         assert_eq!(mr_model.classes.len(), reference.classes.len());

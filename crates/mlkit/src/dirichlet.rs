@@ -114,10 +114,7 @@ fn initial_std(points: &[Vec<f64>], dims: usize) -> f64 {
         crate::vector::add_assign(&mut mean, p);
     }
     crate::vector::scale(&mut mean, 1.0 / n);
-    let var: f64 = points
-        .iter()
-        .map(|p| Distance::SquaredEuclidean.between(p, &mean))
-        .sum::<f64>()
+    let var: f64 = points.iter().map(|p| Distance::SquaredEuclidean.between(p, &mean)).sum::<f64>()
         / (n * dims as f64);
     var.sqrt().max(1e-3)
 }
@@ -131,7 +128,12 @@ struct Suff {
 }
 
 /// Posterior re-estimation from sufficient statistics.
-fn posterior(model: &DirichletModel, stats: &[Suff], params: DirichletParams, total: u64) -> DirichletModel {
+fn posterior(
+    model: &DirichletModel,
+    stats: &[Suff],
+    params: DirichletParams,
+    total: u64,
+) -> DirichletModel {
     let k = model.components.len() as f64;
     let denom = total as f64 + params.alpha;
     let components = model
@@ -141,11 +143,7 @@ fn posterior(model: &DirichletModel, stats: &[Suff], params: DirichletParams, to
         .map(|(old, s)| {
             if s.n == 0 {
                 // No data: weight decays to the prior mass.
-                Component {
-                    weight: params.alpha / k / denom,
-                    count: 0,
-                    ..old.clone()
-                }
+                Component { weight: params.alpha / k / denom, count: 0, ..old.clone() }
             } else {
                 let n = s.n as f64;
                 let mean: Vec<f64> = s.sum.iter().map(|&x| x / n).collect();
@@ -172,8 +170,9 @@ pub fn reference(
     let mut model = DirichletModel::init(points, params, seed);
     let dims = points[0].len();
     for iter in 0..params.iterations {
-        let mut stats: Vec<Suff> =
-            (0..params.k0).map(|_| Suff { sum: vec![0.0; dims], sum_sq: vec![0.0; dims], n: 0 }).collect();
+        let mut stats: Vec<Suff> = (0..params.k0)
+            .map(|_| Suff { sum: vec![0.0; dims], sum_sq: vec![0.0; dims], n: 0 })
+            .collect();
         for (i, p) in points.iter().enumerate() {
             let mut rng = seed.stream_at("dirichlet-gibbs", (u64::from(iter) << 32) | i as u64);
             let z = model.sample_assignment(p, &mut rng);
@@ -202,15 +201,9 @@ pub fn significant_clustering(
         .filter(|c| c.weight >= params.min_weight && c.count > 0)
         .map(|c| c.mean.clone())
         .collect();
-    let centers = if centers.is_empty() {
-        vec![model.components[0].mean.clone()]
-    } else {
-        centers
-    };
-    let assignments = points
-        .iter()
-        .map(|p| crate::vector::nearest(p, &centers, Distance::Euclidean).0)
-        .collect();
+    let centers = if centers.is_empty() { vec![model.components[0].mean.clone()] } else { centers };
+    let assignments =
+        points.iter().map(|p| crate::vector::nearest(p, &centers, Distance::Euclidean).0).collect();
     Clustering { centers, assignments }
 }
 
@@ -233,15 +226,10 @@ impl MapReduceApp for DirichletPass {
     fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
         let x = v.as_vector();
         let i = k.as_int() as u64;
-        let mut rng = self
-            .seed
-            .stream_at("dirichlet-gibbs", (u64::from(self.iteration) << 32) | i);
+        let mut rng = self.seed.stream_at("dirichlet-gibbs", (u64::from(self.iteration) << 32) | i);
         let z = self.model.sample_assignment(x, &mut rng);
         let sq: Vec<f64> = x.iter().map(|&a| a * a).collect();
-        out(
-            K::Int(z as i64),
-            V::Tuple(vec![V::Vector(x.to_vec()), V::Vector(sq), V::Float(1.0)]),
-        );
+        out(K::Int(z as i64), V::Tuple(vec![V::Vector(x.to_vec()), V::Vector(sq), V::Float(1.0)]));
     }
 
     fn combine(&self, key: &K, values: &[V], out: &mut dyn FnMut(K, V)) -> bool {
@@ -296,8 +284,9 @@ pub fn run_mr(
         let app = DirichletPass { model: model.clone(), seed, iteration };
         let result = ml.run_pass("dirichlet", Box::new(app), JobConfig::default().with_reduces(1));
         per_pass.push(result.elapsed_secs());
-        let mut stats: Vec<Suff> =
-            (0..params.k0).map(|_| Suff { sum: vec![0.0; dims], sum_sq: vec![0.0; dims], n: 0 }).collect();
+        let mut stats: Vec<Suff> = (0..params.k0)
+            .map(|_| Suff { sum: vec![0.0; dims], sum_sq: vec![0.0; dims], n: 0 })
+            .collect();
         for (k, v) in &result.outputs {
             let z = k.as_int() as usize;
             let t = v.as_tuple();
@@ -351,17 +340,15 @@ mod tests {
         use vcluster::spec::{ClusterSpec, Placement};
         let pts = gaussian_mixture(RootSeed(13), 1).points;
         let params = DirichletParams { iterations: 4, ..Default::default() };
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = crate::mlrt::MlRuntime::new(spec, pts.clone(), RootSeed(13));
         let (mr_model, _, _) = run_mr(&mut ml, params, RootSeed(14));
         let (ref_model, _) = reference(&pts, params, RootSeed(14));
         // Same seeded Gibbs draws → identical models.
         for (a, b) in mr_model.components.iter().zip(&ref_model.components) {
             assert_eq!(a.count, b.count);
-            assert!(
-                Distance::Euclidean.between(&a.mean, &b.mean) < 1e-9,
-                "means diverged"
-            );
+            assert!(Distance::Euclidean.between(&a.mean, &b.mean) < 1e-9, "means diverged");
         }
     }
 }

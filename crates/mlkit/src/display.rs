@@ -75,10 +75,8 @@ pub fn render_svg(
     const POINT_COLORS: [&str; 8] =
         ["#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3", "#937860", "#da8bc3", "#8c8c8c"];
     for (i, p) in points.iter().enumerate() {
-        let c = model
-            .assignments
-            .get(i)
-            .map_or("#999999", |&a| POINT_COLORS[a % POINT_COLORS.len()]);
+        let c =
+            model.assignments.get(i).map_or("#999999", |&a| POINT_COLORS[a % POINT_COLORS.len()]);
         svg.push_str(&format!(
             "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"1.6\" fill=\"{c}\" fill-opacity=\"0.55\"/>\n",
             sx(p[0]),

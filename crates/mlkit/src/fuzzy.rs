@@ -6,8 +6,8 @@
 //! `(cluster, (u^m · x, u^m))` for every cluster, the reducer computes the
 //! weighted centroids.
 
-use crate::mlrt::{sum_weighted_tuples, Clustering, MlRunStats, MlRuntime};
 use crate::kmeans::init_centers;
+use crate::mlrt::{sum_weighted_tuples, Clustering, MlRunStats, MlRuntime};
 use crate::vector::{scale, Distance};
 use mapreduce::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -96,7 +96,11 @@ pub fn fuzzy_step(
 }
 
 /// In-memory reference run.
-pub fn reference(points: &[Vec<f64>], params: FuzzyKMeansParams, seed: RootSeed) -> (Clustering, u32) {
+pub fn reference(
+    points: &[Vec<f64>],
+    params: FuzzyKMeansParams,
+    seed: RootSeed,
+) -> (Clustering, u32) {
     let mut centers = init_centers(points, params.k, seed);
     let mut iters = 0;
     for _ in 0..params.max_iters {
@@ -232,7 +236,8 @@ mod tests {
     #[test]
     fn reference_separates_blobs() {
         let pts = two_blobs();
-        let params = FuzzyKMeansParams { k: 2, max_iters: 25, convergence: 1e-3, ..Default::default() };
+        let params =
+            FuzzyKMeansParams { k: 2, max_iters: 25, convergence: 1e-3, ..Default::default() };
         let (model, _) = reference(&pts, params, RootSeed(8));
         let first_half = &model.assignments[..15];
         let second_half = &model.assignments[15..];
@@ -245,9 +250,11 @@ mod tests {
     fn mr_matches_reference() {
         use vcluster::spec::{ClusterSpec, Placement};
         let pts = two_blobs();
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = crate::mlrt::MlRuntime::new(spec, pts.clone(), RootSeed(9));
-        let params = FuzzyKMeansParams { k: 2, max_iters: 25, convergence: 1e-3, ..Default::default() };
+        let params =
+            FuzzyKMeansParams { k: 2, max_iters: 25, convergence: 1e-3, ..Default::default() };
         let (mr_model, stats) = run_mr(&mut ml, params, RootSeed(8));
         let (ref_model, _) = reference(&pts, params, RootSeed(8));
         for (a, b) in mr_model.centers.iter().zip(&ref_model.centers) {

@@ -41,10 +41,8 @@ pub fn init_centers(points: &[Vec<f64>], k: usize, seed: RootSeed) -> Vec<Vec<f6
     let mut rng = seed.stream("kmeans-init");
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| Distance::SquaredEuclidean.between(p, &centers[0]))
-        .collect();
+    let mut d2: Vec<f64> =
+        points.iter().map(|p| Distance::SquaredEuclidean.between(p, &centers[0])).collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -119,10 +117,7 @@ pub fn reference(points: &[Vec<f64>], params: KMeansParams, seed: RootSeed) -> (
             break;
         }
     }
-    let assignments = points
-        .iter()
-        .map(|p| nearest(p, &centers, params.distance).0)
-        .collect();
+    let assignments = points.iter().map(|p| nearest(p, &centers, params.distance).0).collect();
     (Clustering { centers, assignments }, iters)
 }
 
@@ -161,7 +156,11 @@ impl MapReduceApp for KMeansPass {
 
 /// Runs k-means as a MapReduce job sequence on `ml`, with a final
 /// assignment pass. Returns the model and run statistics.
-pub fn run_mr(ml: &mut MlRuntime, params: KMeansParams, seed: RootSeed) -> (Clustering, MlRunStats) {
+pub fn run_mr(
+    ml: &mut MlRuntime,
+    params: KMeansParams,
+    seed: RootSeed,
+) -> (Clustering, MlRunStats) {
     let mut centers = init_centers(ml.points(), params.k, seed);
     let mut per_pass = Vec::new();
     let mut iters = 0;
@@ -213,7 +212,8 @@ mod tests {
     #[test]
     fn reference_finds_blobs() {
         let pts = three_blobs();
-        let params = KMeansParams { k: 3, max_iters: 20, convergence: 1e-3, distance: Distance::Euclidean };
+        let params =
+            KMeansParams { k: 3, max_iters: 20, convergence: 1e-3, distance: Distance::Euclidean };
         let (model, iters) = reference(&pts, params, RootSeed(5));
         assert!(iters <= 20);
         assert_eq!(model.k(), 3);
@@ -248,9 +248,11 @@ mod tests {
     #[test]
     fn mr_matches_reference() {
         let pts = three_blobs();
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = MlRuntime::new(spec, pts.clone(), RootSeed(7));
-        let params = KMeansParams { k: 3, max_iters: 20, convergence: 1e-3, distance: Distance::Euclidean };
+        let params =
+            KMeansParams { k: 3, max_iters: 20, convergence: 1e-3, distance: Distance::Euclidean };
         let (mr_model, stats) = run_mr(&mut ml, params, RootSeed(5));
         let (ref_model, _) = reference(&pts, params, RootSeed(5));
         // Same seed, same init → identical centers (up to fp noise).

@@ -38,7 +38,9 @@ pub mod vector;
 pub mod prelude {
     pub use crate::bayes::{BayesModel, ClassStats};
     pub use crate::canopy::{build_canopies, CanopyParams};
-    pub use crate::datasets::{control_chart, control_chart_600, gaussian_mixture, gaussian_mixture_1000, Dataset};
+    pub use crate::datasets::{
+        control_chart, control_chart_600, gaussian_mixture, gaussian_mixture_1000, Dataset,
+    };
     pub use crate::dirichlet::{DirichletModel, DirichletParams};
     pub use crate::display::{render_ascii, render_svg, IterationTrail};
     pub use crate::fuzzy::FuzzyKMeansParams;

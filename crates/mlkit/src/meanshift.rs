@@ -60,13 +60,13 @@ impl MeanShiftParams {
 
 /// Merges canopies closer than `t2` (mass-weighted), preserving order of
 /// first appearance.
-pub fn merge_canopies(canopies: Vec<(Vec<f64>, f64)>, params: MeanShiftParams) -> Vec<(Vec<f64>, f64)> {
+pub fn merge_canopies(
+    canopies: Vec<(Vec<f64>, f64)>,
+    params: MeanShiftParams,
+) -> Vec<(Vec<f64>, f64)> {
     let mut merged: Vec<(Vec<f64>, f64)> = Vec::new();
     for (c, m) in canopies {
-        match merged
-            .iter_mut()
-            .find(|(mc, _)| params.distance.between(mc, &c) < params.t2)
-        {
+        match merged.iter_mut().find(|(mc, _)| params.distance.between(mc, &c) < params.t2) {
             Some((mc, mm)) => {
                 let new_center = weighted_mean([(mc.as_slice(), *mm), (c.as_slice(), m)]);
                 *mc = new_center;
@@ -127,10 +127,8 @@ pub fn reference(points: &[Vec<f64>], params: MeanShiftParams) -> (Clustering, u
         }
     }
     let centers: Vec<Vec<f64>> = canopies.into_iter().map(|(c, _)| c).collect();
-    let assignments = points
-        .iter()
-        .map(|p| crate::vector::nearest(p, &centers, params.distance).0)
-        .collect();
+    let assignments =
+        points.iter().map(|p| crate::vector::nearest(p, &centers, params.distance).0).collect();
     (Clustering { centers, assignments }, iters)
 }
 
@@ -212,9 +210,8 @@ mod tests {
     #[test]
     fn canopies_shift_toward_density() {
         // One blob at (5,5); a canopy starting at its edge shifts inward.
-        let pts: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![5.0 + (i % 7) as f64 * 0.1, 5.0 + (i / 7) as f64 * 0.1])
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![5.0 + (i % 7) as f64 * 0.1, 5.0 + (i / 7) as f64 * 0.1]).collect();
         let params = MeanShiftParams::display();
         let canopies = vec![(vec![4.0, 4.0], 1.0)];
         let (shifted, moved) = shift_step(&pts, &canopies, params);
@@ -251,7 +248,8 @@ mod tests {
     fn mr_follows_reference_trajectory() {
         use vcluster::spec::{ClusterSpec, Placement};
         let pts = gaussian_mixture(RootSeed(5), 1).points;
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = crate::mlrt::MlRuntime::new(spec, pts.clone(), RootSeed(5));
         let (mr_model, stats) = run_mr(&mut ml, MeanShiftParams::display());
         let (ref_model, _) = reference(&pts, MeanShiftParams::display());

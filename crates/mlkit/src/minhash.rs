@@ -47,9 +47,7 @@ impl HashFamily {
     /// `n` functions derived from `seed`.
     pub fn new(n: usize, seed: RootSeed) -> Self {
         let mut rng = seed.stream("minhash-family");
-        let coeffs = (0..n)
-            .map(|_| (rng.gen_range(1..P), rng.gen_range(0..P)))
-            .collect();
+        let coeffs = (0..n).map(|_| (rng.gen_range(1..P), rng.gen_range(0..P))).collect();
         HashFamily { coeffs }
     }
 
@@ -232,7 +230,8 @@ mod tests {
     fn mr_matches_reference() {
         use vcluster::spec::{ClusterSpec, Placement};
         let pts = crate::datasets::gaussian_mixture(RootSeed(23), 1).points;
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let mut ml = crate::mlrt::MlRuntime::new(spec, pts.clone(), RootSeed(23));
         let params = MinHashParams::default();
         let (mr_clusters, stats) = run_mr(&mut ml, params, RootSeed(24));

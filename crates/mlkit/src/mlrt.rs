@@ -79,8 +79,8 @@ impl MlRuntime {
     ) -> Self {
         assert!(!points.is_empty(), "empty dataset");
         let datanodes = (cluster_spec.vms - 1).max(1) as usize;
-        let size_cap =
-            (point_bytes(points[0].len()) * points.len() as u64).div_ceil(min_split.max(1)) as usize;
+        let size_cap = (point_bytes(points[0].len()) * points.len() as u64)
+            .div_ceil(min_split.max(1)) as usize;
         let splits = datanodes.min(points.len()).min(size_cap.max(1));
         let dims = points[0].len();
         let total_bytes = point_bytes(dims) * points.len() as u64;
@@ -97,9 +97,7 @@ impl MlRuntime {
             .map(|b| {
                 let lo = b * per;
                 let hi = ((b + 1) * per).min(points.len());
-                (lo..hi)
-                    .map(|i| (K::Int(i as i64), V::Vector(points[i].clone())))
-                    .collect()
+                (lo..hi).map(|i| (K::Int(i as i64), V::Vector(points[i].clone()))).collect()
             })
             .collect();
         MlRuntime { rt, points, chunks, path: "/ml/data".to_string(), passes: 0 }
@@ -116,7 +114,12 @@ impl MlRuntime {
     }
 
     /// Runs one MapReduce pass of `app` over the point set.
-    pub fn run_pass(&mut self, name: &str, app: Box<dyn MapReduceApp>, config: JobConfig) -> JobResult {
+    pub fn run_pass(
+        &mut self,
+        name: &str,
+        app: Box<dyn MapReduceApp>,
+        config: JobConfig,
+    ) -> JobResult {
         self.passes += 1;
         let out = format!("/ml/out/{name}-{:04}", self.passes);
         let spec = JobSpec::new(name, &self.path, out).with_config(config);

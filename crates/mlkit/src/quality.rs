@@ -6,10 +6,7 @@ use std::collections::HashMap;
 
 /// Within-cluster sum of squares (k-means objective).
 pub fn wcss(points: &[Vec<f64>], model: &Clustering) -> f64 {
-    points
-        .iter()
-        .map(|p| nearest(p, &model.centers, Distance::SquaredEuclidean).1)
-        .sum()
+    points.iter().map(|p| nearest(p, &model.centers, Distance::SquaredEuclidean).1).sum()
 }
 
 /// Purity against ground-truth labels: each cluster votes for its
@@ -24,10 +21,8 @@ pub fn purity(labels: &[usize], assignments: &[usize]) -> f64 {
     for (&l, &a) in labels.iter().zip(assignments) {
         *table.entry(a).or_default().entry(l).or_insert(0) += 1;
     }
-    let correct: usize = table
-        .values()
-        .map(|votes| votes.values().copied().max().unwrap_or(0))
-        .sum();
+    let correct: usize =
+        table.values().map(|votes| votes.values().copied().max().unwrap_or(0)).sum();
     correct as f64 / labels.len() as f64
 }
 

@@ -112,10 +112,7 @@ impl MapReduceApp for CooccurrencePass {
                     continue;
                 }
                 let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-                out(
-                    K::Int((i64::from(lo) << 32) | i64::from(hi)),
-                    V::Float(va * vb),
-                );
+                out(K::Int((i64::from(lo) << 32) | i64::from(hi)), V::Float(va * vb));
             }
         }
     }
@@ -246,8 +243,7 @@ mod tests {
     fn recommend_excludes_rated_items() {
         let ratings = synthetic_ratings(RootSeed(51), 30, 3);
         let model = cooccurrence(&ratings);
-        let rated: Vec<u32> =
-            ratings.iter().filter(|r| r.user == 5).map(|r| r.item).collect();
+        let rated: Vec<u32> = ratings.iter().filter(|r| r.user == 5).map(|r| r.item).collect();
         for (item, _) in model.recommend(&ratings, 5, 10) {
             assert!(!rated.contains(&item), "recommended an already-rated item");
         }

@@ -187,14 +187,17 @@ mod tests {
         // growing virtual cluster → growing runtime.
         let d = datasets::control_chart(RootSeed(31), 20, 60); // 120 × 60
         let t = |vms: u32| {
-            run_algorithm(Algorithm::Canopy, DatasetKind::ControlChart, d.points.clone(), vms, RootSeed(31))
-                .stats
-                .elapsed_s
+            run_algorithm(
+                Algorithm::Canopy,
+                DatasetKind::ControlChart,
+                d.points.clone(),
+                vms,
+                RootSeed(31),
+            )
+            .stats
+            .elapsed_s
         };
         let (t2, t8) = (t(2), t(8));
-        assert!(
-            t8 > t2,
-            "canopy on 8 VMs ({t8:.2}s) slower than on 2 VMs ({t2:.2}s)"
-        );
+        assert!(t8 > t2, "canopy on 8 VMs ({t8:.2}s) slower than on 2 VMs ({t2:.2}s)");
     }
 }

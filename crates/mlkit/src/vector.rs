@@ -72,12 +72,9 @@ impl Distance {
     pub fn between(self, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len(), "dimension mismatch");
         match self {
-            Distance::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt(),
+            Distance::Euclidean => {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            }
             Distance::SquaredEuclidean => {
                 a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
             }

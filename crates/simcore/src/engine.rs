@@ -104,7 +104,9 @@ impl Wakeup {
     /// The routing tag regardless of variant.
     pub fn tag(&self) -> Tag {
         match self {
-            Wakeup::Timer { tag, .. } | Wakeup::Activity { tag, .. } | Wakeup::Batch { tag, .. } => *tag,
+            Wakeup::Timer { tag, .. }
+            | Wakeup::Activity { tag, .. }
+            | Wakeup::Batch { tag, .. } => *tag,
         }
     }
 }
@@ -213,7 +215,12 @@ impl Engine {
     }
 
     /// Registers a fluid resource (see [`FluidNet::add_resource`]).
-    pub fn add_resource(&mut self, name: impl Into<String>, kind: ResourceKind, capacity: f64) -> ResourceId {
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        kind: ResourceKind,
+        capacity: f64,
+    ) -> ResourceId {
         self.fluid.add_resource(name, kind, capacity)
     }
 
@@ -456,10 +463,7 @@ impl Engine {
             Some(Step::Flow { demands, work }) => {
                 self.sync_fluid_clock();
                 let f = self.fluid.add_flow(demands, work);
-                self.activities
-                    .get_mut(&id)
-                    .expect("just checked")
-                    .current = Current::Flow(f);
+                self.activities.get_mut(&id).expect("just checked").current = Current::Flow(f);
                 self.flow_owner.insert(f, id);
                 self.refresh_fluid();
             }
@@ -467,10 +471,7 @@ impl Engine {
                 let tid = TimerId(self.next_timer);
                 self.next_timer += 1;
                 self.timers.insert(tid, TimerKind::ChainDelay { activity: id });
-                self.activities
-                    .get_mut(&id)
-                    .expect("just checked")
-                    .current = Current::Delay(tid);
+                self.activities.get_mut(&id).expect("just checked").current = Current::Delay(tid);
                 let at = self.now + d;
                 self.push_entry(at, Ev::Timer { id: tid });
             }
@@ -678,9 +679,7 @@ mod tests {
     fn delay_only_chain() {
         let (mut e, _r) = engine1();
         e.start_chain(
-            ChainSpec::new()
-                .delay(SimDuration::from_secs(1))
-                .delay(SimDuration::from_secs(2)),
+            ChainSpec::new().delay(SimDuration::from_secs(1)).delay(SimDuration::from_secs(2)),
             Tag::new(T, 5, 0),
         );
         let (t, _) = e.next_wakeup().unwrap();

@@ -130,11 +130,21 @@ impl FluidNet {
     ///
     /// `f64::INFINITY` is a valid capacity for resources that never
     /// constrain (e.g. an ideal backplane in tests).
-    pub fn add_resource(&mut self, name: impl Into<String>, kind: ResourceKind, capacity: f64) -> ResourceId {
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        kind: ResourceKind,
+        capacity: f64,
+    ) -> ResourceId {
         assert!(capacity >= 0.0, "resource capacity must be non-negative");
         let id = ResourceId(self.resources.len() as u32);
-        self.resources
-            .push(Resource { name: name.into(), kind, capacity, used: 0.0, cumulative: 0.0 });
+        self.resources.push(Resource {
+            name: name.into(),
+            kind,
+            capacity,
+            used: 0.0,
+            cumulative: 0.0,
+        });
         id
     }
 
@@ -237,9 +247,7 @@ impl FluidNet {
 
     /// True if `id` refers to a live flow.
     pub fn is_live(&self, id: FlowId) -> bool {
-        self.slots
-            .get(id.slot as usize)
-            .is_some_and(|s| s.gen == id.gen && s.state.is_some())
+        self.slots.get(id.slot as usize).is_some_and(|s| s.gen == id.gen && s.state.is_some())
     }
 
     /// Current rate of `id` (0 if stale).
@@ -265,7 +273,12 @@ impl FluidNet {
     /// # Panics
     /// If `now` is before the last update (time cannot run backwards).
     pub fn advance_to(&mut self, now: SimTime) {
-        assert!(now >= self.last_update, "fluid time ran backwards: {} < {}", now, self.last_update);
+        assert!(
+            now >= self.last_update,
+            "fluid time ran backwards: {} < {}",
+            now,
+            self.last_update
+        );
         if now == self.last_update {
             return;
         }
@@ -350,12 +363,10 @@ impl FluidNet {
 
             let mut still: Vec<u32> = Vec::new();
             for &slot_idx in &unfrozen {
-                let f = self.slots[slot_idx as usize]
-                    .state
-                    .as_mut()
-                    .expect("unfrozen flows are live");
-                let frozen_now = !any_saturated
-                    || f.demands.iter().any(|d| saturated[d.resource.index()]);
+                let f =
+                    self.slots[slot_idx as usize].state.as_mut().expect("unfrozen flows are live");
+                let frozen_now =
+                    !any_saturated || f.demands.iter().any(|d| saturated[d.resource.index()]);
                 if frozen_now {
                     f.rate = share;
                     for d in &f.demands {

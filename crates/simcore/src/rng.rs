@@ -64,8 +64,10 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u64> = RootSeed(42).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = RootSeed(42).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> =
+            RootSeed(42).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> =
+            RootSeed(42).stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 

@@ -90,7 +90,15 @@ impl Summary {
     /// Summarizes `xs` (empty input produces an all-zero summary).
     pub fn of(xs: &[f64]) -> Summary {
         if xs.is_empty() {
-            return Summary { n: 0, mean: 0.0, stddev: 0.0, min: 0.0, p50: 0.0, p95: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = xs.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));

@@ -57,10 +57,8 @@ fn cancel_is_idempotent() {
 #[test]
 fn batch_of_empty_chains_completes_at_now() {
     let (mut e, _r) = engine();
-    let members = vec![
-        (ChainSpec::new(), Tag::new(USER, 1, 0)),
-        (ChainSpec::new(), Tag::new(USER, 2, 0)),
-    ];
+    let members =
+        vec![(ChainSpec::new(), Tag::new(USER, 1, 0)), (ChainSpec::new(), Tag::new(USER, 2, 0))];
     e.start_batch(members, Tag::new(USER, 9, 0));
     let mut saw_batch = false;
     while let Some((t, w)) = e.next_wakeup() {
@@ -113,7 +111,7 @@ fn zero_capacity_then_restore_resumes_flow() {
     let (mut e, r) = engine();
     e.start_flow(vec![Demand::unit(r)], 100.0, Tag::new(USER, 1, 0));
     e.set_capacity(r, 0.0); // stall
-    // Nothing can complete; restore capacity via a timer-driven edit.
+                            // Nothing can complete; restore capacity via a timer-driven edit.
     e.set_timer_in(SimDuration::from_secs(2), Tag::new(USER, 99, 0));
     let (t, w) = e.next_wakeup().expect("timer fires");
     assert_eq!(w.tag().a, 99);
@@ -127,17 +125,15 @@ fn zero_capacity_then_restore_resumes_flow() {
 #[test]
 fn many_flows_on_many_resources_complete_exactly_once() {
     let mut e = Engine::new();
-    let rs: Vec<ResourceId> =
-        (0..8).map(|i| e.add_resource(format!("r{i}"), ResourceKind::Other, 50.0 + f64::from(i))).collect();
+    let rs: Vec<ResourceId> = (0..8)
+        .map(|i| e.add_resource(format!("r{i}"), ResourceKind::Other, 50.0 + f64::from(i)))
+        .collect();
     let n = 200u32;
     for i in 0..n {
         let a = rs[(i % 8) as usize];
         let b = rs[((i * 3 + 1) % 8) as usize];
-        let demands = if a == b {
-            vec![Demand::unit(a)]
-        } else {
-            vec![Demand::unit(a), Demand::unit(b)]
-        };
+        let demands =
+            if a == b { vec![Demand::unit(a)] } else { vec![Demand::unit(a), Demand::unit(b)] };
         e.start_flow(demands, 10.0 + f64::from(i), Tag::new(USER, i, 0));
     }
     let mut seen = vec![0u32; n as usize];

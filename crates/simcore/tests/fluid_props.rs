@@ -1,142 +1,141 @@
-//! Property-based tests of the fluid max-min allocator and the engine.
+//! Randomized-but-deterministic tests of the fluid max-min allocator and
+//! the engine: the invariants of the old proptest suite, driven by seeded
+//! loops (the offline build has no proptest).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use simcore::prelude::*;
 
 /// Random capacity in a sane positive range.
-fn cap_strategy() -> impl Strategy<Value = f64> {
-    (1.0f64..1e6).prop_map(|x| x)
+fn random_cap(rng: &mut StdRng) -> f64 {
+    rng.gen_range(1.0..1e6)
 }
 
-/// A flow demands 1..=3 distinct resources with weights in [0.1, 8].
-#[derive(Debug, Clone)]
-struct FlowSpec {
-    resources: Vec<usize>,
-    weights: Vec<f64>,
-    work: f64,
+/// A flow demanding 1..=3 distinct resources with weights in [0.1, 8].
+fn random_flow(rng: &mut StdRng, n_resources: usize) -> (Vec<usize>, Vec<f64>, f64) {
+    let k = rng.gen_range(1..=3usize.min(n_resources));
+    let mut resources: Vec<usize> = Vec::new();
+    while resources.len() < k {
+        let r = rng.gen_range(0..n_resources);
+        if !resources.contains(&r) {
+            resources.push(r);
+        }
+    }
+    resources.sort_unstable();
+    let weights: Vec<f64> = resources.iter().map(|_| rng.gen_range(0.1..8.0)).collect();
+    (resources, weights, rng.gen_range(1.0..1e5))
 }
 
-fn flow_strategy(n_resources: usize) -> impl Strategy<Value = FlowSpec> {
-    (
-        proptest::collection::btree_set(0..n_resources, 1..=3.min(n_resources)),
-        proptest::collection::vec(0.1f64..8.0, 3),
-        1.0f64..1e5,
-    )
-        .prop_map(|(set, weights, work)| {
-            let resources: Vec<usize> = set.into_iter().collect();
-            FlowSpec { weights: weights[..resources.len()].to_vec(), resources, work }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// After reallocation: no finite resource is over capacity, all rates
-    /// are non-negative, and every flow is bottlenecked somewhere (one of
-    /// its resources is saturated) — the defining property of max-min.
-    #[test]
-    fn maxmin_feasible_and_bottlenecked(
-        caps in proptest::collection::vec(cap_strategy(), 1..6),
-        flows in proptest::collection::vec(flow_strategy(6), 1..12),
-    ) {
+/// After reallocation: no finite resource is over capacity, all rates are
+/// non-negative, and every flow is bottlenecked somewhere (one of its
+/// resources is saturated) — the defining property of max-min.
+#[test]
+fn maxmin_feasible_and_bottlenecked() {
+    let mut rng = StdRng::seed_from_u64(0xF1D0);
+    for _case in 0..64 {
+        let n_res = rng.gen_range(1..6usize);
         let mut net = FluidNet::new();
-        let rids: Vec<ResourceId> = caps
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| net.add_resource(format!("r{i}"), ResourceKind::Other, c))
+        let rids: Vec<ResourceId> = (0..n_res)
+            .map(|i| net.add_resource(format!("r{i}"), ResourceKind::Other, random_cap(&mut rng)))
             .collect();
+        let n_flows = rng.gen_range(1..12usize);
         let mut fids = Vec::new();
-        for f in &flows {
-            let demands: Vec<Demand> = f
-                .resources
+        for _ in 0..n_flows {
+            let (resources, weights, work) = random_flow(&mut rng, n_res);
+            let demands: Vec<Demand> = resources
                 .iter()
-                .zip(&f.weights)
-                .filter(|(&r, _)| r < rids.len())
+                .zip(&weights)
                 .map(|(&r, &w)| Demand::weighted(rids[r], w))
                 .collect();
-            if demands.is_empty() {
-                continue;
-            }
-            fids.push((net.add_flow(demands.clone(), f.work), demands));
+            fids.push((net.add_flow(demands.clone(), work), demands));
         }
-        prop_assume!(!fids.is_empty());
         net.reallocate();
 
         // Feasibility: used <= capacity (with slack for fp error).
         for &r in &rids {
             let cap = net.capacity(r);
-            prop_assert!(net.used(r) <= cap * (1.0 + 1e-9) + 1e-9,
-                "resource {} over capacity: {} > {}", r, net.used(r), cap);
+            assert!(
+                net.used(r) <= cap * (1.0 + 1e-9) + 1e-9,
+                "resource {} over capacity: {} > {}",
+                r,
+                net.used(r),
+                cap
+            );
         }
 
         // Rates non-negative; every flow bottlenecked on some resource.
         for (fid, demands) in &fids {
             let rate = net.flow_rate(*fid);
-            prop_assert!(rate >= 0.0);
+            assert!(rate >= 0.0);
             let bottlenecked = demands.iter().any(|d| {
                 let r = d.resource;
                 net.used(r) >= net.capacity(r) * (1.0 - 1e-6)
             });
-            prop_assert!(bottlenecked,
-                "flow {} (rate {}) has no saturated resource", fid, rate);
+            assert!(bottlenecked, "flow {fid} (rate {rate}) has no saturated resource");
         }
     }
+}
 
-    /// Work conservation on a single resource: total allocated rate equals
-    /// capacity whenever any flow is active.
-    #[test]
-    fn single_resource_work_conserving(
-        cap in cap_strategy(),
-        works in proptest::collection::vec(1.0f64..1e4, 1..10),
-    ) {
+/// Work conservation on a single resource: total allocated rate equals
+/// capacity whenever any flow is active.
+#[test]
+fn single_resource_work_conserving() {
+    let mut rng = StdRng::seed_from_u64(0xC0175);
+    for _case in 0..64 {
+        let cap = random_cap(&mut rng);
         let mut net = FluidNet::new();
         let r = net.add_resource("r", ResourceKind::Other, cap);
-        for &w in &works {
-            net.add_flow(vec![Demand::unit(r)], w);
+        for _ in 0..rng.gen_range(1..10usize) {
+            net.add_flow(vec![Demand::unit(r)], rng.gen_range(1.0..1e4));
         }
         net.reallocate();
-        prop_assert!((net.used(r) - cap).abs() <= cap * 1e-9);
-        prop_assert!((net.utilization(r) - 1.0).abs() <= 1e-9);
+        assert!((net.used(r) - cap).abs() <= cap * 1e-9);
+        assert!((net.utilization(r) - 1.0).abs() <= 1e-9);
     }
+}
 
-    /// Engine completions arrive in non-decreasing time order and every
-    /// started flow completes exactly once.
-    #[test]
-    fn engine_completes_everything_in_order(
-        works in proptest::collection::vec(1.0f64..1e4, 1..20),
-        cap in cap_strategy(),
-    ) {
+/// Engine completions arrive in non-decreasing time order and every
+/// started flow completes exactly once.
+#[test]
+fn engine_completes_everything_in_order() {
+    let mut rng = StdRng::seed_from_u64(0xE2E2);
+    for _case in 0..48 {
+        let n = rng.gen_range(1..20usize);
         let mut e = Engine::new();
-        let r = e.add_resource("r", ResourceKind::Other, cap);
-        for (i, &w) in works.iter().enumerate() {
-            e.start_flow(vec![Demand::unit(r)], w, Tag::new(1, i as u32, 0));
+        let r = e.add_resource("r", ResourceKind::Other, random_cap(&mut rng));
+        for i in 0..n {
+            e.start_flow(vec![Demand::unit(r)], rng.gen_range(1.0..1e4), Tag::new(1, i as u32, 0));
         }
-        let mut seen = vec![false; works.len()];
+        let mut seen = vec![false; n];
         let mut last = SimTime::ZERO;
         while let Some((t, w)) = e.next_wakeup() {
-            prop_assert!(t >= last, "wakeup time went backwards");
+            assert!(t >= last, "wakeup time went backwards");
             last = t;
             let i = w.tag().a as usize;
-            prop_assert!(!seen[i], "double completion for flow {i}");
+            assert!(!seen[i], "double completion for flow {i}");
             seen[i] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s), "not all flows completed");
+        assert!(seen.iter().all(|&s| s), "not all flows completed");
     }
+}
 
-    /// On one shared resource, larger flows never finish before smaller
-    /// ones (equal shares => completion order follows work order).
-    #[test]
-    fn completion_order_follows_work(
-        mut works in proptest::collection::vec(1.0f64..1e4, 2..10),
-    ) {
-        // Make works strictly distinct to avoid tie ambiguity.
-        works.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// On one shared resource, larger flows never finish before smaller ones
+/// (equal shares => completion order follows work order).
+#[test]
+fn completion_order_follows_work() {
+    let mut rng = StdRng::seed_from_u64(0x0BDE2);
+    for _case in 0..48 {
+        let n = rng.gen_range(2..10usize);
+        let mut works: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1e4)).collect();
+        works.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         works.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
-        prop_assume!(works.len() >= 2);
+        if works.len() < 2 {
+            continue;
+        }
 
         let mut e = Engine::new();
         let r = e.add_resource("r", ResourceKind::Other, 100.0);
-        // Start in shuffled-ish order (reversed) to decouple from insert order.
+        // Start in reversed order to decouple from insert order.
         for (i, &w) in works.iter().enumerate().rev() {
             e.start_flow(vec![Demand::unit(r)], w, Tag::new(1, i as u32, 0));
         }
@@ -146,6 +145,6 @@ proptest! {
         }
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&order, &sorted, "completions out of work order");
+        assert_eq!(order, sorted, "completions out of work order");
     }
 }

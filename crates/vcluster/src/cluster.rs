@@ -78,9 +78,21 @@ impl VirtualCluster {
         let mut host_nic = Vec::with_capacity(spec.hosts as usize);
         let mut host_bridge = Vec::with_capacity(spec.hosts as usize);
         for h in 0..spec.hosts {
-            host_cpu.push(engine.add_resource(format!("pm{h}.cpu"), ResourceKind::Cpu, spec.host.cpu_capacity()));
-            host_nic.push(engine.add_resource(format!("pm{h}.nic"), ResourceKind::Net, spec.host.nic_bw));
-            host_bridge.push(engine.add_resource(format!("pm{h}.bridge"), ResourceKind::Net, spec.host.bridge_bw));
+            host_cpu.push(engine.add_resource(
+                format!("pm{h}.cpu"),
+                ResourceKind::Cpu,
+                spec.host.cpu_capacity(),
+            ));
+            host_nic.push(engine.add_resource(
+                format!("pm{h}.nic"),
+                ResourceKind::Net,
+                spec.host.nic_bw,
+            ));
+            host_bridge.push(engine.add_resource(
+                format!("pm{h}.bridge"),
+                ResourceKind::Net,
+                spec.host.bridge_bw,
+            ));
         }
         let switch = engine.add_resource("switch", ResourceKind::Net, spec.switch_bw);
         let nfs_nic = engine.add_resource("nfs.nic", ResourceKind::Net, spec.nfs.nic_bw);
@@ -213,10 +225,7 @@ impl VirtualCluster {
         let hs = self.vm_host[src.0 as usize] as usize;
         let hd = self.vm_host[dst.0 as usize] as usize;
         let tax = self.spec.xen.dom0_cycles_per_net_byte;
-        let acct = [
-            Demand::unit(self.vio[src.0 as usize]),
-            Demand::unit(self.vio[dst.0 as usize]),
-        ];
+        let acct = [Demand::unit(self.vio[src.0 as usize]), Demand::unit(self.vio[dst.0 as usize])];
         if hs == hd {
             let mut d = vec![Demand::unit(self.host_bridge[hs])];
             if tax > 0.0 {
@@ -403,7 +412,10 @@ mod tests {
         let elapsed = |placement: Placement| {
             let (mut e, c) = build(placement);
             for i in 0..2 {
-                e.start_chain(c.transfer(VmId(0), VmId(1), mb), Tag::new(simcore::owners::USER, i, 0));
+                e.start_chain(
+                    c.transfer(VmId(0), VmId(1), mb),
+                    Tag::new(simcore::owners::USER, i, 0),
+                );
             }
             let mut last = SimTime::ZERO;
             while let Some((t, _)) = e.next_wakeup() {

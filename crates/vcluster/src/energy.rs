@@ -54,11 +54,7 @@ impl EnergyReport {
 
     /// Total joules of one host.
     pub fn host_j(&self, host: HostId) -> f64 {
-        self.per_host
-            .iter()
-            .find(|(h, _, _)| *h == host.0)
-            .map(|(_, i, d)| i + d)
-            .unwrap_or(0.0)
+        self.per_host.iter().find(|(h, _, _)| *h == host.0).map(|(_, i, d)| i + d).unwrap_or(0.0)
     }
 
     /// Joules that powering down every host whose *dynamic* energy is

@@ -155,18 +155,13 @@ impl UtilizationDirtyModel {
         let now = engine.now();
         let cpu_cum = engine.fluid().cumulative(cpu);
         let io_cum = engine.fluid().cumulative(cluster.vio_resource(vm));
-        let (t0, c0, i0) = self
-            .marks
-            .insert(vm.0, (now, cpu_cum, io_cum))
-            .unwrap_or((SimTime::ZERO, 0.0, 0.0));
+        let (t0, c0, i0) =
+            self.marks.insert(vm.0, (now, cpu_cum, io_cum)).unwrap_or((SimTime::ZERO, 0.0, 0.0));
         let dt = now.saturating_since(t0).as_secs_f64();
         if dt <= 0.0 || cap <= 0.0 {
             (cluster.vcpu_utilization(engine, vm), 0.0)
         } else {
-            (
-                ((cpu_cum - c0) / (cap * dt)).clamp(0.0, 1.0),
-                ((io_cum - i0) / dt).max(0.0),
-            )
+            (((cpu_cum - c0) / (cap * dt)).clamp(0.0, 1.0), ((io_cum - i0) / dt).max(0.0))
         }
     }
 }
@@ -444,16 +439,10 @@ impl MigrationManager {
         if self.active == 0 && self.queue.is_empty() && self.finished.len() == self.expected {
             let started = self.session_started.take().expect("session was started");
             let total_time = (now + self.cfg.resume_latency).saturating_since(started);
-            let total_downtime = self
-                .finished
-                .iter()
-                .fold(SimDuration::ZERO, |acc, r| acc + r.downtime);
-            let max_downtime = self
-                .finished
-                .iter()
-                .map(|r| r.downtime)
-                .max()
-                .unwrap_or(SimDuration::ZERO);
+            let total_downtime =
+                self.finished.iter().fold(SimDuration::ZERO, |acc, r| acc + r.downtime);
+            let max_downtime =
+                self.finished.iter().map(|r| r.downtime).max().unwrap_or(SimDuration::ZERO);
             events.push(MigrationEvent::AllDone(ClusterMigrationReport {
                 per_vm: std::mem::take(&mut self.finished),
                 total_time,
@@ -472,11 +461,8 @@ mod tests {
 
     fn setup(vms: u32) -> (Engine, VirtualCluster) {
         let mut e = Engine::new();
-        let spec = ClusterSpec::builder()
-            .hosts(2)
-            .vms(vms)
-            .placement(Placement::SingleDomain)
-            .build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::SingleDomain).build();
         let c = VirtualCluster::new(&mut e, spec);
         (e, c)
     }
@@ -611,14 +597,8 @@ mod tests {
         let mut dirty = ConstantDirtyModel(0.5e6);
         let rep = run_migration(&mut e, &mut c, &mut mgr, &mut dirty, &[VmId(0)]);
         let vm = &rep.per_vm[0];
-        assert!(
-            vm.transferred >= vm.mem as f64,
-            "at least one full memory pass is transferred"
-        );
-        assert!(
-            vm.transferred <= 3.5 * vm.mem as f64,
-            "traffic budget bounds total transfer"
-        );
+        assert!(vm.transferred >= vm.mem as f64, "at least one full memory pass is transferred");
+        assert!(vm.transferred <= 3.5 * vm.mem as f64, "traffic budget bounds total transfer");
     }
 
     #[test]

@@ -223,10 +223,8 @@ impl ClusterSpec {
         }
         // Memory oversubscription check per host.
         for h in 0..self.hosts {
-            let packed: u64 = (0..self.vms)
-                .filter(|&v| self.host_of(v) == h)
-                .map(|_| self.vm.mem)
-                .sum();
+            let packed: u64 =
+                (0..self.vms).filter(|&v| self.host_of(v) == h).map(|_| self.vm.mem).sum();
             if packed > self.host.dram {
                 return Err(format!(
                     "host {h} oversubscribed: {} MB of VMs in {} MB of DRAM",
@@ -366,11 +364,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid ClusterSpec")]
     fn builder_rejects_bad_custom_placement() {
-        let _ = ClusterSpec::builder()
-            .hosts(1)
-            .vms(2)
-            .placement(Placement::Custom(vec![0]))
-            .build();
+        let _ =
+            ClusterSpec::builder().hosts(1).vms(2).placement(Placement::Custom(vec![0])).build();
     }
 
     #[test]

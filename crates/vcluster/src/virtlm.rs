@@ -98,12 +98,9 @@ impl VirtLm {
     /// Runs one profile at one memory size on a fresh simulated testbed.
     pub fn run_one(&self, profile: &WorkloadProfile, mem_mib: u64) -> VirtLmRow {
         let report = self.migrate_cluster(profile.dirty_rate, mem_mib);
-        let mean_vm_time_s = report
-            .per_vm
-            .iter()
-            .map(|r| r.migration_time.as_secs_f64())
-            .sum::<f64>()
-            / report.per_vm.len() as f64;
+        let mean_vm_time_s =
+            report.per_vm.iter().map(|r| r.migration_time.as_secs_f64()).sum::<f64>()
+                / report.per_vm.len() as f64;
         VirtLmRow {
             workload: profile.name.clone(),
             mem_mib,
@@ -191,7 +188,8 @@ mod tests {
         );
         // Downtime does NOT scale with memory (paper observation i).
         assert!(
-            (r1024.max_downtime_ms - r512.max_downtime_ms).abs() < 0.5 * r512.max_downtime_ms.max(50.0),
+            (r1024.max_downtime_ms - r512.max_downtime_ms).abs()
+                < 0.5 * r512.max_downtime_ms.max(50.0),
             "downtime uncorrelated with memory: {} vs {}",
             r512.max_downtime_ms,
             r1024.max_downtime_ms

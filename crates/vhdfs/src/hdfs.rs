@@ -143,7 +143,13 @@ impl Hdfs {
 
     /// Registers `path` without simulating the upload (pre-loaded input
     /// data sets). Replicas are placed as if `writer` had written it.
-    pub fn register_file(&mut self, cluster: &VirtualCluster, path: &str, len: u64, writer: VmId) -> &FileMeta {
+    pub fn register_file(
+        &mut self,
+        cluster: &VirtualCluster,
+        path: &str,
+        len: u64,
+        writer: VmId,
+    ) -> &FileMeta {
         let (cfg, dns) = (self.cfg, self.datanodes.clone());
         let rng = &mut self.rng;
         self.ns.create_file(path, len, cfg.block_size, |_| {
@@ -238,13 +244,16 @@ impl Hdfs {
         self.submit(engine, chain, len, client_tag)
     }
 
-    fn submit(&mut self, engine: &mut Engine, chain: ChainSpec, bytes: u64, client_tag: Tag) -> HdfsOpId {
+    fn submit(
+        &mut self,
+        engine: &mut Engine,
+        chain: ChainSpec,
+        bytes: u64,
+        client_tag: Tag,
+    ) -> HdfsOpId {
         let op = HdfsOpId(self.next_op);
         self.next_op = self.next_op.wrapping_add(1);
-        self.ops.insert(
-            op.0,
-            PendingOp { client_tag, bytes, submitted: engine.now() },
-        );
+        self.ops.insert(op.0, PendingOp { client_tag, bytes, submitted: engine.now() });
         engine.start_chain(chain, Tag::new(owners::HDFS, op.0, 0));
         op
     }
@@ -306,12 +315,8 @@ impl Hdfs {
             }
             // Pick a source and a fresh target.
             let src = closest_replica(cluster, &survivors, survivors[0], &mut self.rng);
-            let candidates: Vec<VmId> = self
-                .datanodes
-                .iter()
-                .copied()
-                .filter(|d| !survivors.contains(d))
-                .collect();
+            let candidates: Vec<VmId> =
+                self.datanodes.iter().copied().filter(|d| !survivors.contains(d)).collect();
             use rand::seq::SliceRandom;
             let Some(&dst) = candidates.choose(&mut self.rng) else {
                 continue; // no node left to hold another replica

@@ -92,11 +92,8 @@ pub fn closest_replica(
         return reader;
     }
     let reader_host = cluster.host_of(reader);
-    let same_host: Vec<VmId> = replicas
-        .iter()
-        .copied()
-        .filter(|v| cluster.host_of(*v) == reader_host)
-        .collect();
+    let same_host: Vec<VmId> =
+        replicas.iter().copied().filter(|v| cluster.host_of(*v) == reader_host).collect();
     if let Some(&v) = same_host.choose(rng) {
         return v;
     }
@@ -111,11 +108,8 @@ mod tests {
 
     fn cross_cluster(vms: u32) -> (Engine, VirtualCluster) {
         let mut e = Engine::new();
-        let spec = ClusterSpec::builder()
-            .hosts(2)
-            .vms(vms)
-            .placement(Placement::CrossDomain)
-            .build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
         let c = VirtualCluster::new(&mut e, spec);
         (e, c)
     }

@@ -1,51 +1,38 @@
-//! Property tests of namenode metadata invariants under random operation
-//! sequences.
+//! Randomized-but-deterministic tests of namenode metadata invariants
+//! under random operation sequences (seeded loops — the offline build has
+//! no proptest).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use simcore::prelude::*;
 use vcluster::prelude::*;
 use vhdfs::hdfs::{Hdfs, HdfsConfig};
 use vhdfs::meta::Namespace;
 
-/// A random create/delete workload.
-#[derive(Debug, Clone)]
-enum Op {
-    Create { name: u8, len: u64 },
-    Delete { name: u8 },
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12, 0u64..(300 << 10)).prop_map(|(name, len)| Op::Create { name, len }),
-        (0u8..12).prop_map(|name| Op::Delete { name }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// After any op sequence: per-file block sizes sum to the file
-    /// length; every block's replicas are distinct datanodes; per-node
-    /// used space equals the sum of its replica bytes.
-    #[test]
-    fn namespace_invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+/// After any create/delete sequence: per-file block sizes sum to the file
+/// length; every block's replicas are distinct datanodes; per-node used
+/// space equals the sum of its replica bytes.
+#[test]
+fn namespace_invariants_hold() {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    for _case in 0..48 {
         let mut e = Engine::new();
         let spec = ClusterSpec::builder().hosts(2).vms(8).placement(Placement::CrossDomain).build();
         let c = VirtualCluster::new(&mut e, spec);
-        let mut h = Hdfs::format(&c, HdfsConfig { block_size: 64 << 10, replication: 3 }, RootSeed(1));
+        let mut h =
+            Hdfs::format(&c, HdfsConfig { block_size: 64 << 10, replication: 3 }, RootSeed(1));
         let datanodes: Vec<VmId> = h.datanodes().to_vec();
 
-        for op in &ops {
-            match op {
-                Op::Create { name, len } => {
-                    let path = format!("/f{name}");
-                    if h.stat(&path).is_none() {
-                        h.register_file(&c, &path, *len, VmId(1 + (name % 7) as u32));
-                    }
+        for _op in 0..rng.gen_range(1..40usize) {
+            let name = rng.gen_range(0..12u8);
+            if rng.gen_bool(0.5) {
+                let path = format!("/f{name}");
+                if h.stat(&path).is_none() {
+                    let len = rng.gen_range(0..(300u64 << 10));
+                    h.register_file(&c, &path, len, VmId(1 + u32::from(name % 7)));
                 }
-                Op::Delete { name } => {
-                    h.delete(&format!("/f{name}"));
-                }
+            } else {
+                h.delete(&format!("/f{name}"));
             }
         }
 
@@ -62,32 +49,37 @@ proptest! {
                 reps.sort();
                 let before = reps.len();
                 reps.dedup();
-                prop_assert_eq!(reps.len(), before, "duplicate replica in {}", p);
+                assert_eq!(reps.len(), before, "duplicate replica in {p}");
                 for r in &bm.replicas {
-                    prop_assert!(datanodes.contains(r), "replica on non-datanode");
+                    assert!(datanodes.contains(r), "replica on non-datanode");
                     *expected_used.entry(r.0).or_insert(0) += bm.len;
                 }
             }
-            prop_assert_eq!(total, meta.len, "block sizes must sum to file length for {}", p);
+            assert_eq!(total, meta.len, "block sizes must sum to file length for {p}");
         }
         for &dn in &datanodes {
-            prop_assert_eq!(
+            assert_eq!(
                 h.namespace().used_space(dn),
                 expected_used.get(&dn.0).copied().unwrap_or(0),
-                "used-space accounting for {}", dn
+                "used-space accounting for {dn}"
             );
         }
     }
+}
 
-    /// Raw namespace: create then delete is a perfect round trip.
-    #[test]
-    fn create_delete_round_trip(len in 0u64..(1 << 20), block in 1u64..(128 << 10)) {
+/// Raw namespace: create then delete is a perfect round trip.
+#[test]
+fn create_delete_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x2011D);
+    for _case in 0..64 {
+        let len = rng.gen_range(0..(1u64 << 20));
+        let block = rng.gen_range(1..(128u64 << 10));
         let mut ns = Namespace::new();
         ns.create_file("/x", len, block, |_| vec![VmId(1), VmId(2)]);
         let expected_blocks = if len == 0 { 1 } else { len.div_ceil(block) };
-        prop_assert_eq!(ns.file("/x").expect("created").blocks.len() as u64, expected_blocks);
-        prop_assert!(ns.delete_file("/x"));
-        prop_assert_eq!(ns.file_count(), 0);
-        prop_assert_eq!(ns.used_space(VmId(1)), 0);
+        assert_eq!(ns.file("/x").expect("created").blocks.len() as u64, expected_blocks);
+        assert!(ns.delete_file("/x"));
+        assert_eq!(ns.file_count(), 0);
+        assert_eq!(ns.used_space(VmId(1)), 0);
     }
 }

@@ -43,7 +43,11 @@ impl MonitorReport {
                     name: c.name.clone(),
                     kind: c.kind,
                     util: Summary::of(&xs),
-                    saturated_frac: if xs.is_empty() { 0.0 } else { saturated as f64 / xs.len() as f64 },
+                    saturated_frac: if xs.is_empty() {
+                        0.0
+                    } else {
+                        saturated as f64 / xs.len() as f64
+                    },
                 }
             })
             .collect();
@@ -52,9 +56,7 @@ impl MonitorReport {
 
     /// The busiest resource (highest mean utilization), if any was sampled.
     pub fn bottleneck(&self) -> Option<&ResourceSummary> {
-        self.resources
-            .iter()
-            .max_by(|a, b| a.util.mean.partial_cmp(&b.util.mean).expect("no NaN"))
+        self.resources.iter().max_by(|a, b| a.util.mean.partial_cmp(&b.util.mean).expect("no NaN"))
     }
 
     /// The busiest resource of a given kind.
@@ -121,7 +123,8 @@ mod tests {
 
     fn monitored_run() -> Monitor {
         let mut e = Engine::new();
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let c = VirtualCluster::new(&mut e, spec);
         let mut m = Monitor::attach(&mut e, SimDuration::from_millis(500));
         // Saturate the NFS disk with a long read.

@@ -77,11 +77,8 @@ impl Monitor {
         if tag.owner != owners::MONITOR || Some(*id) != self.timer {
             return false;
         }
-        let util: Vec<f64> = self
-            .columns
-            .iter()
-            .map(|c| engine.fluid().utilization(c.resource))
-            .collect();
+        let util: Vec<f64> =
+            self.columns.iter().map(|c| engine.fluid().utilization(c.resource)).collect();
         self.samples.push(Sample { t: engine.now(), util });
         self.timer = Some(engine.set_timer_in(self.interval, Tag::owner(owners::MONITOR)));
         true
@@ -130,7 +127,8 @@ mod tests {
 
     fn setup() -> (Engine, VirtualCluster, Monitor) {
         let mut e = Engine::new();
-        let spec = ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
         let c = VirtualCluster::new(&mut e, spec);
         let m = Monitor::attach(&mut e, SimDuration::from_secs(1));
         (e, c, m)

@@ -34,13 +34,19 @@ pub struct DfsioReport {
 
 /// Runs TestDFSIO with `files` clients × `file_bytes` each on a fresh
 /// cluster described by `cluster_spec`.
-pub fn run_dfsio(cluster_spec: ClusterSpec, files: u32, file_bytes: u64, seed: RootSeed) -> DfsioReport {
+pub fn run_dfsio(
+    cluster_spec: ClusterSpec,
+    files: u32,
+    file_bytes: u64,
+    seed: RootSeed,
+) -> DfsioReport {
     assert!(files > 0, "need at least one file");
     let mut engine = Engine::new();
     let cluster = VirtualCluster::new(&mut engine, cluster_spec);
     let mut hdfs = Hdfs::format(&cluster, HdfsConfig::default(), seed);
 
-    let clients: Vec<VmId> = hdfs.datanodes().iter().copied().cycle().take(files as usize).collect();
+    let clients: Vec<VmId> =
+        hdfs.datanodes().iter().copied().cycle().take(files as usize).collect();
 
     // --- write phase -----------------------------------------------------
     let w_start = engine.now();

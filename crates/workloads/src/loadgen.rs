@@ -35,7 +35,13 @@ impl MapReduceApp for SyntheticLoadApp {
 /// Submits one synthetic load job: `maps` map tasks, each charging
 /// `cpu_secs` of guest CPU (at 2.4 GHz) and shipping `io_bytes` through
 /// spill + shuffle. `run` uniquifies HDFS paths across submissions.
-pub fn submit_load_job(rt: &mut MrRuntime, run: u32, maps: u32, cpu_secs: f64, io_bytes: u64) -> JobId {
+pub fn submit_load_job(
+    rt: &mut MrRuntime,
+    run: u32,
+    maps: u32,
+    cpu_secs: f64,
+    io_bytes: u64,
+) -> JobId {
     let block = rt.hdfs.config().block_size;
     let path = format!("/load/in-{run:04}");
     rt.register_input(&path, u64::from(maps) * block - 1, VmId(1));
@@ -63,8 +69,10 @@ mod tests {
 
     #[test]
     fn load_job_burns_cpu_and_io() {
-        let spec = ClusterSpec::builder().hosts(2).vms(5).placement(Placement::SingleDomain).build();
-        let mut rt = MrRuntime::new(spec, HdfsConfig { block_size: 1 << 20, replication: 2 }, RootSeed(1));
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(5).placement(Placement::SingleDomain).build();
+        let mut rt =
+            MrRuntime::new(spec, HdfsConfig { block_size: 1 << 20, replication: 2 }, RootSeed(1));
         let id = submit_load_job(&mut rt, 0, 4, 2.0, 4 << 20);
         let res = rt.drive_until_done(id).expect("completes");
         assert!(res.elapsed_secs() > 2.0, "CPU load took time: {:.1}s", res.elapsed_secs());

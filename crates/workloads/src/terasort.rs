@@ -119,8 +119,7 @@ pub fn run_terasort(
         // One control record per split; the map emits the actual data.
         vec![(K::Int(idx as i64), V::Null)]
     });
-    let gen_spec = JobSpec::generated("teragen", "/tera/gen")
-        .with_config(JobConfig::map_only());
+    let gen_spec = JobSpec::generated("teragen", "/tera/gen").with_config(JobConfig::map_only());
     let gen_result = rt.run_job(
         gen_spec,
         Box::new(TeraGenApp { seed: gen_seed, records_per_split }),
@@ -198,7 +197,9 @@ mod tests {
 
     #[test]
     fn sort_time_grows_with_data() {
-        let t = |mb: u64| run_terasort(cluster(Placement::SingleDomain), mb * MB, 2, RootSeed(1)).sort_time_s;
+        let t = |mb: u64| {
+            run_terasort(cluster(Placement::SingleDomain), mb * MB, 2, RootSeed(1)).sort_time_s
+        };
         let (t1, t4) = (t(1), t(4));
         assert!(t4 > t1, "4 MB ({t4:.2}s) slower than 1 MB ({t1:.2}s)");
     }

@@ -90,7 +90,8 @@ impl TextCorpus {
 
 /// Synthesizes a pronounceable pseudo-word; `salt` guarantees uniqueness.
 fn synth_word(rng: &mut StdRng, salt: usize) -> String {
-    const ONSETS: &[&str] = &["b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "th", "st", "tr"];
+    const ONSETS: &[&str] =
+        &["b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "th", "st", "tr"];
     const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
     const CODAS: &[&str] = &["", "n", "r", "s", "t", "nd", "st"];
     let syllables = rng.gen_range(1..=3);

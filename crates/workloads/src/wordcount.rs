@@ -77,11 +77,7 @@ pub fn run_wordcount_with(
     let block_size = hdfs_cfg.block_size;
     let last = blocks - 1;
     let input = GeneratorInput::new(blocks, block_size, move |idx| {
-        let bytes = if idx == last {
-            input_bytes - (last as u64) * block_size
-        } else {
-            block_size
-        };
+        let bytes = if idx == last { input_bytes - (last as u64) * block_size } else { block_size };
         corpus.split_records(idx, bytes)
     });
 
@@ -108,11 +104,7 @@ pub fn submit_wordcount(
     let corpus = TextCorpus::english_like(seed.derive("load").derive_index(u64::from(run)));
     let last = blocks - 1;
     let input = GeneratorInput::new(blocks, block_size, move |idx| {
-        let bytes = if idx == last {
-            input_bytes - (last as u64) * block_size
-        } else {
-            block_size
-        };
+        let bytes = if idx == last { input_bytes - (last as u64) * block_size } else { block_size };
         corpus.split_records(idx, bytes)
     });
     let spec = JobSpec::new(format!("wordcount-{run}"), path, format!("/wc-load/out-{run:04}"))

@@ -29,10 +29,16 @@ fn report(label: &str, rep: &ClusterMigrationReport) {
 }
 
 fn main() {
-    let cluster = ClusterSpec::builder().hosts(2).vms(8).vm_mem_mib(512).placement(Placement::SingleDomain).build();
+    let cluster = ClusterSpec::builder()
+        .hosts(2)
+        .vms(8)
+        .vm_mem_mib(512)
+        .placement(Placement::SingleDomain)
+        .build();
 
     // --- idle migration --------------------------------------------------
-    let mut idle = VHadoop::launch(PlatformConfig { cluster: cluster.clone(), ..Default::default() });
+    let mut idle =
+        VHadoop::launch(PlatformConfig { cluster: cluster.clone(), ..Default::default() });
     let meter = EnergyMeter::start(&idle.rt.engine, &idle.rt.cluster, PowerModel::default());
     let idle_rep = idle.migrate_cluster(HostId(1));
     report("idle cluster", &idle_rep);

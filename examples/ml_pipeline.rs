@@ -20,7 +20,10 @@ fn main() {
         chart.dims(),
         chart.classes.len()
     );
-    println!("\n{:<14} {:>9} {:>7} {:>9} {:>8}", "algorithm", "time(s)", "iters", "clusters", "purity");
+    println!(
+        "\n{:<14} {:>9} {:>7} {:>9} {:>8}",
+        "algorithm", "time(s)", "iters", "clusters", "purity"
+    );
     for alg in Algorithm::ALL {
         let run = run_algorithm(alg, DatasetKind::ControlChart, chart.points.clone(), 8, seed);
         let purity_s = run
@@ -62,7 +65,14 @@ fn main() {
     println!("\nk-means on 1000 Gaussian samples ({} iterations):", trail.iterations.len() - 1);
     println!("{}", render_ascii(&samples.points, &model, 72, 22));
 
-    let svg = render_svg("k-means on DisplayClustering samples", &samples.points, &model, &trail, 640, 480);
+    let svg = render_svg(
+        "k-means on DisplayClustering samples",
+        &samples.points,
+        &model,
+        &trail,
+        640,
+        480,
+    );
     let path = "target/ml_pipeline_kmeans.svg";
     if std::fs::create_dir_all("target").and_then(|()| std::fs::write(path, &svg)).is_ok() {
         println!("iteration-trail SVG written to {path}");

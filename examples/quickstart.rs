@@ -34,7 +34,8 @@ fn main() {
     });
     let config = JobConfig::default().with_reduces(4);
     let spec = JobSpec::new("wordcount", "/books", "/counts").with_config(config);
-    let result = platform.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
+    let result =
+        platform.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
 
     println!(
         "wordcount finished in {:.1}s (map {:.1}s, reduce {:.1}s)",

@@ -25,7 +25,8 @@ fn run_once(config: JobConfig, label: &str) -> (JobResult, JobConfig, VHadoop) {
         corpus.split_records(idx, bytes)
     });
     let spec = JobSpec::new("wordcount", "/corpus", "/out").with_config(config.clone());
-    let result = platform.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
+    let result =
+        platform.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
     println!(
         "{label}: {:.1}s elapsed, {:.1} MB shuffled, {:.0}% data-local maps",
         result.elapsed_secs(),

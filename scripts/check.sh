@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints, tests, and a determinism lint.
+# Run from anywhere: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> determinism lint"
+# A run must be a pure function of config + seed: no wall clock and no OS
+# entropy anywhere in the simulation crates.
+if grep -rnE 'Instant::now|SystemTime::now|thread_rng' crates/*/src; then
+    echo "determinism lint FAILED: wall clock or OS entropy in crates/" >&2
+    exit 1
+fi
+
+echo "all checks passed"

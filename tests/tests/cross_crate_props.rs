@@ -1,57 +1,66 @@
-//! Cross-crate property tests: invariants that must hold for arbitrary
-//! configurations of the whole stack.
+//! Cross-crate randomized tests: invariants that must hold for arbitrary
+//! configurations of the whole stack (seeded loops — the offline build has
+//! no proptest).
 
 use mapreduce::config::JobConfig;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use simcore::rng::RootSeed;
 use vcluster::spec::{ClusterSpec, Placement};
 use workloads::terasort::run_terasort;
 use workloads::wordcount::run_wordcount;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// TeraSort output is globally sorted and complete for arbitrary data
-    /// sizes, reduce counts, and placements.
-    #[test]
-    fn terasort_always_sorts(
-        kb in 64u64..2048,
-        reduces in 1u32..6,
-        cross in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
-        let placement = if cross { Placement::CrossDomain } else { Placement::SingleDomain };
+/// TeraSort output is globally sorted and complete for arbitrary data
+/// sizes, reduce counts, and placements.
+#[test]
+fn terasort_always_sorts() {
+    let mut rng = StdRng::seed_from_u64(0x7E2A);
+    for _case in 0..8 {
+        let kb = rng.gen_range(64u64..2048);
+        let reduces = rng.gen_range(1u32..6);
+        let placement =
+            if rng.gen_bool(0.5) { Placement::CrossDomain } else { Placement::SingleDomain };
+        let seed = rng.gen_range(0u64..1000);
         let cluster = ClusterSpec::builder().hosts(2).vms(5).placement(placement).build();
         let rep = run_terasort(cluster, kb * 1024, reduces, RootSeed(seed));
-        prop_assert!(rep.valid, "unsorted or lossy output for {kb} KB / {reduces} reduces");
-        prop_assert!(rep.records > 0);
+        assert!(rep.valid, "unsorted or lossy output for {kb} KB / {reduces} reduces");
+        assert!(rep.records > 0);
     }
+}
 
-    /// Wordcount conserves words: total counted occurrences are identical
-    /// whatever the reduce count, combiner setting, or placement.
-    #[test]
-    fn wordcount_conserves_counts(
-        reduces in 1u32..5,
-        combiner in any::<bool>(),
-        cross in any::<bool>(),
-    ) {
-        let placement = if cross { Placement::CrossDomain } else { Placement::SingleDomain };
+/// Wordcount conserves words: total counted occurrences are identical
+/// whatever the reduce count, combiner setting, or placement.
+#[test]
+fn wordcount_conserves_counts() {
+    // The canonical run (1 reduce, combiner on) on the same corpus.
+    let base_cluster = ClusterSpec::builder().hosts(2).vms(6).build();
+    let base = run_wordcount(base_cluster, 2 << 20, JobConfig::default(), RootSeed(13));
+    let base_total: i64 = base.result.outputs.iter().map(|(_, v)| v.as_int()).sum();
+
+    let mut rng = StdRng::seed_from_u64(0x33CC);
+    for _case in 0..8 {
+        let reduces = rng.gen_range(1u32..5);
+        let combiner = rng.gen_bool(0.5);
+        let placement =
+            if rng.gen_bool(0.5) { Placement::CrossDomain } else { Placement::SingleDomain };
         let cluster = ClusterSpec::builder().hosts(2).vms(6).placement(placement).build();
         let cfg = JobConfig::default().with_reduces(reduces).with_combiner(combiner);
         let rep = run_wordcount(cluster, 2 << 20, cfg, RootSeed(13));
         let total: i64 = rep.result.outputs.iter().map(|(_, v)| v.as_int()).sum();
-        // The canonical run (1 reduce, combiner on) on the same corpus.
-        let base_cluster = ClusterSpec::builder().hosts(2).vms(6).build();
-        let base = run_wordcount(base_cluster, 2 << 20, JobConfig::default(), RootSeed(13));
-        let base_total: i64 = base.result.outputs.iter().map(|(_, v)| v.as_int()).sum();
-        prop_assert_eq!(total, base_total, "word occurrences must be conserved");
+        assert_eq!(total, base_total, "word occurrences must be conserved");
     }
+}
 
-    /// The simulated clock only moves forward and jobs always terminate.
-    #[test]
-    fn jobs_always_terminate(vms in 3u32..10, mb in 1u64..6) {
-        let cluster = ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
+/// The simulated clock only moves forward and jobs always terminate.
+#[test]
+fn jobs_always_terminate() {
+    let mut rng = StdRng::seed_from_u64(0x7E51);
+    for _case in 0..6 {
+        let vms = rng.gen_range(3u32..10);
+        let mb = rng.gen_range(1u64..6);
+        let cluster =
+            ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build();
         let rep = run_wordcount(cluster, mb << 20, JobConfig::default(), RootSeed(17));
-        prop_assert!(rep.elapsed_s.is_finite() && rep.elapsed_s > 0.0);
+        assert!(rep.elapsed_s.is_finite() && rep.elapsed_s > 0.0);
     }
 }

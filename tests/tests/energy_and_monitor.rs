@@ -10,7 +10,9 @@ fn consolidation_frees_a_host() {
     // VMs start spread over both hosts; migrate host 0's VMs to host 1
     // through the migration manager, then check the energy verdict.
     use simcore::owners;
-    use vcluster::migration::{ConstantDirtyModel, MigrationConfig, MigrationEvent, MigrationManager};
+    use vcluster::migration::{
+        ConstantDirtyModel, MigrationConfig, MigrationEvent, MigrationManager,
+    };
 
     let mut e = Engine::new();
     let spec = ClusterSpec::builder()
@@ -92,9 +94,5 @@ fn monitor_sees_migration_traffic() {
     assert!(report.samples > 5);
     // The inter-host NICs carried the memory streams.
     let nic = report.resource("pm0.nic").expect("column exists");
-    assert!(
-        nic.util.max > 0.9,
-        "migration saturates the source NIC, saw max {:.2}",
-        nic.util.max
-    );
+    assert!(nic.util.max > 0.9, "migration saturates the source NIC, saw max {:.2}", nic.util.max);
 }

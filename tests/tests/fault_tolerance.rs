@@ -22,7 +22,11 @@ fn platform(vms: u32) -> VHadoop {
     })
 }
 
-fn wordcount_input(p: &VHadoop, path: &str, bytes: u64) -> GeneratorInput<impl Fn(usize) -> Vec<Record> + Send> {
+fn wordcount_input(
+    p: &VHadoop,
+    path: &str,
+    bytes: u64,
+) -> GeneratorInput<impl Fn(usize) -> Vec<Record> + Send> {
     let blocks = p.rt.hdfs.stat(path).expect("registered").blocks.len();
     let block_size = p.rt.hdfs.config().block_size;
     let corpus = TextCorpus::english_like(RootSeed(91));
@@ -53,8 +57,15 @@ fn run_with_failure(fail_after_maps: Option<usize>) -> JobResult {
                     if let Some(n) = fail_after_maps {
                         if maps_done == n && !failed {
                             failed = true;
-                            // Kill a worker that is mid-job.
-                            let victim = VmId(3);
+                            // Kill a worker that is mid-job (one actually
+                            // holding task slots — block placement is
+                            // randomized, so a fixed id could be idle).
+                            let victim =
+                                p.rt.mr
+                                    .busy_trackers()
+                                    .into_iter()
+                                    .find(|&v| v != p.rt.hdfs.namenode())
+                                    .expect("some worker is mid-job");
                             let (_re, lost) = p.fail_node(victim);
                             assert_eq!(lost, 0, "replication 3 loses nothing");
                         }
@@ -98,8 +109,8 @@ fn crash_during_reduce_phase_recovers() {
     let bytes = 4 * MB - 1;
     p.register_input("/wc2", bytes, VmId(1));
     let input = wordcount_input(&p, "/wc2", bytes);
-    let spec = JobSpec::new("wc2", "/wc2", "/wc2-out")
-        .with_config(JobConfig::default().with_reduces(3));
+    let spec =
+        JobSpec::new("wc2", "/wc2", "/wc2-out").with_config(JobConfig::default().with_reduces(3));
     let id = p.rt.submit(spec, Box::new(WordCountApp), Box::new(input));
 
     let mut failed = false;

@@ -17,8 +17,12 @@ fn cluster(placement: Placement) -> ClusterSpec {
 fn fig2_wordcount_grows_with_size_and_cross_domain_is_no_faster() {
     let mut last_normal = 0.0;
     for mb in [2u64, 4, 8] {
-        let normal =
-            run_wordcount(cluster(Placement::SingleDomain), mb * MB, JobConfig::default(), RootSeed(1));
+        let normal = run_wordcount(
+            cluster(Placement::SingleDomain),
+            mb * MB,
+            JobConfig::default(),
+            RootSeed(1),
+        );
         assert!(
             normal.elapsed_s >= last_normal,
             "runtime grows with input: {mb} MB took {:.2}s after {last_normal:.2}s",

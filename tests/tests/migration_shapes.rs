@@ -2,7 +2,6 @@
 //! (Fig. 5 / Table II): memory scaling, busy-vs-idle ratios, per-VM
 //! downtime spread.
 
-
 use vcluster::cluster::HostId;
 use vcluster::migration::ClusterMigrationReport;
 use vcluster::spec::{ClusterSpec, Placement};
@@ -83,10 +82,7 @@ fn busy_downtime_varies_across_vms() {
     let downs: Vec<f64> = busy.per_vm.iter().map(|r| r.downtime.as_millis_f64()).collect();
     let min = downs.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = downs.iter().cloned().fold(0.0f64, f64::max);
-    assert!(
-        max > 1.5 * min.max(1.0),
-        "per-VM downtime spread under load: {min:.0}..{max:.0} ms"
-    );
+    assert!(max > 1.5 * min.max(1.0), "per-VM downtime spread under load: {min:.0}..{max:.0} ms");
 }
 
 #[test]

@@ -33,11 +33,7 @@ fn fig7_shape_light_workload_scales_smoothly() {
         };
         let (t2, t8) = (t(2), t(8));
         let growth = t8 / t2.max(1e-9);
-        assert!(
-            growth < 3.0,
-            "{}: light workload grew {growth:.2}x from 2 to 8 VMs",
-            alg.name()
-        );
+        assert!(growth < 3.0, "{}: light workload grew {growth:.2}x from 2 to 8 VMs", alg.name());
     }
 }
 
@@ -46,7 +42,13 @@ fn clustering_quality_on_platform_matches_structure() {
     // k-means on the control chart: six generated classes; purity should
     // comfortably beat chance (1/6 ≈ 0.17) even at reduced size.
     let data = control_chart(RootSeed(7), 20, 60);
-    let run = run_algorithm(Algorithm::KMeans, DatasetKind::ControlChart, data.points.clone(), 4, RootSeed(7));
+    let run = run_algorithm(
+        Algorithm::KMeans,
+        DatasetKind::ControlChart,
+        data.points.clone(),
+        4,
+        RootSeed(7),
+    );
     let model = run.model.expect("kmeans produces a model");
     let p = purity(&data.labels, &model.assignments);
     assert!(p > 0.5, "k-means purity {p:.2} on control chart");
@@ -62,10 +64,7 @@ fn mr_and_reference_agree_on_the_platform() {
     let (mr_model, _) = mlkit::kmeans::run_mr(&mut ml, params, RootSeed(9));
     let (ref_model, _) = mlkit::kmeans::reference(&data.points, params, RootSeed(9));
     for (a, b) in mr_model.centers.iter().zip(&ref_model.centers) {
-        assert!(
-            Distance::Euclidean.between(a, b) < 1e-6,
-            "platform execution changed the model"
-        );
+        assert!(Distance::Euclidean.between(a, b) < 1e-6, "platform execution changed the model");
     }
 }
 
@@ -75,7 +74,8 @@ fn fig8_renderers_produce_output_for_all_algorithms() {
     for alg in Algorithm::ALL {
         let run = run_algorithm(alg, DatasetKind::Display, data.points.clone(), 4, RootSeed(10));
         if let Some(model) = run.model {
-            let svg = render_svg(alg.name(), &data.points, &model, &IterationTrail::new(), 320, 240);
+            let svg =
+                render_svg(alg.name(), &data.points, &model, &IterationTrail::new(), 320, 240);
             assert!(svg.contains("<svg") && svg.len() > 1000, "{} SVG renders", alg.name());
             let ascii = render_ascii(&data.points, &model, 40, 12);
             assert_eq!(ascii.lines().count(), 12);

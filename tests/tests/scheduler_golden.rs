@@ -1,0 +1,64 @@
+//! Golden determinism test for the scheduling layer: the `Fifo` policy
+//! must reproduce the pre-refactor monolithic JobTracker's decisions
+//! exactly. Pinned to the Fig. 2 wordcount configuration (16 VMs, 4
+//! reduces, no combiner) at one representative size per placement.
+//!
+//! The nanosecond values below were captured from the monolithic
+//! `MrEngine` (before the `TaskScheduler` extraction) at the same seed; a
+//! same-seed run must match them bit-for-bit. If a deliberate
+//! scheduling-semantics change ever invalidates them, re-capture with
+//! `cargo test -p vhadoop-integration golden -- --nocapture` and record
+//! the change in CHANGES.md.
+
+use mapreduce::config::JobConfig;
+use simcore::rng::RootSeed;
+use vcluster::spec::{ClusterSpec, Placement};
+use vhdfs::hdfs::HdfsConfig;
+use workloads::wordcount::run_wordcount_with;
+
+/// One Fig. 2 wordcount point: 16 MB over a 16-VM cluster.
+fn fig2_point(placement: Placement) -> workloads::wordcount::WordcountReport {
+    let mb = 16u64;
+    let spec = ClusterSpec::builder().hosts(2).vms(16).placement(placement).build();
+    let cfg = JobConfig::default().with_combiner(false).with_reduces(4);
+    let hdfs = HdfsConfig { block_size: ((mb << 20) / 15).max(1 << 20), replication: 3 };
+    run_wordcount_with(spec, mb << 20, cfg, hdfs, RootSeed(2012))
+}
+
+#[test]
+fn fifo_reproduces_pre_refactor_timings() {
+    for (placement, name) in
+        [(Placement::SingleDomain, "normal"), (Placement::CrossDomain, "cross-domain")]
+    {
+        let rep = fig2_point(placement);
+        let r = &rep.result;
+        println!(
+            "{name}: elapsed={} map_phase={} reduce_phase={} launched_maps={} \
+             data_local={} shuffle_bytes={} outputs={}",
+            r.elapsed.as_nanos(),
+            r.map_phase.as_nanos(),
+            r.reduce_phase.as_nanos(),
+            r.counters.launched_maps,
+            r.counters.data_local_maps,
+            r.counters.shuffle_bytes,
+            r.outputs.len(),
+        );
+        let golden: (u64, u64, u64, u64, u64, u64, usize) = match name {
+            "normal" => (11_595_668_098, 7_803_257_009, 3_792_411_089, 16, 15, 38_243_200, 4274),
+            _ => (11_590_886_027, 7_803_257_009, 3_787_629_018, 16, 15, 38_243_200, 4274),
+        };
+        assert_eq!(
+            (
+                r.elapsed.as_nanos(),
+                r.map_phase.as_nanos(),
+                r.reduce_phase.as_nanos(),
+                r.counters.launched_maps,
+                r.counters.data_local_maps,
+                r.counters.shuffle_bytes,
+                r.outputs.len(),
+            ),
+            golden,
+            "{name}: Fifo diverged from the pre-refactor engine"
+        );
+    }
+}
