@@ -8,9 +8,9 @@
 use mapreduce::config::JobConfig;
 use simcore::rng::RootSeed;
 use vcluster::spec::{ClusterSpec, Placement};
-use vhadoop_bench::{cli_scale, non_decreasing, ResultSink};
+use vhadoop_bench::{cli_scale, non_decreasing, write_artifact, ResultSink};
 use vhdfs::hdfs::HdfsConfig;
-use workloads::wordcount::run_wordcount_with;
+use workloads::wordcount::{run_wordcount_traced, run_wordcount_with};
 
 fn main() {
     let scale = cli_scale();
@@ -40,6 +40,24 @@ fn main() {
         }
     }
     sink.finish();
+
+    // Re-run the smallest normal point with the structured tracer on and
+    // archive the Chrome trace (open in chrome://tracing / Perfetto).
+    let mb = sizes_mb[0];
+    let spec = ClusterSpec::builder().hosts(2).vms(16).placement(Placement::SingleDomain).build();
+    let cfg = JobConfig::default().with_combiner(false).with_reduces(4);
+    let hdfs = HdfsConfig { block_size: ((mb << 20) / 15).max(1 << 20), replication: 3 };
+    let (_, trace) = run_wordcount_traced(spec, mb << 20, cfg, hdfs, RootSeed(2012));
+    for cat in ["map", "shuffle", "reduce", "hdfs"] {
+        assert!(
+            trace.contains(&format!("\"cat\":\"{cat}\"")),
+            "trace covers the {cat} span category"
+        );
+    }
+    match write_artifact("fig2_wordcount.trace.json", &trace) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write trace: {e}"),
+    }
 
     // Shape checks (the paper's qualitative claims).
     let normal = sink.series_points("normal");

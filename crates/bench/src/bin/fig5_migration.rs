@@ -30,15 +30,16 @@ pub fn migrate(mem_mib: u64, busy: bool, load_mb: u64) -> ClusterMigrationReport
         .build();
     // Small HDFS blocks give the load jobs enough concurrent map tasks to
     // keep every task slot busy during the migration window.
-    let mut platform = VHadoop::launch(PlatformConfig {
-        cluster,
-        hdfs: vhdfs::hdfs::HdfsConfig { block_size: 4 << 20, replication: 3 },
-        ..Default::default()
-    });
+    let mut platform = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster)
+            .hdfs(vhdfs::hdfs::HdfsConfig { block_size: 4 << 20, replication: 3 })
+            .build(),
+    );
     if busy {
         let mut run = 0u32;
         let real = std::env::args().any(|a| a == "--real-wordcount");
-        let (rep, _) = platform.migrate_cluster_under_load(HostId(1), |rt| {
+        let (rep, _) = platform.migration(HostId(1)).under_load(|rt| {
             if real {
                 // Paper-faithful: actual wordcount jobs over generated text
                 // (slow in wall-clock terms — the simulator tokenizes every
@@ -57,7 +58,7 @@ pub fn migrate(mem_mib: u64, busy: bool, load_mb: u64) -> ClusterMigrationReport
         });
         rep
     } else {
-        platform.migrate_cluster(HostId(1))
+        platform.migration(HostId(1)).idle()
     }
 }
 

@@ -26,16 +26,18 @@ fn run(mem_mib: u64, busy: bool, load_mb: u64) -> (f64, f64) {
         .build();
     // Small HDFS blocks give the load jobs enough concurrent map tasks to
     // keep every task slot busy during the migration window.
-    let mut platform = VHadoop::launch(PlatformConfig {
-        cluster,
-        hdfs: vhdfs::hdfs::HdfsConfig { block_size: 4 << 20, replication: 3 },
-        ..Default::default()
-    });
+    let mut platform = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster)
+            .hdfs(vhdfs::hdfs::HdfsConfig { block_size: 4 << 20, replication: 3 })
+            .build(),
+    );
     let rep = if busy {
         let mut runid = 0u32;
         let real = std::env::args().any(|a| a == "--real-wordcount");
         platform
-            .migrate_cluster_under_load(HostId(1), |rt| {
+            .migration(HostId(1))
+            .under_load(|rt| {
                 if real {
                     submit_wordcount(rt, runid, load_mb << 20, JobConfig::default(), RootSeed(77));
                 } else {
@@ -48,7 +50,7 @@ fn run(mem_mib: u64, busy: bool, load_mb: u64) -> (f64, f64) {
             })
             .0
     } else {
-        platform.migrate_cluster(HostId(1))
+        platform.migration(HostId(1)).idle()
     };
     (rep.total_time.as_secs_f64(), rep.total_downtime.as_millis_f64())
 }

@@ -160,6 +160,16 @@ impl ResultSink {
     }
 }
 
+/// Writes an auxiliary artifact (e.g. a Chrome trace) under `results/`,
+/// creating the directory if needed; returns the written path.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 /// Parses `--scale <f>` from the process args (default 8.0): a divisor on
 /// the paper's absolute data sizes so the harness runs laptop-fast while
 /// preserving shapes. `--full` forces scale 1 (paper-size data).

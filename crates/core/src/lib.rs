@@ -22,17 +22,23 @@
 //! ```
 //! use vhadoop::prelude::*;
 //!
-//! let mut platform = VHadoop::launch(PlatformConfig {
-//!     cluster: ClusterSpec::builder().hosts(2).vms(4).build(),
-//!     ..Default::default()
-//! });
+//! let mut platform = VHadoop::launch(
+//!     PlatformConfig::builder()
+//!         .cluster(ClusterSpec::builder().hosts(2).vms(4).build())
+//!         .tracing(true)
+//!         .build(),
+//! );
 //! let t = platform.upload_input("/in", 8 << 20, VmId(1));
 //! assert!(t.as_secs_f64() > 0.0);
+//! // The upload left hdfs spans in the trace.
+//! assert!(platform.metrics().category("hdfs").is_some());
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod platform;
+pub mod session;
 
 pub use mapreduce;
 pub use mlkit;
@@ -45,7 +51,11 @@ pub use workloads;
 
 /// Convenience imports covering the whole platform surface.
 pub mod prelude {
-    pub use crate::platform::{PlatformConfig, PlatformEvent, VHadoop};
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::platform::{
+        FailureImpact, PlatformConfig, PlatformConfigBuilder, PlatformEvent, VHadoop,
+    };
+    pub use crate::session::MigrationSession;
     pub use mapreduce::prelude::*;
     pub use simcore::prelude::*;
     pub use vcluster::prelude::*;

@@ -1,0 +1,90 @@
+//! Per-run and per-job metrics snapshots distilled from the trace.
+//!
+//! When a platform is launched with tracing enabled
+//! (`PlatformConfig::builder().tracing(true)`), every fig/ablation binary
+//! gets uniform telemetry for free: [`VHadoop::metrics`] aggregates the
+//! recorded spans into per-category statistics, and
+//! [`VHadoop::job_metrics`] restricts them to one job via the `job` span
+//! argument the MapReduce instrumentation attaches.
+
+use crate::platform::VHadoop;
+use mapreduce::job::JobResult;
+use simcore::prelude::*;
+use std::fmt::Write as _;
+
+/// Aggregate view of one traced run (or one job within it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Simulation instant the snapshot was taken.
+    pub sim_time: SimTime,
+    /// Total wakeups the engine has delivered.
+    pub wakeups: u64,
+    /// Spans included in this snapshot (after any job filter).
+    pub spans: usize,
+    /// Counter samples recorded by the monitor.
+    pub counter_samples: usize,
+    /// Per-category span statistics, sorted by category name.
+    pub categories: Vec<CategoryStats>,
+}
+
+impl MetricsSnapshot {
+    /// Statistics of one category (`map`, `shuffle`, `reduce`, `hdfs`,
+    /// `migration`), if any span of it was recorded.
+    pub fn category(&self, name: &str) -> Option<&CategoryStats> {
+        self.categories.iter().find(|c| c.name == name)
+    }
+
+    /// Human-readable summary table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "t={:.3}s wakeups={} spans={} counter_samples={}",
+            self.sim_time.as_secs_f64(),
+            self.wakeups,
+            self.spans,
+            self.counter_samples,
+        );
+        let _ =
+            writeln!(out, "{:<12} {:>6} {:>12} {:>12}", "category", "count", "total_s", "max_s");
+        for c in &self.categories {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>12.3} {:>12.3}",
+                c.name,
+                c.count,
+                c.total.as_secs_f64(),
+                c.max.as_secs_f64(),
+            );
+        }
+        out
+    }
+}
+
+impl VHadoop {
+    /// Metrics over every span recorded so far. Empty (zero spans) unless
+    /// the platform was launched with tracing enabled.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.snapshot(|_| true)
+    }
+
+    /// Metrics restricted to spans of `job` (matched on the `job` span
+    /// argument; hdfs/migration spans carry no job id and are excluded).
+    pub fn job_metrics(&self, job: &JobResult) -> MetricsSnapshot {
+        let tracer = self.rt.engine.tracer();
+        let id = f64::from(job.id.0);
+        self.snapshot(|s| tracer.span_arg(s, "job") == Some(id))
+    }
+
+    fn snapshot(&self, filter: impl FnMut(&Span) -> bool) -> MetricsSnapshot {
+        let tracer = self.rt.engine.tracer();
+        let categories = tracer.category_stats(filter);
+        MetricsSnapshot {
+            sim_time: self.rt.engine.now(),
+            wakeups: self.rt.engine.wakeups_delivered(),
+            spans: categories.iter().map(|c| c.count).sum(),
+            counter_samples: tracer.counters().len(),
+            categories,
+        }
+    }
+}

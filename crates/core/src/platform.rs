@@ -14,8 +14,8 @@
 //!    its report into configuration advice → [`VHadoop::advise`].
 //!
 //! Live migration of the whole virtual cluster — idle or under load — is
-//! available through [`VHadoop::migrate_cluster`] and
-//! [`VHadoop::migrate_during_job`].
+//! available through [`VHadoop::migration`], which opens a
+//! [`crate::session::MigrationSession`].
 
 use mapreduce::app::MapReduceApp;
 use mapreduce::config::JobConfig;
@@ -36,9 +36,12 @@ use vmonitor::analyser::MonitorReport;
 use vmonitor::monitor::Monitor;
 
 /// Marker payload for the deferred-migration timer.
-const MIGRATION_START_MARK: u64 = 0x4D49_4752;
+pub(crate) const MIGRATION_START_MARK: u64 = 0x4D49_4752;
 
 /// Everything needed to launch a platform instance.
+///
+/// Prefer [`PlatformConfig::builder`] over struct literals: the builder
+/// keeps call sites compiling as fields are added.
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
     /// The virtual cluster.
@@ -55,6 +58,9 @@ pub struct PlatformConfig {
     pub scheduler: SchedulerPolicy,
     /// Root seed — the whole run is a pure function of config + seed.
     pub seed: u64,
+    /// Record structured trace spans and counters (see
+    /// [`simcore::trace`]). Off by default: an untraced run pays nothing.
+    pub tracing: bool,
 }
 
 impl Default for PlatformConfig {
@@ -66,8 +72,92 @@ impl Default for PlatformConfig {
             monitor_interval: Some(SimDuration::from_secs(1)),
             scheduler: SchedulerPolicy::default(),
             seed: 42,
+            tracing: false,
         }
     }
+}
+
+impl PlatformConfig {
+    /// Starts a builder from the paper defaults.
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder { cfg: PlatformConfig::default() }
+    }
+}
+
+/// Fluent constructor for [`PlatformConfig`]. Every setter has the paper
+/// default until overridden.
+#[derive(Debug, Clone)]
+pub struct PlatformConfigBuilder {
+    cfg: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Sets the virtual cluster shape.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cfg.cluster = cluster;
+        self
+    }
+
+    /// Sets HDFS parameters.
+    pub fn hdfs(mut self, hdfs: HdfsConfig) -> Self {
+        self.cfg.hdfs = hdfs;
+        self
+    }
+
+    /// Sets live-migration parameters.
+    pub fn migration(mut self, migration: MigrationConfig) -> Self {
+        self.cfg.migration = migration;
+        self
+    }
+
+    /// Sets the nmon sampling interval.
+    pub fn monitor_interval(mut self, interval: SimDuration) -> Self {
+        self.cfg.monitor_interval = Some(interval);
+        self
+    }
+
+    /// Disables monitoring entirely.
+    pub fn no_monitor(mut self) -> Self {
+        self.cfg.monitor_interval = None;
+        self
+    }
+
+    /// Sets the initial task-scheduler policy.
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.cfg.scheduler = policy;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables (or disables) structured tracing.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.tracing = on;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> PlatformConfig {
+        self.cfg
+    }
+}
+
+/// What a worker-VM failure cost the platform, returned by
+/// [`VHadoop::fail_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureImpact {
+    /// Running task attempts the JobTracker re-queued onto surviving
+    /// trackers (map and reduce).
+    pub remapped_tasks: usize,
+    /// Under-replicated blocks HDFS started re-replicating from surviving
+    /// copies.
+    pub rereplicated_blocks: usize,
+    /// Blocks whose only replica lived on the failed VM — unrecoverable.
+    pub lost_blocks: usize,
 }
 
 /// The running platform.
@@ -75,10 +165,13 @@ impl Default for PlatformConfig {
 pub struct VHadoop {
     /// Engine + cluster + HDFS + JobTracker.
     pub rt: MrRuntime,
-    monitor: Option<Monitor>,
-    migration: MigrationManager,
-    dirty: UtilizationDirtyModel,
-    migration_report: Option<ClusterMigrationReport>,
+    pub(crate) monitor: Option<Monitor>,
+    pub(crate) migration: MigrationManager,
+    pub(crate) dirty: UtilizationDirtyModel,
+    pub(crate) migration_report: Option<ClusterMigrationReport>,
+    /// Destination of a deferred migration armed by
+    /// [`crate::session::MigrationSession`]; consumed when its timer fires.
+    pub(crate) pending_migration_dst: Option<HostId>,
 }
 
 impl VHadoop {
@@ -89,6 +182,9 @@ impl VHadoop {
         let vms = config.cluster.vms;
         let mut rt = MrRuntime::new(config.cluster, config.hdfs, seed);
         rt.mr.set_policy(config.scheduler);
+        // Enable tracing before the monitor attaches, so the monitor's
+        // column names are interned into a live tracer.
+        rt.engine.tracer_mut().set_enabled(config.tracing);
         let monitor = config.monitor_interval.map(|iv| Monitor::attach(&mut rt.engine, iv));
         VHadoop {
             rt,
@@ -96,12 +192,13 @@ impl VHadoop {
             migration: MigrationManager::new(config.migration),
             dirty: UtilizationDirtyModel::new(vms, seed.derive("dirty")),
             migration_report: None,
+            pending_migration_dst: None,
         }
     }
 
     /// Platform launch with all defaults (the paper's 16-node cluster).
     pub fn paper_default() -> Self {
-        Self::launch(PlatformConfig::default())
+        Self::launch(PlatformConfig::builder().build())
     }
 
     /// Current simulation instant.
@@ -158,30 +255,41 @@ impl VHadoop {
         }
     }
 
-    /// Live-migrates every VM to `dst` with the cluster otherwise idle.
-    pub fn migrate_cluster(&mut self, dst: HostId) -> ClusterMigrationReport {
+    /// Opens a [`crate::session::MigrationSession`] targeting `dst` — the
+    /// single entry point for whole-cluster live migration (idle, during
+    /// one job, under sustained load, or manually driven via
+    /// [`MigrationSession::start`](crate::session::MigrationSession::start)
+    /// + [`VHadoop::step`] + [`VHadoop::poll`]).
+    pub fn migration(&mut self, dst: HostId) -> crate::session::MigrationSession<'_> {
+        crate::session::MigrationSession::new(self, dst)
+    }
+
+    /// The report of the last completed cluster migration, if any
+    /// (consumed by the call). Pair with
+    /// [`MigrationSession::start`](crate::session::MigrationSession::start)
+    /// and [`VHadoop::step`] when driving the loop manually.
+    pub fn poll(&mut self) -> Option<ClusterMigrationReport> {
+        self.migration_report.take()
+    }
+
+    /// Kicks off the migration of every VM not already on `dst`.
+    pub(crate) fn begin_migration(&mut self, dst: HostId) {
         let vms: Vec<VmId> =
             self.rt.cluster.vms().filter(|&v| self.rt.cluster.host_of(v) != dst).collect();
         assert!(!vms.is_empty(), "every VM already lives on {dst}");
         self.migration.start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
         self.migration_report = None;
-        loop {
-            let (_, w) = self
-                .rt
-                .engine
-                .next_wakeup()
-                .expect("migration must finish before the simulation drains");
-            self.route(&w);
-            if let Some(rep) = self.migration_report.take() {
-                return rep;
-            }
-        }
+    }
+
+    /// Live-migrates every VM to `dst` with the cluster otherwise idle.
+    #[deprecated(note = "use `migration(dst).idle()`")]
+    pub fn migrate_cluster(&mut self, dst: HostId) -> ClusterMigrationReport {
+        self.migration(dst).idle()
     }
 
     /// Submits `spec` and, `start_after` later, live-migrates the whole
-    /// cluster to `dst` while the job runs — the paper's dynamic
-    /// experiment. Returns the migration report and the job result (the
-    /// job survives migration thanks to Hadoop fault tolerance).
+    /// cluster to `dst` while the job runs.
+    #[deprecated(note = "use `migration(dst).after(start_after).during_job(spec, app, input)`")]
     pub fn migrate_during_job(
         &mut self,
         spec: JobSpec,
@@ -190,60 +298,14 @@ impl VHadoop {
         dst: HostId,
         start_after: SimDuration,
     ) -> (ClusterMigrationReport, JobResult) {
-        let id = self.rt.submit(spec, app, input);
-        self.rt.engine.set_timer_in(start_after, Tag::new(owners::USER, 0, MIGRATION_START_MARK));
-        self.migration_report = None;
-        let mut job_result = None;
-        let mut started = false;
-        loop {
-            let Some((_, w)) = self.rt.engine.next_wakeup() else {
-                panic!("simulation drained before job + migration completed");
-            };
-            if let Wakeup::Timer { tag, .. } = &w {
-                if tag.owner == owners::USER && tag.b == MIGRATION_START_MARK {
-                    let vms: Vec<VmId> = self
-                        .rt
-                        .cluster
-                        .vms()
-                        .filter(|&v| self.rt.cluster.host_of(v) != dst)
-                        .collect();
-                    assert!(!vms.is_empty(), "every VM already lives on {dst}");
-                    self.migration.start_cluster_migration(
-                        &mut self.rt.engine,
-                        &self.rt.cluster,
-                        &vms,
-                        dst,
-                    );
-                    started = true;
-                    continue;
-                }
-            }
-            for ev in self.route(&w) {
-                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
-                    if res.id == id {
-                        job_result = Some(*res);
-                    }
-                }
-            }
-            if self.migration_report.is_some() && job_result.is_some() {
-                debug_assert!(started, "migration completed without starting?");
-                return (
-                    self.migration_report.take().expect("just checked"),
-                    job_result.take().expect("just checked"),
-                );
-            }
-        }
+        self.migration(dst).after(start_after).during_job(spec, app, input)
     }
 
     /// Starts a whole-cluster migration to `dst` without driving the
-    /// simulation — combine with [`VHadoop::step`] to interleave your own
-    /// workload (e.g. back-to-back jobs keeping the cluster busy).
+    /// simulation.
+    #[deprecated(note = "use `migration(dst).start()`")]
     pub fn start_migration(&mut self, dst: HostId) {
-        let vms: Vec<VmId> =
-            self.rt.cluster.vms().filter(|&v| self.rt.cluster.host_of(v) != dst).collect();
-        assert!(!vms.is_empty(), "every VM already lives on {dst}");
-        self.migration.start_cluster_migration(&mut self.rt.engine, &self.rt.cluster, &vms, dst);
-        self.migration_report = None;
+        self.migration(dst).start();
     }
 
     /// True while a migration session is in flight.
@@ -253,8 +315,9 @@ impl VHadoop {
 
     /// The report of the last completed cluster migration, if any
     /// (consumed by the call).
+    #[deprecated(note = "use `poll()`")]
     pub fn take_migration_report(&mut self) -> Option<ClusterMigrationReport> {
-        self.migration_report.take()
+        self.poll()
     }
 
     /// Advances the simulation by one wakeup, routing it; `None` when the
@@ -265,57 +328,31 @@ impl VHadoop {
         Some((t, events))
     }
 
-    /// Migrates the whole cluster to `dst` while `submit_next` keeps the
-    /// cluster busy: the platform maintains a pipeline of up to two
-    /// concurrent jobs (so task slots never idle between jobs), calling
-    /// `submit_next` whenever the pipeline drains below that; return
-    /// `false` to stop resubmitting. Returns the migration report and
-    /// every job result collected along the way — the paper's
-    /// wordcount-under-migration methodology.
+    /// Migrates the whole cluster to `dst` while `submit_next` keeps it
+    /// busy.
+    #[deprecated(note = "use `migration(dst).under_load(submit_next)`")]
     pub fn migrate_cluster_under_load(
         &mut self,
         dst: HostId,
-        mut submit_next: impl FnMut(&mut MrRuntime) -> bool,
+        submit_next: impl FnMut(&mut MrRuntime) -> bool,
     ) -> (ClusterMigrationReport, Vec<JobResult>) {
-        const PIPELINE: usize = 2;
-        let mut results = Vec::new();
-        let mut more = true;
-        while more && self.rt.mr.active_jobs() < PIPELINE {
-            more = submit_next(&mut self.rt);
-        }
-        assert!(self.rt.mr.active_jobs() > 0, "the load generator must submit at least one job");
-        self.start_migration(dst);
-        loop {
-            let Some((_, events)) = self.step() else {
-                panic!("simulation drained before cluster migration completed");
-            };
-            for ev in events {
-                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
-                    results.push(*res);
-                }
-            }
-            while more && self.migration_busy() && self.rt.mr.active_jobs() < PIPELINE {
-                more = submit_next(&mut self.rt);
-            }
-            if let Some(rep) = self.migration_report.take() {
-                return (rep, results);
-            }
-        }
+        self.migration(dst).under_load(submit_next)
     }
 
     /// Simulates the crash of worker VM `vm`: its datanode replicas are
     /// dropped and re-replicated from survivors, and its running tasks are
     /// re-queued — the Hadoop fault-tolerance path the paper relies on
-    /// during migration downtime. Returns `(re-replicated, lost)` block
-    /// counts from the HDFS side.
+    /// during migration downtime. Returns the [`FailureImpact`] across
+    /// both subsystems.
     ///
     /// # Panics
     /// If `vm` is the namenode or not a live worker.
-    pub fn fail_node(&mut self, vm: VmId) -> (usize, usize) {
+    pub fn fail_node(&mut self, vm: VmId) -> FailureImpact {
         assert_ne!(vm, self.rt.hdfs.namenode(), "cannot fail the master VM");
-        let blocks = self.rt.hdfs.fail_datanode(&mut self.rt.engine, &self.rt.cluster, vm);
-        self.rt.mr.fail_tracker(&mut self.rt.engine, &self.rt.cluster, vm);
-        blocks
+        let (rereplicated_blocks, lost_blocks) =
+            self.rt.hdfs.fail_datanode(&mut self.rt.engine, &self.rt.cluster, vm);
+        let remapped_tasks = self.rt.mr.fail_tracker(&mut self.rt.engine, &self.rt.cluster, vm);
+        FailureImpact { remapped_tasks, rereplicated_blocks, lost_blocks }
     }
 
     /// The nmon analyser's report over everything sampled so far.
@@ -337,9 +374,18 @@ impl VHadoop {
     }
 
     /// Routes one wakeup to its subsystem.
-    fn route(&mut self, w: &Wakeup) -> Vec<PlatformEvent> {
+    pub(crate) fn route(&mut self, w: &Wakeup) -> Vec<PlatformEvent> {
         if let Some(m) = self.monitor.as_mut() {
             if m.on_wakeup(&mut self.rt.engine, w) {
+                return Vec::new();
+            }
+        }
+        if let Wakeup::Timer { tag, .. } = w {
+            if tag.owner == owners::USER && tag.b == MIGRATION_START_MARK {
+                // A deferred migration session's start timer fired.
+                if let Some(dst) = self.pending_migration_dst.take() {
+                    self.begin_migration(dst);
+                }
                 return Vec::new();
             }
         }
@@ -386,13 +432,31 @@ mod tests {
 
     #[test]
     fn launch_applies_scheduler_policy() {
-        let p = VHadoop::launch(PlatformConfig {
-            cluster: ClusterSpec::builder().hosts(1).vms(2).build(),
-            monitor_interval: None,
-            scheduler: SchedulerPolicy::Fair,
-            ..Default::default()
-        });
+        let p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(ClusterSpec::builder().hosts(1).vms(2).build())
+                .no_monitor()
+                .scheduler(SchedulerPolicy::Fair)
+                .build(),
+        );
         assert_eq!(p.rt.mr.policy(), SchedulerPolicy::Fair);
         assert_eq!(VHadoop::paper_default().rt.mr.policy(), SchedulerPolicy::Fifo);
+    }
+
+    #[test]
+    fn builder_matches_defaults_and_overrides() {
+        let d = PlatformConfig::default();
+        let b = PlatformConfig::builder().build();
+        assert_eq!(b.seed, d.seed);
+        assert_eq!(b.monitor_interval, d.monitor_interval);
+        assert!(!b.tracing);
+        let c = PlatformConfig::builder()
+            .seed(7)
+            .tracing(true)
+            .monitor_interval(SimDuration::from_millis(250))
+            .build();
+        assert_eq!(c.seed, 7);
+        assert!(c.tracing);
+        assert_eq!(c.monitor_interval, Some(SimDuration::from_millis(250)));
     }
 }

@@ -197,6 +197,8 @@ impl MrEngine {
             reduce_epoch: vec![0; n_reduces],
             pending_maps: (0..n_maps).collect(),
             pending_reduces: (0..n_reduces).collect(),
+            reduce_started_at: vec![None; n_reduces],
+            shuffle_started_at: vec![None; n_reduces],
             map_outputs: (0..n_maps).map(|_| (0..n_reduces).map(|_| None).collect()).collect(),
             reduce_outputs: vec![None; n_reduces],
             completed_maps: 0,
@@ -337,6 +339,7 @@ impl MrEngine {
                 let job = self.jobs.get_mut(&a.job).expect("job present");
                 job.pending_reduces.remove(pos);
                 job.reduces[r] = TaskPhase::Running(a.vm);
+                job.reduce_started_at[r] = Some(engine.now());
                 job.counters.launched_reduces += 1;
                 let ep = job.reduce_epoch[r];
                 engine.start_chain(

@@ -164,7 +164,7 @@ impl MrEngine {
     ) {
         enum Outcome {
             Loser,
-            Winner { done_all: bool },
+            Winner { done_all: bool, vm: VmId, started: Option<SimTime> },
             MapOnlyWrite { vm: VmId, bytes: u64, path: String },
         }
         let outcome = {
@@ -193,7 +193,7 @@ impl MrEngine {
                 if done_all {
                     job.map_phase_done = Some(engine.now());
                 }
-                Outcome::Winner { done_all }
+                Outcome::Winner { done_all, vm, started: job.map_started_at[m] }
             }
         };
         match outcome {
@@ -218,7 +218,16 @@ impl MrEngine {
                     tag_full(jid, PH_MAP_WRITE, attempt, ep, m),
                 );
             }
-            Outcome::Winner { done_all } => {
+            Outcome::Winner { done_all, vm, started } => {
+                if let Some(t0) = started {
+                    engine.trace_span(
+                        "map",
+                        "map",
+                        vm.0,
+                        t0,
+                        &[("job", f64::from(jid.0)), ("task", m as f64)],
+                    );
+                }
                 self.release_map_slot(jid, m, attempt);
                 events.push(JobEvent::MapDone(jid, m));
                 if done_all {
@@ -241,8 +250,18 @@ impl MrEngine {
             debug_assert!(job.write_claimed[m], "write completion without claim");
             job.maps[m] = TaskPhase::Done;
             job.completed_maps += 1;
+            let vm = job.map_vm[m].expect("winning attempt recorded");
             if let Some(t0) = job.map_started_at[m] {
                 job.map_durations.push(engine.now().saturating_since(t0).as_secs_f64());
+            }
+            if let Some(t0) = job.map_started_at[m] {
+                engine.trace_span(
+                    "map",
+                    "map",
+                    vm.0,
+                    t0,
+                    &[("job", f64::from(jid.0)), ("task", m as f64)],
+                );
             }
             let recs = job.map_outputs[m][0].as_ref().expect("map output present");
             job.counters.output_bytes += records_size(recs);

@@ -26,9 +26,16 @@ impl MrEngine {
     /// Simplification: once a job's reduce phase has begun, its shuffle is
     /// treated as already fetched, so map output loss no longer matters.
     ///
+    /// Returns the number of task attempts re-queued onto other trackers.
+    ///
     /// # Panics
     /// If `vm` is not a live tracker.
-    pub fn fail_tracker(&mut self, engine: &mut Engine, cluster: &VirtualCluster, vm: VmId) {
+    pub fn fail_tracker(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        vm: VmId,
+    ) -> usize {
         let pos = self
             .trackers
             .iter()
@@ -38,6 +45,7 @@ impl MrEngine {
         self.used_map_slots.remove(&vm.0);
         self.used_reduce_slots.remove(&vm.0);
 
+        let mut remapped = 0usize;
         let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
         job_ids.sort_unstable();
         for jid in job_ids {
@@ -55,6 +63,7 @@ impl MrEngine {
                         // attempt holds on a *surviving* tracker.
                         Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
                         Self::requeue_map(job, m);
+                        remapped += 1;
                     }
                     TaskPhase::Done
                         if job.map_vm[m] == Some(vm) && job.map_phase_done.is_none() =>
@@ -65,6 +74,7 @@ impl MrEngine {
                         Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
                         job.completed_maps -= 1;
                         Self::requeue_map(job, m);
+                        remapped += 1;
                     }
                     _ => {}
                 }
@@ -75,11 +85,15 @@ impl MrEngine {
                     job.reduces[r] = TaskPhase::Pending;
                     job.pending_reduces.push_back(r);
                     job.reduce_outputs[r] = None;
+                    job.reduce_started_at[r] = None;
+                    job.shuffle_started_at[r] = None;
                     job.counters.relaunched_tasks += 1;
+                    remapped += 1;
                 }
             }
         }
         self.schedule(engine, cluster);
+        remapped
     }
 
     /// Frees the slots of map `m`'s still-active attempts that run on

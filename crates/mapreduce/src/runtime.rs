@@ -62,7 +62,7 @@ impl MrRuntime {
                 .engine
                 .next_wakeup()
                 .expect("upload must complete before the simulation drains");
-            if let Some(c) = self.hdfs.on_wakeup(&w) {
+            if let Some(c) = self.hdfs.on_wakeup(&mut self.engine, &w) {
                 if c.client_tag == marker {
                     return t.saturating_since(start);
                 }
@@ -135,7 +135,7 @@ impl MrRuntime {
     pub fn route_full(&mut self, w: &Wakeup) -> Routed {
         let owner = w.tag().owner;
         if owner == owners::HDFS {
-            if let Some(c) = self.hdfs.on_wakeup(w) {
+            if let Some(c) = self.hdfs.on_wakeup(&mut self.engine, w) {
                 if c.client_tag.owner == owners::MAPREDUCE {
                     let job_events =
                         self.mr.on_hdfs_done(&mut self.engine, &self.cluster, &mut self.hdfs, &c);

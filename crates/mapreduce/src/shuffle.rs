@@ -46,6 +46,7 @@ impl MrEngine {
             members.push((chain, tag(jid, PH_IGNORE, m)));
         }
         job.counters.shuffle_bytes += shuffle_bytes;
+        job.shuffle_started_at[r] = Some(engine.now());
         let ep = job.reduce_epoch[r];
         engine.start_batch(members, tag_full(jid, PH_SHUFFLE, 0, ep, r));
     }
@@ -59,6 +60,15 @@ impl MrEngine {
     ) {
         let job = self.jobs.get_mut(&jid.0).expect("unknown job");
         let vm = job.running_reduce_vm(r);
+        if let Some(t0) = job.shuffle_started_at[r] {
+            engine.trace_span(
+                "shuffle",
+                "shuffle",
+                vm.0,
+                t0,
+                &[("job", f64::from(jid.0)), ("task", r as f64)],
+            );
+        }
         // Merge all fetched partitions, group, and really reduce. The
         // partitions are kept (cloned, not taken) until the job finishes
         // so a failed reduce can re-run from them, as Hadoop re-fetches
@@ -143,6 +153,15 @@ impl MrEngine {
             let recs = job.reduce_outputs[r].as_ref().expect("reduce output present");
             job.counters.output_bytes += records_size(recs);
             job.counters.reduce_output_records += recs.len() as u64;
+            if let Some(t0) = job.reduce_started_at[r] {
+                engine.trace_span(
+                    "reduce",
+                    "reduce",
+                    vm.0,
+                    t0,
+                    &[("job", f64::from(jid.0)), ("task", r as f64)],
+                );
+            }
             (vm, job.completed_reduces == job.reduces.len())
         };
         *self.used_reduce_slots.get_mut(&vm.0).expect("slot held") -= 1;

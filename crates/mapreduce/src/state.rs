@@ -110,6 +110,10 @@ pub(crate) struct JobState {
     pub(crate) map_epoch: Vec<u8>,
     /// Relaunch epoch per reduce task.
     pub(crate) reduce_epoch: Vec<u8>,
+    /// Launch instant of each reduce task (trace span start).
+    pub(crate) reduce_started_at: Vec<Option<SimTime>>,
+    /// Instant each reduce's shuffle batch was issued (trace span start).
+    pub(crate) shuffle_started_at: Vec<Option<SimTime>>,
     pub(crate) pending_maps: VecDeque<usize>,
     pub(crate) pending_reduces: VecDeque<usize>,
     /// Per map: per reduce partition, the (possibly combined) records.

@@ -13,6 +13,7 @@
 use crate::fluid::{Demand, FluidNet, ResourceKind};
 use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Name, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -180,6 +181,7 @@ pub struct Engine {
     out: VecDeque<(SimTime, Wakeup)>,
     /// Total wakeups delivered; useful for tests and progress telemetry.
     wakeups_delivered: u64,
+    tracer: Tracer,
 }
 
 impl Default for Engine {
@@ -206,6 +208,7 @@ impl Engine {
             next_batch: 0,
             out: VecDeque::new(),
             wakeups_delivered: 0,
+            tracer: Tracer::new(),
         }
     }
 
@@ -243,6 +246,37 @@ impl Engine {
     /// Total wakeups delivered so far.
     pub fn wakeups_delivered(&self) -> u64 {
         self.wakeups_delivered
+    }
+
+    // ----- tracing --------------------------------------------------------
+
+    /// Read access to the tracer (exports, queries).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (enable/disable, interning).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records a complete span ending at the current instant. No-op while
+    /// tracing is disabled.
+    pub fn trace_span(
+        &mut self,
+        cat: &'static str,
+        name: &'static str,
+        track: u32,
+        start: SimTime,
+        args: &[(&'static str, f64)],
+    ) {
+        self.tracer.span(cat, name, track, start, self.now, args);
+    }
+
+    /// Records a counter sample at the current instant under a pre-interned
+    /// name. No-op while tracing is disabled.
+    pub fn trace_counter(&mut self, name: Name, value: f64) {
+        self.tracer.counter(name, self.now, value);
     }
 
     // ----- timers ---------------------------------------------------------

@@ -10,7 +10,9 @@
 //!   flow/delay steps, optionally AND-joined into batches, whose completions
 //!   surface as tagged [`engine::Wakeup`]s;
 //! * [`rng::RootSeed`] — labelled deterministic random streams;
-//! * [`stats`] — summary statistics used by monitors and benches.
+//! * [`stats`] — summary statistics used by monitors and benches;
+//! * [`trace::Tracer`] — span + counter registry recorded against the
+//!   simulation clock, with Chrome `trace_event` and CSV exporters.
 //!
 //! Higher layers (virtual cluster, HDFS, MapReduce) express every timed
 //! action as an activity and react to wakeups; no component ever reads a
@@ -40,6 +42,7 @@ pub mod owners;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 /// One-stop imports for kernel clients.
 pub mod prelude {
@@ -49,4 +52,5 @@ pub mod prelude {
     pub use crate::rng::RootSeed;
     pub use crate::stats::{OnlineStats, Summary};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{CategoryStats, CounterSample, Name, Span, Tracer};
 }

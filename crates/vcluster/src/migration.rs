@@ -385,6 +385,13 @@ impl MigrationManager {
         let (next_bytes, decision) = {
             let job = self.jobs.get_mut(&vm.0).expect("round for unknown job");
             let elapsed = now.saturating_since(job.round_started).as_secs_f64();
+            engine.trace_span(
+                "migration",
+                "precopy_round",
+                vm.0,
+                job.round_started,
+                &[("round", f64::from(job.round))],
+            );
             // Pages dirtied during the round we just sent; can never exceed
             // guest memory.
             let next = (rate * elapsed).min(job.mem as f64);
@@ -421,6 +428,18 @@ impl MigrationManager {
         cluster.set_host(job.vm, job.dst);
         let stop_started = job.stop_started.expect("stop phase was entered");
         let downtime = now.saturating_since(stop_started) + self.cfg.resume_latency;
+        engine.trace_span("migration", "stop_and_copy", vm.0, stop_started, &[]);
+        engine.trace_span(
+            "migration",
+            "migrate_vm",
+            vm.0,
+            job.started,
+            &[
+                ("mem", job.mem as f64),
+                ("rounds", f64::from(job.round)),
+                ("downtime_ms", downtime.as_millis_f64()),
+            ],
+        );
         let report = VmMigrationReport {
             vm: job.vm.0,
             src: job.src.0,

@@ -64,6 +64,10 @@ struct PendingOp {
     client_tag: Tag,
     bytes: u64,
     submitted: SimTime,
+    /// Trace span name ("write" / "read" / "replicate").
+    kind: &'static str,
+    /// VM the operation is attributed to (trace track).
+    vm: VmId,
 }
 
 /// The simulated distributed file system.
@@ -189,7 +193,7 @@ impl Hdfs {
                 prev = replica;
             }
         }
-        self.submit(engine, chain, len, client_tag)
+        self.submit(engine, chain, len, client_tag, "write", writer)
     }
 
     /// Reads all of `path` into `reader`, block by block from the closest
@@ -222,7 +226,7 @@ impl Hdfs {
                 .then(cluster.disk_read(src, len as f64))
                 .then(cluster.transfer(src, reader, len as f64));
         }
-        self.submit(engine, chain, total, client_tag)
+        self.submit(engine, chain, total, client_tag, "read", reader)
     }
 
     /// Reads a single block into `reader` (a MapReduce input split fetch).
@@ -241,7 +245,7 @@ impl Hdfs {
             .delay(RPC_DELAY)
             .then(cluster.disk_read(src, len as f64))
             .then(cluster.transfer(src, reader, len as f64));
-        self.submit(engine, chain, len, client_tag)
+        self.submit(engine, chain, len, client_tag, "read", reader)
     }
 
     fn submit(
@@ -250,18 +254,22 @@ impl Hdfs {
         chain: ChainSpec,
         bytes: u64,
         client_tag: Tag,
+        kind: &'static str,
+        vm: VmId,
     ) -> HdfsOpId {
         let op = HdfsOpId(self.next_op);
         self.next_op = self.next_op.wrapping_add(1);
-        self.ops.insert(op.0, PendingOp { client_tag, bytes, submitted: engine.now() });
+        self.ops.insert(op.0, PendingOp { client_tag, bytes, submitted: engine.now(), kind, vm });
         engine.start_chain(chain, Tag::new(owners::HDFS, op.0, 0));
         op
     }
 
     /// Routes an `owners::HDFS` wakeup to its operation; returns the
     /// completion (with the caller's tag) or `None` for foreign wakeups
-    /// and for internal maintenance traffic (re-replication).
-    pub fn on_wakeup(&mut self, wakeup: &Wakeup) -> Option<HdfsCompletion> {
+    /// and for internal maintenance traffic (re-replication). Every
+    /// completed operation — including internal ones — is recorded as an
+    /// `hdfs` trace span when tracing is enabled.
+    pub fn on_wakeup(&mut self, engine: &mut Engine, wakeup: &Wakeup) -> Option<HdfsCompletion> {
         let Wakeup::Activity { tag, .. } = wakeup else {
             return None;
         };
@@ -269,6 +277,13 @@ impl Hdfs {
             return None;
         }
         let pending = self.ops.remove(&tag.a).expect("completion for unknown HDFS op");
+        engine.trace_span(
+            "hdfs",
+            pending.kind,
+            pending.vm.0,
+            pending.submitted,
+            &[("bytes", pending.bytes as f64)],
+        );
         if pending.client_tag.owner == owners::HDFS {
             // Internal maintenance op (re-replication): nobody to notify.
             return None;
@@ -329,7 +344,7 @@ impl Hdfs {
                 .then(cluster.transfer(src, dst, len as f64))
                 .then(cluster.disk_write(dst, len as f64));
             // Internal op: client tag owned by HDFS itself.
-            self.submit(engine, chain, len, Tag::owner(owners::HDFS));
+            self.submit(engine, chain, len, Tag::owner(owners::HDFS), "replicate", dst);
             re_replicated += 1;
         }
         (re_replicated, lost)
@@ -359,7 +374,7 @@ mod tests {
     /// Drives the engine until `op` completes, returning (time, completion).
     fn run_until_op(e: &mut Engine, h: &mut Hdfs, op: HdfsOpId) -> (SimTime, HdfsCompletion) {
         while let Some((t, w)) = e.next_wakeup() {
-            if let Some(c) = h.on_wakeup(&w) {
+            if let Some(c) = h.on_wakeup(e, &w) {
                 if c.op == op {
                     return (t, c);
                 }

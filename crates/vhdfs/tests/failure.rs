@@ -54,7 +54,7 @@ fn reads_survive_failure() {
     let op = h.read_file(&mut e, &c, "/data", reader, Tag::owner(simcore::owners::USER));
     let mut done = false;
     while let Some((_, w)) = e.next_wakeup() {
-        if let Some(comp) = h.on_wakeup(&w) {
+        if let Some(comp) = h.on_wakeup(&mut e, &w) {
             if comp.op == op {
                 done = true;
             }

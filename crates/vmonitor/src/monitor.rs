@@ -37,6 +37,9 @@ pub struct Monitor {
     columns: Vec<Column>,
     samples: Vec<Sample>,
     timer: Option<TimerId>,
+    /// Pre-interned trace counter name per column (so the sampling path
+    /// re-emits samples into the trace without allocating).
+    counter_names: Vec<Name>,
 }
 
 impl Monitor {
@@ -44,7 +47,7 @@ impl Monitor {
     /// every resource registered so far.
     pub fn attach(engine: &mut Engine, interval: SimDuration) -> Self {
         assert!(!interval.is_zero(), "sampling interval must be positive");
-        let columns = engine
+        let columns: Vec<Column> = engine
             .fluid()
             .usage_snapshot()
             .into_iter()
@@ -54,8 +57,10 @@ impl Monitor {
                 resource,
             })
             .collect();
+        let counter_names =
+            columns.iter().map(|c| engine.tracer_mut().intern_owned(c.name.clone())).collect();
         let timer = engine.set_timer_in(interval, Tag::owner(owners::MONITOR));
-        Monitor { interval, columns, samples: Vec::new(), timer: Some(timer) }
+        Monitor { interval, columns, samples: Vec::new(), timer: Some(timer), counter_names }
     }
 
     /// Column metadata.
@@ -79,6 +84,9 @@ impl Monitor {
         }
         let util: Vec<f64> =
             self.columns.iter().map(|c| engine.fluid().utilization(c.resource)).collect();
+        for (&name, &u) in self.counter_names.iter().zip(util.iter()) {
+            engine.trace_counter(name, u);
+        }
         self.samples.push(Sample { t: engine.now(), util });
         self.timer = Some(engine.set_timer_in(self.interval, Tag::owner(owners::MONITOR)));
         true

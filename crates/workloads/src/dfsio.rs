@@ -95,7 +95,7 @@ fn drain(engine: &mut Engine, hdfs: &mut Hdfs, n: u32) -> SimTime {
     let mut last = engine.now();
     while done < n {
         let (t, w) = engine.next_wakeup().expect("DFSIO ops must complete");
-        if let Some(c) = hdfs.on_wakeup(&w) {
+        if let Some(c) = hdfs.on_wakeup(engine, &w) {
             debug_assert_eq!(c.client_tag.owner, owners::WORKLOAD);
             done += 1;
             last = t;

@@ -69,7 +69,34 @@ pub fn run_wordcount_with(
     hdfs_cfg: HdfsConfig,
     seed: RootSeed,
 ) -> WordcountReport {
+    run_wordcount_inner(cluster_spec, input_bytes, config, hdfs_cfg, seed, false).0
+}
+
+/// [`run_wordcount_with`] with the structured tracer enabled: also returns
+/// the run's Chrome `trace_event` JSON (identical config + seed produce a
+/// byte-identical trace).
+pub fn run_wordcount_traced(
+    cluster_spec: ClusterSpec,
+    input_bytes: u64,
+    config: JobConfig,
+    hdfs_cfg: HdfsConfig,
+    seed: RootSeed,
+) -> (WordcountReport, String) {
+    let (report, trace) =
+        run_wordcount_inner(cluster_spec, input_bytes, config, hdfs_cfg, seed, true);
+    (report, trace.expect("tracing was enabled"))
+}
+
+fn run_wordcount_inner(
+    cluster_spec: ClusterSpec,
+    input_bytes: u64,
+    config: JobConfig,
+    hdfs_cfg: HdfsConfig,
+    seed: RootSeed,
+    traced: bool,
+) -> (WordcountReport, Option<String>) {
     let mut rt = MrRuntime::new(cluster_spec, hdfs_cfg, seed);
+    rt.engine.tracer_mut().set_enabled(traced);
     rt.register_input("/wordcount/in", input_bytes, VmId(1));
     let blocks = rt.hdfs.stat("/wordcount/in").expect("registered").blocks.len();
 
@@ -83,7 +110,8 @@ pub fn run_wordcount_with(
 
     let spec = JobSpec::new("wordcount", "/wordcount/in", "/wordcount/out").with_config(config);
     let result = rt.run_job(spec, Box::new(WordCountApp), Box::new(input));
-    WordcountReport { input_bytes, elapsed_s: result.elapsed_secs(), result }
+    let trace = traced.then(|| rt.engine.tracer().to_chrome_json());
+    (WordcountReport { input_bytes, elapsed_s: result.elapsed_secs(), result }, trace)
 }
 
 /// Registers a fresh input file and submits one Wordcount job on an

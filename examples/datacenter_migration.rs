@@ -37,10 +37,9 @@ fn main() {
         .build();
 
     // --- idle migration --------------------------------------------------
-    let mut idle =
-        VHadoop::launch(PlatformConfig { cluster: cluster.clone(), ..Default::default() });
+    let mut idle = VHadoop::launch(PlatformConfig::builder().cluster(cluster.clone()).build());
     let meter = EnergyMeter::start(&idle.rt.engine, &idle.rt.cluster, PowerModel::default());
-    let idle_rep = idle.migrate_cluster(HostId(1));
+    let idle_rep = idle.migration(HostId(1)).idle();
     report("idle cluster", &idle_rep);
     // The energy-saving argument: after consolidating onto host 1, host 0
     // draws only idle power and could be shut down.
@@ -57,13 +56,14 @@ fn main() {
     // the whole migration window, as in the paper's methodology (the
     // synthetic load carries wordcount's CPU/IO profile without the
     // wall-clock cost of tokenizing gigabytes of text).
-    let mut busy = VHadoop::launch(PlatformConfig {
-        cluster,
-        hdfs: HdfsConfig { block_size: 4 << 20, replication: 3 },
-        ..Default::default()
-    });
+    let mut busy = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster)
+            .hdfs(HdfsConfig { block_size: 4 << 20, replication: 3 })
+            .build(),
+    );
     let mut run = 0u32;
-    let (busy_rep, jobs) = busy.migrate_cluster_under_load(HostId(1), |rt| {
+    let (busy_rep, jobs) = busy.migration(HostId(1)).under_load(|rt| {
         let maps = rt.cluster.vm_count() - 1;
         workloads::loadgen::submit_load_job(rt, run, maps, 2.0, 6 << 20);
         run += 1;

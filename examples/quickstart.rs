@@ -10,11 +10,11 @@ use workloads::textgen::TextCorpus;
 
 fn main() {
     // 1.–3. Launch the platform: 2 physical machines, 16 VMs (1 namenode +
-    // 15 datanodes), Xen-style virtualization, images on NFS.
-    let mut platform = VHadoop::launch(PlatformConfig {
-        cluster: ClusterSpec::paper_normal(),
-        ..Default::default()
-    });
+    // 15 datanodes), Xen-style virtualization, images on NFS. Tracing on:
+    // every task attempt, shuffle flow, and HDFS write leaves a span.
+    let mut platform = VHadoop::launch(
+        PlatformConfig::builder().cluster(ClusterSpec::paper_normal()).tracing(true).build(),
+    );
     println!("platform up: {} VMs on {} hosts", 16, 2);
 
     // 4. Upload 32 MB of text to HDFS (simulated replication pipeline).
@@ -65,5 +65,17 @@ fn main() {
         if let Some(b) = report.bottleneck() {
             println!("bottleneck: {} (mean {:.0}% utilized)", b.name, b.util.mean * 100.0);
         }
+    }
+
+    // 10. Distill the trace: per-category span statistics, then the raw
+    // Chrome trace for chrome://tracing or https://ui.perfetto.dev.
+    println!("\ntrace metrics:\n{}", platform.metrics().to_text());
+    let trace = platform.rt.engine.tracer().to_chrome_json();
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/quickstart.trace.json", &trace))
+    {
+        eprintln!("could not write trace: {e}");
+    } else {
+        println!("wrote results/quickstart.trace.json ({} bytes)", trace.len());
     }
 }

@@ -10,10 +10,13 @@ use vhadoop::prelude::*;
 use workloads::textgen::TextCorpus;
 
 fn run_once(config: JobConfig, label: &str) -> (JobResult, JobConfig, VHadoop) {
-    let mut platform = VHadoop::launch(PlatformConfig {
-        cluster: ClusterSpec::builder().hosts(2).vms(8).placement(Placement::CrossDomain).build(),
-        ..Default::default()
-    });
+    let mut platform = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(2).vms(8).placement(Placement::CrossDomain).build(),
+            )
+            .build(),
+    );
     let input_bytes: u64 = 48 << 20;
     platform.register_input("/corpus", input_bytes, VmId(1));
     let blocks = platform.rt.hdfs.stat("/corpus").expect("registered").blocks.len();

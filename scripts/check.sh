@@ -13,6 +13,36 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> examples build & run"
+cargo build --release -p vhadoop-examples
+for bin in quickstart datacenter_migration tuning_session ml_pipeline; do
+    echo "--> $bin"
+    cargo run --release -q -p vhadoop-examples --bin "$bin" > /dev/null
+done
+
+echo "==> exported trace validates"
+trace=results/quickstart.trace.json
+test -s "$trace" || { echo "missing or empty $trace" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$trace" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+events = t["traceEvents"]
+assert events, "trace has no events"
+cats = {e["cat"] for e in events if e["ph"] == "X"}
+missing = {"map", "shuffle", "reduce", "hdfs"} - cats
+assert not missing, f"span categories missing from trace: {missing}"
+print(f"    {len(events)} events, span categories: {sorted(cats)}")
+PY
+else
+    # No python3: at least check the envelope and span coverage textually.
+    grep -q '"traceEvents"' "$trace"
+    for cat in map shuffle reduce hdfs; do
+        grep -q "\"cat\":\"$cat\"" "$trace" || { echo "no $cat spans" >&2; exit 1; }
+    done
+fi
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
 # entropy anywhere in the simulation crates.

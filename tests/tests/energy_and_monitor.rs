@@ -55,9 +55,9 @@ fn migration_energy_is_accounted() {
         .vm_mem_mib(256)
         .placement(Placement::SingleDomain)
         .build();
-    let mut p = VHadoop::launch(PlatformConfig { cluster, ..Default::default() });
+    let mut p = VHadoop::launch(PlatformConfig::builder().cluster(cluster).build());
     let meter = EnergyMeter::start(&p.rt.engine, &p.rt.cluster, PowerModel::default());
-    let rep = p.migrate_cluster(HostId(1));
+    let rep = p.migration(HostId(1)).idle();
     let energy = meter.report(&p.rt.engine, &p.rt.cluster);
 
     // The window spans the migration.
@@ -84,12 +84,13 @@ fn monitor_sees_migration_traffic() {
         .vm_mem_mib(512)
         .placement(Placement::SingleDomain)
         .build();
-    let mut p = VHadoop::launch(PlatformConfig {
-        cluster,
-        monitor_interval: Some(SimDuration::from_millis(500)),
-        ..Default::default()
-    });
-    p.migrate_cluster(HostId(1));
+    let mut p = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster)
+            .monitor_interval(SimDuration::from_millis(500))
+            .build(),
+    );
+    p.migration(HostId(1)).idle();
     let report = p.monitor_report().expect("monitoring enabled");
     assert!(report.samples > 5);
     // The inter-host NICs carried the memory streams.

@@ -14,12 +14,15 @@ use workloads::wordcount::WordCountApp;
 const MB: u64 = 1 << 20;
 
 fn platform(vms: u32) -> VHadoop {
-    VHadoop::launch(PlatformConfig {
-        cluster: ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build(),
-        hdfs: HdfsConfig { block_size: MB, replication: 3 },
-        seed: 90,
-        ..Default::default()
-    })
+    VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build(),
+            )
+            .hdfs(HdfsConfig { block_size: MB, replication: 3 })
+            .seed(90)
+            .build(),
+    )
 }
 
 fn wordcount_input(
@@ -66,8 +69,12 @@ fn run_with_failure(fail_after_maps: Option<usize>) -> JobResult {
                                     .into_iter()
                                     .find(|&v| v != p.rt.hdfs.namenode())
                                     .expect("some worker is mid-job");
-                            let (_re, lost) = p.fail_node(victim);
-                            assert_eq!(lost, 0, "replication 3 loses nothing");
+                            let impact = p.fail_node(victim);
+                            assert_eq!(impact.lost_blocks, 0, "replication 3 loses nothing");
+                            assert!(
+                                impact.remapped_tasks > 0 || impact.rereplicated_blocks > 0,
+                                "failing a busy worker has visible impact"
+                            );
                         }
                     }
                 }

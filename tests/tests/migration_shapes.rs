@@ -16,16 +16,18 @@ fn migrate(vms: u32, mem_mib: u64, busy: bool) -> ClusterMigrationReport {
         .vm_mem_mib(mem_mib)
         .placement(Placement::SingleDomain)
         .build();
-    let mut platform = VHadoop::launch(PlatformConfig {
-        cluster,
-        // Small blocks -> enough concurrent map tasks to keep slots busy.
-        hdfs: HdfsConfig { block_size: 4 << 20, replication: 2 },
-        ..Default::default()
-    });
+    let mut platform = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster)
+            // Small blocks -> enough concurrent map tasks to keep slots busy.
+            .hdfs(HdfsConfig { block_size: 4 << 20, replication: 2 })
+            .build(),
+    );
     if busy {
         let mut run = 0u32;
         platform
-            .migrate_cluster_under_load(HostId(1), |rt| {
+            .migration(HostId(1))
+            .under_load(|rt| {
                 // Synthetic busy load: every tracker gets CPU + I/O work.
                 submit_load_job(rt, run, 2 * (vms - 1), 2.0, 24 << 20);
                 run += 1;
@@ -33,7 +35,7 @@ fn migrate(vms: u32, mem_mib: u64, busy: bool) -> ClusterMigrationReport {
             })
             .0
     } else {
-        platform.migrate_cluster(HostId(1))
+        platform.migration(HostId(1)).idle()
     }
 }
 

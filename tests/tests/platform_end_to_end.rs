@@ -8,11 +8,14 @@ use workloads::wordcount::WordCountApp;
 const MB: u64 = 1 << 20;
 
 fn platform(vms: u32) -> VHadoop {
-    VHadoop::launch(PlatformConfig {
-        cluster: ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build(),
-        seed: 7,
-        ..Default::default()
-    })
+    VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(2).vms(vms).placement(Placement::CrossDomain).build(),
+            )
+            .seed(7)
+            .build(),
+    )
 }
 
 fn run_wordcount_job(p: &mut VHadoop, bytes: u64, cfg: JobConfig) -> JobResult {
@@ -76,11 +79,12 @@ fn identical_configs_are_bit_identical() {
 #[test]
 fn different_seeds_still_complete() {
     for seed in [1u64, 999, 123_456] {
-        let mut p = VHadoop::launch(PlatformConfig {
-            cluster: ClusterSpec::builder().hosts(2).vms(4).build(),
-            seed,
-            ..Default::default()
-        });
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(ClusterSpec::builder().hosts(2).vms(4).build())
+                .seed(seed)
+                .build(),
+        );
         let r = run_wordcount_job(&mut p, 2 * MB, JobConfig::default());
         assert!(r.elapsed_secs() > 0.5);
     }
@@ -110,12 +114,10 @@ fn migration_during_job_completes_both() {
         corpus.split_records(idx, b)
     });
     let spec = JobSpec::new("wc", "/mig", "/mig-out");
-    let (rep, job) = p.migrate_during_job(
+    let (rep, job) = p.migration(HostId(1)).after(SimDuration::from_secs(2)).during_job(
         spec,
         Box::new(WordCountApp),
         Box::new(input),
-        HostId(1),
-        SimDuration::from_secs(2),
     );
     // Cross-domain placement: only the two VMs on host 0 needed to move.
     assert_eq!(rep.per_vm.len(), 2, "host 0's VMs migrated");
