@@ -7,7 +7,10 @@
 //! * `speculation`     — backup attempts for straggling maps ON vs. OFF
 //!   (with one tracker VM crushed by outside load);
 //! * `scheduler`       — FIFO vs. fair vs. job-driven task scheduling with
-//!   two wordcount jobs contending for the same slots.
+//!   two wordcount jobs contending for the same slots;
+//! * `faults`          — the Fig. 2 wordcount clean vs. under an injected
+//!   `FaultPlan` (node crash + straggler + link degradation); the faulted
+//!   run's trace is exported to `results/faults.trace.json`.
 //!
 //! ```sh
 //! cargo run --release -p vhadoop-bench --bin ablations \
@@ -28,7 +31,7 @@ fn cluster(placement: Placement, xen: XenParams) -> ClusterSpec {
 }
 
 const CASES: &[&str] =
-    &["locality", "combiner", "dom0", "migration-order", "speculation", "scheduler"];
+    &["locality", "combiner", "dom0", "migration-order", "speculation", "scheduler", "faults"];
 
 fn main() {
     let scale = cli_scale();
@@ -129,6 +132,19 @@ fn main() {
         }
     }
 
+    // --- fault injection ----------------------------------------------------
+    for (x, faulted) in [(0.0, false), (1.0, true)].into_iter().filter(|_| wanted("faults")) {
+        let (t, trace) = run_faulted_wordcount(faulted, mb);
+        println!("faults={faulted}: {t:.1}s");
+        sink.push("faults", x, t);
+        if faulted {
+            let path = vhadoop_bench::write_artifact("faults.trace.json", &trace)
+                .expect("write faults trace");
+            assert!(trace.contains("\"cat\":\"fault\""), "the faulted run must record fault spans");
+            println!("faulted trace -> {}", path.display());
+        }
+    }
+
     sink.finish();
 
     // Shape checks (only for the studies that actually ran).
@@ -156,6 +172,66 @@ fn main() {
         assert_eq!(mk.len(), SchedulerPolicy::all().len(), "one makespan per policy");
         assert!(mk.iter().all(|&(_, y)| y > 0.0), "every policy finishes both jobs");
     }
+    if wanted("faults") {
+        let f = pts("faults");
+        assert!(f.iter().all(|&(_, y)| y > 0.0), "both runs complete");
+        assert!(f[1].1 >= f[0].1 * 0.95, "injected faults cannot speed the job up");
+    }
+}
+
+/// The Fig. 2 wordcount geometry through the full platform, clean or with
+/// a mixed fault plan (straggler + node crash + degraded host NIC)
+/// injected in the job's first seconds; returns elapsed seconds and the
+/// run's trace.
+fn run_faulted_wordcount(faulted: bool, mb: u64) -> (f64, String) {
+    use simcore::prelude::*;
+    use vhadoop::prelude::*;
+    use workloads::textgen::TextCorpus;
+    use workloads::wordcount::WordCountApp;
+
+    let bytes = (mb << 20).max(4 << 20);
+    let plan = if faulted {
+        FaultPlan::new()
+            .at(
+                SimTime::from_secs(1),
+                FaultKind::StragglerVm { vm: 3, factor: 0.2, duration: SimDuration::from_secs(4) },
+            )
+            .at(SimTime::from_secs(2), FaultKind::NodeCrash { vm: 6 })
+            .at(
+                SimTime::from_secs(3),
+                FaultKind::LinkDegrade {
+                    host: 0,
+                    factor: 0.5,
+                    duration: SimDuration::from_secs(2),
+                },
+            )
+    } else {
+        FaultPlan::new()
+    };
+    let mut p = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster(Placement::SingleDomain, XenParams::default()))
+            .hdfs(vhdfs::hdfs::HdfsConfig { block_size: (bytes / 15).max(1 << 20), replication: 3 })
+            .no_monitor()
+            .tracing(true)
+            .faults(plan)
+            .seed(2012)
+            .build(),
+    );
+    p.register_input("/faults/in", bytes, VmId(1));
+    let blocks = p.rt.hdfs.stat("/faults/in").expect("registered").blocks.len();
+    let block_size = p.rt.hdfs.config().block_size;
+    let corpus = TextCorpus::english_like(RootSeed(2012).derive("corpus"));
+    let last = blocks - 1;
+    let input = GeneratorInput::new(blocks, block_size, move |idx| {
+        let b = if idx == last { bytes - last as u64 * block_size } else { block_size };
+        corpus.split_records(idx, b)
+    });
+    let spec = JobSpec::new("wordcount", "/faults/in", "/faults/out")
+        .with_config(JobConfig::default().with_combiner(false).with_reduces(4));
+    let result = p.run_job(spec, Box::new(WordCountApp), Box::new(input));
+    while p.step().is_some() {}
+    (result.elapsed_secs(), p.rt.engine.tracer().to_chrome_json())
 }
 
 /// Two identical wordcount jobs submitted back-to-back onto one cluster

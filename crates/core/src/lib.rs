@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod platform;
 pub mod session;
@@ -51,6 +52,7 @@ pub use workloads;
 
 /// Convenience imports covering the whole platform surface.
 pub mod prelude {
+    pub use crate::faults::{InjectedFault, MIN_THROTTLE_FACTOR, TRACKER_TIMEOUT};
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::platform::{
         FailureImpact, PlatformConfig, PlatformConfigBuilder, PlatformEvent, VHadoop,

@@ -17,6 +17,7 @@
 //! available through [`VHadoop::migration`], which opens a
 //! [`crate::session::MigrationSession`].
 
+use crate::faults::{FaultDriver, InjectedFault};
 use mapreduce::app::MapReduceApp;
 use mapreduce::config::JobConfig;
 use mapreduce::input::InputFormat;
@@ -56,6 +57,9 @@ pub struct PlatformConfig {
     /// Individual submissions may override it via
     /// [`JobConfig::with_scheduler`].
     pub scheduler: SchedulerPolicy,
+    /// Faults to inject (see [`crate::faults`]); empty by default. More
+    /// plans can be added later via [`VHadoop::install_fault_plan`].
+    pub faults: FaultPlan,
     /// Root seed — the whole run is a pure function of config + seed.
     pub seed: u64,
     /// Record structured trace spans and counters (see
@@ -71,6 +75,7 @@ impl Default for PlatformConfig {
             migration: MigrationConfig::default(),
             monitor_interval: Some(SimDuration::from_secs(1)),
             scheduler: SchedulerPolicy::default(),
+            faults: FaultPlan::new(),
             seed: 42,
             tracing: false,
         }
@@ -128,6 +133,12 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection plan applied at launch.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
     /// Sets the root seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -172,6 +183,8 @@ pub struct VHadoop {
     /// Destination of a deferred migration armed by
     /// [`crate::session::MigrationSession`]; consumed when its timer fires.
     pub(crate) pending_migration_dst: Option<HostId>,
+    /// Installed fault plan, live throttles and injection log.
+    pub(crate) faults: FaultDriver,
 }
 
 impl VHadoop {
@@ -186,6 +199,8 @@ impl VHadoop {
         // column names are interned into a live tracer.
         rt.engine.tracer_mut().set_enabled(config.tracing);
         let monitor = config.monitor_interval.map(|iv| Monitor::attach(&mut rt.engine, iv));
+        let mut faults = FaultDriver::default();
+        faults.install(&mut rt.engine, &config.faults);
         VHadoop {
             rt,
             monitor,
@@ -193,6 +208,7 @@ impl VHadoop {
             dirty: UtilizationDirtyModel::new(vms, seed.derive("dirty")),
             migration_report: None,
             pending_migration_dst: None,
+            faults,
         }
     }
 
@@ -389,6 +405,12 @@ impl VHadoop {
                 return Vec::new();
             }
         }
+        if w.tag().owner == owners::FAULT {
+            if let Wakeup::Timer { tag, .. } = w {
+                return self.on_fault_wakeup(*tag);
+            }
+            return Vec::new();
+        }
         if w.tag().owner == owners::MIGRATION {
             let events = self.migration.on_wakeup(
                 &mut self.rt.engine,
@@ -424,6 +446,8 @@ pub enum PlatformEvent {
     Migration(MigrationEvent),
     /// A direct HDFS operation (upload, DFSIO) completed.
     Hdfs(vhdfs::hdfs::HdfsCompletion),
+    /// A planned fault was injected (see [`VHadoop::fault_log`]).
+    Fault(InjectedFault),
 }
 
 #[cfg(test)]

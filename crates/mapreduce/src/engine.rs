@@ -35,7 +35,7 @@ use crate::speculation::SPECULATION_HEARTBEAT;
 use crate::state::{
     decode, tag, tag_full, JobState, SplitInfo, TaskPhase, PH_IGNORE, PH_MAP_COMPUTE, PH_MAP_READ,
     PH_MAP_STARTUP, PH_MAP_WRITE, PH_REDUCE_COMPUTE, PH_REDUCE_STARTUP, PH_REDUCE_WRITE,
-    PH_SHUFFLE, PH_SPECULATE,
+    PH_REQUEUE_MAP, PH_REQUEUE_REDUCE, PH_SHUFFLE, PH_SPECULATE,
 };
 use simcore::owners;
 use simcore::prelude::*;
@@ -124,6 +124,25 @@ impl MrEngine {
         busy.into_iter().map(|(_, vm)| vm).collect()
     }
 
+    /// Live counters of an unfinished job (`None` once finished/unknown).
+    pub fn job_counters(&self, id: JobId) -> Option<&Counters> {
+        self.jobs.get(&id.0).map(|j| &j.counters)
+    }
+
+    /// Maps of job `id` currently running both a primary and a speculative
+    /// attempt, as `(map_index, primary_vm, backup_vm)`. For tests and
+    /// failure-injection scenarios that must hit a task mid-speculation.
+    pub fn speculating(&self, id: JobId) -> Vec<(usize, VmId, VmId)> {
+        let Some(job) = self.jobs.get(&id.0) else { return Vec::new() };
+        (0..job.maps.len())
+            .filter(|&m| job.attempt_active[m][0] && job.attempt_active[m][1])
+            .filter_map(|m| match job.map_attempt_vm[m] {
+                [Some(primary), Some(backup)] => Some((m, primary, backup)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Submits a job. For HDFS-fed jobs, the input file must already exist
     /// and its block count must equal `input.split_count()`.
     ///
@@ -195,6 +214,8 @@ impl MrEngine {
             attempt_active: vec![[false, false]; n_maps],
             map_epoch: vec![0; n_maps],
             reduce_epoch: vec![0; n_reduces],
+            map_retries: vec![0; n_maps],
+            reduce_retries: vec![0; n_reduces],
             pending_maps: (0..n_maps).collect(),
             pending_reduces: (0..n_reduces).collect(),
             reduce_started_at: vec![None; n_reduces],
@@ -398,7 +419,13 @@ impl MrEngine {
                 }
                 self.dispatch(engine, cluster, hdfs, *t)
             }
-            Wakeup::Timer { .. } => Vec::new(),
+            // Tracker-timeout re-queue timers (see `recovery`).
+            Wakeup::Timer { tag: t, .. } => {
+                if t.owner != owners::MAPREDUCE {
+                    return Vec::new();
+                }
+                self.dispatch(engine, cluster, hdfs, *t)
+            }
         }
     }
 
@@ -430,11 +457,17 @@ impl MrEngine {
         // epoch: swallow them (their state was already repaired).
         {
             let job = self.jobs.get(&jid.0).expect("checked above");
-            let is_map_phase =
-                matches!(phase, PH_MAP_STARTUP | PH_MAP_READ | PH_MAP_COMPUTE | PH_MAP_WRITE);
+            let is_map_phase = matches!(
+                phase,
+                PH_MAP_STARTUP | PH_MAP_READ | PH_MAP_COMPUTE | PH_MAP_WRITE | PH_REQUEUE_MAP
+            );
             let is_reduce_phase = matches!(
                 phase,
-                PH_REDUCE_STARTUP | PH_SHUFFLE | PH_REDUCE_COMPUTE | PH_REDUCE_WRITE
+                PH_REDUCE_STARTUP
+                    | PH_SHUFFLE
+                    | PH_REDUCE_COMPUTE
+                    | PH_REDUCE_WRITE
+                    | PH_REQUEUE_REDUCE
             );
             let current = if is_map_phase {
                 Some(job.map_epoch[task])
@@ -470,6 +503,8 @@ impl MrEngine {
                     tag(jid, PH_SPECULATE, 0),
                 );
             }
+            PH_REQUEUE_MAP => self.requeue_map_ready(jid, task),
+            PH_REQUEUE_REDUCE => self.requeue_reduce_ready(jid, task),
             other => panic!("unknown MapReduce phase code {other}"),
         }
         self.schedule(engine, cluster);
@@ -478,6 +513,22 @@ impl MrEngine {
 
     pub(crate) fn finish_job(&mut self, engine: &mut Engine, jid: JobId) -> JobResult {
         let mut job = self.jobs.remove(&jid.0).expect("unknown job");
+        // A losing speculative attempt still in flight would drain after
+        // the job is gone and be swallowed without ever returning its
+        // slot: release every still-active attempt now.
+        for m in 0..job.maps.len() {
+            for attempt in 0..2 {
+                if !job.attempt_active[m][attempt] {
+                    continue;
+                }
+                job.attempt_active[m][attempt] = false;
+                if let Some(vm) = job.map_attempt_vm[m][attempt] {
+                    if let Some(held) = self.used_map_slots.get_mut(&vm.0) {
+                        *held -= 1;
+                    }
+                }
+            }
+        }
         let finished = engine.now();
         let map_done = job.map_phase_done.unwrap_or(finished);
         // Flatten output records in task-index order: partition 0's records

@@ -9,12 +9,27 @@
 //! swallowed), and completed map output stored only on the dead VM is
 //! re-executed elsewhere while the map phase is still open.
 
-use crate::state::{JobState, TaskPhase};
+use crate::job::JobId;
+use crate::state::{tag_full, JobState, TaskPhase, PH_REQUEUE_MAP, PH_REQUEUE_REDUCE};
 use simcore::prelude::*;
 use std::collections::HashMap;
 use vcluster::cluster::{VirtualCluster, VmId};
 
 use crate::engine::MrEngine;
+
+/// Base of the per-task retry backoff: re-execution `r` (r ≥ 2) of a task
+/// waits an extra `TASK_RETRY_BACKOFF × 2^min(r−2, 4)` after detection.
+pub const TASK_RETRY_BACKOFF: SimDuration = SimDuration::from_millis(250);
+
+/// Extra wait before re-queueing a task that was already lost
+/// `prior_retries` times (0 → no extra wait; capped at 16× the base).
+fn retry_backoff(prior_retries: u32) -> SimDuration {
+    if prior_retries == 0 {
+        SimDuration::ZERO
+    } else {
+        TASK_RETRY_BACKOFF * (1u64 << (prior_retries - 1).min(4))
+    }
+}
 
 impl MrEngine {
     /// Handles the loss of a TaskTracker VM (crash, or a migration blackout
@@ -81,19 +96,122 @@ impl MrEngine {
             }
             for r in 0..job.reduces.len() {
                 if job.reduces[r] == TaskPhase::Running(vm) {
-                    job.reduce_epoch[r] = (job.reduce_epoch[r] + 1) & 0x7F;
-                    job.reduces[r] = TaskPhase::Pending;
+                    Self::invalidate_reduce(job, r);
                     job.pending_reduces.push_back(r);
-                    job.reduce_outputs[r] = None;
-                    job.reduce_started_at[r] = None;
-                    job.shuffle_started_at[r] = None;
-                    job.counters.relaunched_tasks += 1;
                     remapped += 1;
                 }
             }
         }
         self.schedule(engine, cluster);
         remapped
+    }
+
+    /// Like [`MrEngine::fail_tracker`], but models the JobTracker's
+    /// *detection latency*: the attempts on `vm` die right now (their
+    /// in-flight events are orphaned by the epoch bump, their surviving
+    /// slots are released), yet each affected task only returns to the
+    /// pending queue after `detect_after` — the heartbeat timeout — plus a
+    /// capped exponential backoff that grows with the task's prior losses.
+    /// The deferred re-queue arrives as an ordinary engine timer
+    /// (`PH_REQUEUE_*`), so runs with injected crashes stay deterministic.
+    ///
+    /// Returns the number of task attempts scheduled for re-execution.
+    ///
+    /// # Panics
+    /// If `vm` is not a live tracker.
+    pub fn lose_tracker(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        vm: VmId,
+        detect_after: SimDuration,
+    ) -> usize {
+        let pos = self
+            .trackers
+            .iter()
+            .position(|&t| t == vm)
+            .unwrap_or_else(|| panic!("{vm} is not a live TaskTracker"));
+        self.trackers.remove(pos);
+        self.used_map_slots.remove(&vm.0);
+        self.used_reduce_slots.remove(&vm.0);
+
+        let mut requeued = 0usize;
+        let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
+        job_ids.sort_unstable();
+        for jid in job_ids {
+            let job = self.jobs.get_mut(&jid).expect("job present");
+            for m in 0..job.maps.len() {
+                let involved = job.map_attempt_vm[m].iter().flatten().any(|&a| a == vm);
+                if !involved {
+                    continue;
+                }
+                match job.maps[m] {
+                    TaskPhase::Running(_) => {
+                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
+                        Self::invalidate_map(job, m);
+                    }
+                    TaskPhase::Done
+                        if job.map_vm[m] == Some(vm) && job.map_phase_done.is_none() =>
+                    {
+                        Self::release_surviving_slots(job, m, vm, &mut self.used_map_slots);
+                        job.completed_maps -= 1;
+                        Self::invalidate_map(job, m);
+                    }
+                    _ => continue,
+                }
+                let prior = job.map_retries[m];
+                job.map_retries[m] += 1;
+                engine.set_timer_in(
+                    detect_after + retry_backoff(prior),
+                    tag_full(JobId(jid), PH_REQUEUE_MAP, 0, job.map_epoch[m], m),
+                );
+                requeued += 1;
+            }
+            for r in 0..job.reduces.len() {
+                if job.reduces[r] == TaskPhase::Running(vm) {
+                    Self::invalidate_reduce(job, r);
+                    let prior = job.reduce_retries[r];
+                    job.reduce_retries[r] += 1;
+                    engine.set_timer_in(
+                        detect_after + retry_backoff(prior),
+                        tag_full(JobId(jid), PH_REQUEUE_REDUCE, 0, job.reduce_epoch[r], r),
+                    );
+                    requeued += 1;
+                }
+            }
+        }
+        let now = engine.now();
+        engine.trace_span("fault", "tracker_timeout", vm.0, now, &[("requeued", requeued as f64)]);
+        self.schedule(engine, cluster);
+        requeued
+    }
+
+    /// Re-admits a (previously failed) VM as an idle TaskTracker; a no-op
+    /// when it is already live.
+    pub fn rejoin_tracker(&mut self, vm: VmId) {
+        if !self.trackers.contains(&vm) {
+            self.trackers.push(vm);
+        }
+    }
+
+    /// Handles a `PH_REQUEUE_MAP` timer: the tracker timeout for map `m`
+    /// elapsed, so it may re-enter the pending queue (the post-dispatch
+    /// scheduling round places it).
+    pub(crate) fn requeue_map_ready(&mut self, jid: JobId, m: usize) {
+        if let Some(job) = self.jobs.get_mut(&jid.0) {
+            if job.maps[m] == TaskPhase::Pending && !job.pending_maps.contains(&m) {
+                job.pending_maps.push_back(m);
+            }
+        }
+    }
+
+    /// Handles a `PH_REQUEUE_REDUCE` timer (see `requeue_map_ready`).
+    pub(crate) fn requeue_reduce_ready(&mut self, jid: JobId, r: usize) {
+        if let Some(job) = self.jobs.get_mut(&jid.0) {
+            if job.reduces[r] == TaskPhase::Pending && !job.pending_reduces.contains(&r) {
+                job.pending_reduces.push_back(r);
+            }
+        }
     }
 
     /// Frees the slots of map `m`'s still-active attempts that run on
@@ -118,17 +236,35 @@ impl MrEngine {
         }
     }
 
-    /// Resets map `m` to pending under a fresh epoch.
+    /// Resets map `m` to pending under a fresh epoch and re-queues it
+    /// immediately.
     fn requeue_map(job: &mut JobState, m: usize) {
+        Self::invalidate_map(job, m);
+        job.pending_maps.push_back(m);
+    }
+
+    /// Resets map `m` to pending under a fresh epoch — orphaning every
+    /// in-flight event of its attempts — without re-queueing it yet.
+    fn invalidate_map(job: &mut JobState, m: usize) {
         job.map_epoch[m] = (job.map_epoch[m] + 1) & 0x7F;
         job.maps[m] = TaskPhase::Pending;
-        job.pending_maps.push_back(m);
         job.map_attempt_vm[m] = [None, None];
         job.attempt_active[m] = [false, false];
         job.map_vm[m] = None;
         job.map_started_at[m] = None;
         job.speculated[m] = false;
         job.write_claimed[m] = false;
+        job.counters.relaunched_tasks += 1;
+    }
+
+    /// Resets reduce `r` to pending under a fresh epoch, without
+    /// re-queueing it yet.
+    fn invalidate_reduce(job: &mut JobState, r: usize) {
+        job.reduce_epoch[r] = (job.reduce_epoch[r] + 1) & 0x7F;
+        job.reduces[r] = TaskPhase::Pending;
+        job.reduce_outputs[r] = None;
+        job.reduce_started_at[r] = None;
+        job.shuffle_started_at[r] = None;
         job.counters.relaunched_tasks += 1;
     }
 }

@@ -31,6 +31,11 @@ pub(crate) const PH_REDUCE_WRITE: u8 = 7;
 /// is enabled — Hadoop's JobTracker re-evaluates stragglers on TaskTracker
 /// heartbeats, not on task events).
 pub(crate) const PH_SPECULATE: u8 = 8;
+/// Deferred re-queue of a map after a tracker timeout (the JobTracker's
+/// detection latency + per-task retry backoff, armed as an engine timer).
+pub(crate) const PH_REQUEUE_MAP: u8 = 9;
+/// Deferred re-queue of a reduce after a tracker timeout.
+pub(crate) const PH_REQUEUE_REDUCE: u8 = 10;
 /// Batch-member completions we deliberately ignore.
 pub(crate) const PH_IGNORE: u8 = 15;
 
@@ -110,6 +115,11 @@ pub(crate) struct JobState {
     pub(crate) map_epoch: Vec<u8>,
     /// Relaunch epoch per reduce task.
     pub(crate) reduce_epoch: Vec<u8>,
+    /// How often each map was lost to a tracker timeout (drives the
+    /// re-queue backoff).
+    pub(crate) map_retries: Vec<u32>,
+    /// How often each reduce was lost to a tracker timeout.
+    pub(crate) reduce_retries: Vec<u32>,
     /// Launch instant of each reduce task (trace span start).
     pub(crate) reduce_started_at: Vec<Option<SimTime>>,
     /// Instant each reduce's shuffle batch was issued (trace span start).

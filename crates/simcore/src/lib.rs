@@ -10,6 +10,8 @@
 //!   flow/delay steps, optionally AND-joined into batches, whose completions
 //!   surface as tagged [`engine::Wakeup`]s;
 //! * [`rng::RootSeed`] — labelled deterministic random streams;
+//! * [`faults`] — a scriptable fault taxonomy ([`faults::FaultKind`]) and
+//!   deterministic, seed-drivable schedules ([`faults::FaultPlan`]);
 //! * [`stats`] — summary statistics used by monitors and benches;
 //! * [`trace::Tracer`] — span + counter registry recorded against the
 //!   simulation clock, with Chrome `trace_event` and CSV exporters.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod fluid;
 pub mod ids;
 pub mod owners;
@@ -47,6 +50,7 @@ pub mod trace;
 /// One-stop imports for kernel clients.
 pub mod prelude {
     pub use crate::engine::{ChainSpec, Engine, Step, Wakeup};
+    pub use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
     pub use crate::fluid::{Demand, FluidNet, ResourceKind};
     pub use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
     pub use crate::rng::RootSeed;

@@ -19,5 +19,7 @@ pub const MONITOR: u32 = 5;
 pub const TUNER: u32 = 6;
 /// Workload drivers (DFSIO etc. when not going through MapReduce).
 pub const WORKLOAD: u32 = 7;
+/// Fault-injection driver timers ([`crate::faults::FaultPlan`] events).
+pub const FAULT: u32 = 8;
 /// Reserved for tests and ad-hoc client code.
 pub const USER: u32 = 100;

@@ -35,6 +35,9 @@ use std::collections::{HashMap, VecDeque};
 /// Stop-and-copy phase marker stored in the tag's high payload bit.
 const STOP_COPY_BIT: u64 = 1 << 63;
 
+/// Marks a retry timer armed after an aborted transfer (fault injection).
+const RETRY_BIT: u64 = 1 << 62;
+
 /// Tunables of the pre-copy algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MigrationConfig {
@@ -52,6 +55,11 @@ pub struct MigrationConfig {
     /// How many VMs migrate concurrently during a cluster migration
     /// (Xen-era toolstacks migrate sequentially; 1 is the default).
     pub concurrency: u32,
+    /// First retry delay after an aborted transfer; doubles per abort of
+    /// the same VM (capped at [`MigrationConfig::retry_backoff_cap`]).
+    pub retry_backoff_base: SimDuration,
+    /// Upper bound on the abort-retry delay.
+    pub retry_backoff_cap: SimDuration,
 }
 
 impl Default for MigrationConfig {
@@ -62,6 +70,8 @@ impl Default for MigrationConfig {
             max_total_factor: 3.0,
             resume_latency: SimDuration::from_millis(30),
             concurrency: 1,
+            retry_backoff_base: SimDuration::from_millis(500),
+            retry_backoff_cap: SimDuration::from_secs(8),
         }
     }
 }
@@ -207,6 +217,9 @@ pub struct VmMigrationReport {
     pub downtime: SimDuration,
     /// Why pre-copy stopped.
     pub stop_reason: StopReason,
+    /// Injected transfer aborts this VM survived before completing
+    /// (each restarts pre-copy from round 0 after exponential backoff).
+    pub aborts: u32,
 }
 
 /// Outcome of a whole-cluster migration (Virt-LM style aggregate).
@@ -243,6 +256,8 @@ struct VmJob {
     transferred: f64,
     stop_started: Option<SimTime>,
     stop_reason: StopReason,
+    /// The in-flight transfer, so an injected abort can cancel it.
+    flow: Option<ActivityId>,
 }
 
 /// Orchestrates pre-copy migrations; owns no engine — the platform passes
@@ -256,6 +271,10 @@ pub struct MigrationManager {
     session_started: Option<SimTime>,
     finished: Vec<VmMigrationReport>,
     expected: usize,
+    /// VMs whose transfer was aborted, waiting out their backoff timer.
+    retrying: HashMap<u32, HostId>,
+    /// Per-VM abort count within the current session (drives the backoff).
+    aborts: HashMap<u32, u32>,
 }
 
 impl MigrationManager {
@@ -269,6 +288,8 @@ impl MigrationManager {
             session_started: None,
             finished: Vec::new(),
             expected: 0,
+            retrying: HashMap::new(),
+            aborts: HashMap::new(),
         }
     }
 
@@ -277,9 +298,10 @@ impl MigrationManager {
         &self.cfg
     }
 
-    /// True while any migration is queued or in flight.
+    /// True while any migration is queued, in flight, or backing off after
+    /// an injected abort.
     pub fn busy(&self) -> bool {
-        self.active > 0 || !self.queue.is_empty()
+        self.active > 0 || !self.queue.is_empty() || !self.retrying.is_empty()
     }
 
     /// Starts migrating `vms` to `dst`, honouring the concurrency limit.
@@ -298,6 +320,7 @@ impl MigrationManager {
         assert!(!vms.is_empty(), "nothing to migrate");
         self.session_started = Some(engine.now());
         self.finished.clear();
+        self.aborts.clear();
         self.expected = vms.len();
         for &vm in vms {
             assert_ne!(cluster.host_of(vm), dst, "{vm} already on {dst}");
@@ -327,6 +350,7 @@ impl MigrationManager {
             transferred: 0.0,
             stop_started: None,
             stop_reason: StopReason::Converged,
+            flow: None,
         };
         self.jobs.insert(vm.0, job);
         self.active += 1;
@@ -348,7 +372,41 @@ impl MigrationManager {
         let demands = cluster.host_transfer_demands(job.src, job.dst);
         let b = u64::from(job.round) | if stop_copy { STOP_COPY_BIT } else { 0 };
         let tag = Tag::new(owners::MIGRATION, vm.0, b);
-        engine.start_flow(demands, bytes.max(1.0), tag);
+        job.flow = Some(engine.start_flow(demands, bytes.max(1.0), tag));
+    }
+
+    /// Aborts every in-flight transfer (an injected fault: source toolstack
+    /// dies mid-pre-copy, TCP stream resets, ...). Each aborted VM loses
+    /// its progress, waits out a capped exponential backoff
+    /// (`retry_backoff_base × 2^(aborts−1)`, at most `retry_backoff_cap`)
+    /// and then restarts from round 0. Queued, not-yet-started VMs are
+    /// untouched. Returns the aborted VM ids; a no-op (empty) when nothing
+    /// is in flight.
+    pub fn abort_active(&mut self, engine: &mut Engine) -> Vec<u32> {
+        let mut vms: Vec<u32> = self.jobs.keys().copied().collect();
+        vms.sort_unstable();
+        for &vm in &vms {
+            let job = self.jobs.remove(&vm).expect("listed job exists");
+            if let Some(flow) = job.flow {
+                engine.cancel_activity(flow);
+            }
+            self.active -= 1;
+            let n = self.aborts.entry(vm).or_insert(0);
+            *n += 1;
+            let exp = (*n - 1).min(16);
+            let delay =
+                (self.cfg.retry_backoff_base * (1u64 << exp)).min(self.cfg.retry_backoff_cap);
+            engine.trace_span(
+                "fault",
+                "migration_abort",
+                vm,
+                job.round_started,
+                &[("round", f64::from(job.round)), ("attempt", f64::from(*n))],
+            );
+            self.retrying.insert(vm, job.dst);
+            engine.set_timer_in(delay, Tag::new(owners::MIGRATION, vm, RETRY_BIT));
+        }
+        vms
     }
 
     /// Handles an `owners::MIGRATION` wakeup; returns any completions.
@@ -359,17 +417,32 @@ impl MigrationManager {
         dirty: &mut dyn DirtyRateModel,
         wakeup: &Wakeup,
     ) -> Vec<MigrationEvent> {
-        let Wakeup::Activity { tag, .. } = wakeup else {
-            return Vec::new();
-        };
-        debug_assert_eq!(tag.owner, owners::MIGRATION);
-        let vm = VmId(tag.a);
-        let stop_copy = tag.b & STOP_COPY_BIT != 0;
-        if stop_copy {
-            self.finish_vm(engine, cluster, vm)
-        } else {
-            self.round_done(engine, cluster, dirty, vm);
-            Vec::new()
+        match wakeup {
+            Wakeup::Activity { tag, .. } => {
+                debug_assert_eq!(tag.owner, owners::MIGRATION);
+                let vm = VmId(tag.a);
+                let stop_copy = tag.b & STOP_COPY_BIT != 0;
+                if stop_copy {
+                    self.finish_vm(engine, cluster, vm)
+                } else {
+                    self.round_done(engine, cluster, dirty, vm);
+                    Vec::new()
+                }
+            }
+            // Backoff expired after an injected abort: re-queue the VM and
+            // restart it as soon as a concurrency slot is free.
+            Wakeup::Timer { tag, .. } if tag.b & RETRY_BIT != 0 => {
+                debug_assert_eq!(tag.owner, owners::MIGRATION);
+                if let Some(dst) = self.retrying.remove(&tag.a) {
+                    self.queue.push_back((VmId(tag.a), dst));
+                    let slots = self.cfg.concurrency.max(1);
+                    while self.active < slots && !self.queue.is_empty() {
+                        self.launch_next(engine, cluster);
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
         }
     }
 
@@ -380,10 +453,15 @@ impl MigrationManager {
         dirty: &mut dyn DirtyRateModel,
         vm: VmId,
     ) {
+        // A transfer finishing at the very instant an abort removed its job
+        // still delivers its queued wakeup; ignore it.
+        if !self.jobs.contains_key(&vm.0) {
+            return;
+        }
         let now = engine.now();
         let rate = dirty.dirty_rate(engine, cluster, vm);
         let (next_bytes, decision) = {
-            let job = self.jobs.get_mut(&vm.0).expect("round for unknown job");
+            let job = self.jobs.get_mut(&vm.0).expect("checked above");
             let elapsed = now.saturating_since(job.round_started).as_secs_f64();
             engine.trace_span(
                 "migration",
@@ -423,7 +501,10 @@ impl MigrationManager {
         vm: VmId,
     ) -> Vec<MigrationEvent> {
         let now = engine.now();
-        let job = self.jobs.remove(&vm.0).expect("stop-copy for unknown job");
+        let Some(job) = self.jobs.remove(&vm.0) else {
+            // Stale stop-copy completion of an aborted job (see round_done).
+            return Vec::new();
+        };
         self.active -= 1;
         cluster.set_host(job.vm, job.dst);
         let stop_started = job.stop_started.expect("stop phase was entered");
@@ -450,6 +531,7 @@ impl MigrationManager {
             migration_time: (now + self.cfg.resume_latency).saturating_since(job.started),
             downtime,
             stop_reason: job.stop_reason,
+            aborts: self.aborts.get(&vm.0).copied().unwrap_or(0),
         };
         self.finished.push(report.clone());
         let mut events = vec![MigrationEvent::VmDone(report)];
@@ -486,15 +568,13 @@ mod tests {
         (e, c)
     }
 
-    /// Runs a migration session to completion, returning the final report.
-    fn run_migration(
+    /// Drives an already-started session to completion.
+    fn drive(
         e: &mut Engine,
         c: &mut VirtualCluster,
         mgr: &mut MigrationManager,
         dirty: &mut dyn DirtyRateModel,
-        vms: &[VmId],
     ) -> ClusterMigrationReport {
-        mgr.start_cluster_migration(e, c, vms, HostId(1));
         while let Some((_, w)) = e.next_wakeup() {
             if w.tag().owner == owners::MIGRATION {
                 for ev in mgr.on_wakeup(e, c, dirty, &w) {
@@ -505,6 +585,18 @@ mod tests {
             }
         }
         panic!("migration never completed");
+    }
+
+    /// Runs a migration session to completion, returning the final report.
+    fn run_migration(
+        e: &mut Engine,
+        c: &mut VirtualCluster,
+        mgr: &mut MigrationManager,
+        dirty: &mut dyn DirtyRateModel,
+        vms: &[VmId],
+    ) -> ClusterMigrationReport {
+        mgr.start_cluster_migration(e, c, vms, HostId(1));
+        drive(e, c, mgr, dirty)
     }
 
     #[test]
@@ -618,6 +710,49 @@ mod tests {
         let vm = &rep.per_vm[0];
         assert!(vm.transferred >= vm.mem as f64, "at least one full memory pass is transferred");
         assert!(vm.transferred <= 3.5 * vm.mem as f64, "traffic budget bounds total transfer");
+    }
+
+    #[test]
+    fn aborted_migration_retries_and_completes() {
+        let (mut e, mut c) = setup(1);
+        let mut mgr = MigrationManager::new(MigrationConfig::default());
+        let mut dirty = ConstantDirtyModel(0.5e6);
+        mgr.start_cluster_migration(&mut e, &c, &[VmId(0)], HostId(1));
+        assert_eq!(mgr.abort_active(&mut e), vec![0], "round-0 transfer was in flight");
+        assert!(mgr.busy(), "backing off still counts as busy");
+        assert!(mgr.abort_active(&mut e).is_empty(), "nothing left in flight to abort");
+        let rep = drive(&mut e, &mut c, &mut mgr, &mut dirty);
+        let vm = &rep.per_vm[0];
+        assert_eq!(vm.aborts, 1);
+        assert_eq!(c.host_of(VmId(0)), HostId(1), "retry still re-homes the VM");
+        // The session clock includes the lost attempt + 500 ms backoff.
+        assert!(rep.total_time >= vm.migration_time + SimDuration::from_millis(500));
+        assert!(!mgr.busy());
+    }
+
+    #[test]
+    fn repeated_aborts_back_off_exponentially() {
+        let (mut e, mut c) = setup(1);
+        let mut mgr = MigrationManager::new(MigrationConfig::default());
+        let mut dirty = ConstantDirtyModel(0.5e6);
+        mgr.start_cluster_migration(&mut e, &c, &[VmId(0)], HostId(1));
+        let mut restarted_at = Vec::new();
+        for _ in 0..2 {
+            let aborted_at = e.now();
+            assert_eq!(mgr.abort_active(&mut e), vec![0]);
+            while mgr.jobs.is_empty() {
+                let (_, w) = e.next_wakeup().expect("retry timer pending");
+                if w.tag().owner == owners::MIGRATION {
+                    mgr.on_wakeup(&mut e, &mut c, &mut dirty, &w);
+                }
+            }
+            restarted_at.push(e.now().saturating_since(aborted_at));
+        }
+        assert_eq!(restarted_at[0], SimDuration::from_millis(500));
+        assert_eq!(restarted_at[1], SimDuration::from_millis(1000), "second abort waits 2× base");
+        let rep = drive(&mut e, &mut c, &mut mgr, &mut dirty);
+        assert_eq!(rep.per_vm[0].aborts, 2);
+        assert_eq!(c.host_of(VmId(0)), HostId(1));
     }
 
     #[test]

@@ -304,6 +304,13 @@ impl Hdfs {
     /// blocks that had to be re-replicated; blocks whose *only* replica
     /// lived on `vm` are lost (counted in `.1`).
     ///
+    /// This also covers a datanode dying **mid-write-pipeline**: blocks
+    /// are registered (with their full replica sets) at submission, so the
+    /// dead node's pending replicas are dropped and re-replicated from the
+    /// surviving pipeline members exactly like acknowledged ones — the
+    /// model's stand-in for HDFS pipeline recovery (the in-flight transfer
+    /// itself keeps flowing; only metadata and placement react).
+    ///
     /// # Panics
     /// If `vm` is not a (live) datanode.
     pub fn fail_datanode(
@@ -348,6 +355,34 @@ impl Hdfs {
             re_replicated += 1;
         }
         (re_replicated, lost)
+    }
+
+    /// Re-admits a previously failed VM as an *empty* datanode: it holds
+    /// no replicas until future writes or re-replications place some. A
+    /// no-op if `vm` already serves.
+    ///
+    /// # Panics
+    /// If `vm` is the namenode.
+    pub fn rejoin_datanode(&mut self, vm: VmId) {
+        assert_ne!(vm, self.namenode, "the namenode cannot rejoin as a datanode");
+        if !self.datanodes.contains(&vm) {
+            self.datanodes.push(vm);
+        }
+    }
+
+    /// Blocks whose live replica count fell below `dfs.replication` — the
+    /// self-healing backlog after failures (0 once re-replication caught
+    /// up or no spare datanode exists).
+    pub fn under_replicated_blocks(&self) -> usize {
+        let want = self.cfg.replication as usize;
+        self.ns.blocks().iter().filter(|(_, bm)| bm.replicas.len() < want).count()
+    }
+
+    /// Blocks with zero live replicas — acknowledged data irrecoverably
+    /// lost. Stays 0 as long as fewer than `dfs.replication` datanodes
+    /// holding common blocks fail.
+    pub fn lost_blocks(&self) -> usize {
+        self.ns.blocks().iter().filter(|(_, bm)| bm.replicas.is_empty()).count()
     }
 
     /// Number of in-flight operations.
@@ -472,6 +507,58 @@ mod tests {
             run_until_op(&mut e, &mut h, op2).0.as_secs_f64()
         };
         assert!(two > one * 1.5, "NFS contention: two writers {two:.2}s vs one {one:.2}s");
+    }
+
+    #[test]
+    fn datanode_loss_mid_write_pipeline_recovers() {
+        let (mut e, c, mut h) = setup(Placement::SingleDomain);
+        let tag = Tag::new(owners::USER, 7, 0);
+        let op = h.write_file(&mut e, &c, "/mid", 100 * MB, VmId(1), tag);
+        // Kill a pipeline member while the write is still in flight.
+        let victim = h.block(h.stat("/mid").unwrap().blocks[0]).replicas[0];
+        let (re_replicated, lost) = h.fail_datanode(&mut e, &c, victim);
+        assert_eq!(lost, 0, "replication 2 survives one failure");
+        assert!(re_replicated >= 1, "the victim's pending replicas re-replicate");
+        assert!(h.under_replicated_blocks() == 0, "re-replication already registered");
+        // The write and the repair traffic both complete.
+        let (_, comp) = run_until_op(&mut e, &mut h, op);
+        assert_eq!(comp.bytes, 100 * MB);
+        while let Some((_, w)) = e.next_wakeup() {
+            h.on_wakeup(&mut e, &w);
+        }
+        assert_eq!(h.inflight(), 0);
+        assert_eq!(h.lost_blocks(), 0);
+        for (_, bm) in h.namespace().blocks() {
+            assert!(!bm.replicas.contains(&victim), "dead node holds nothing");
+            assert_eq!(bm.replicas.len(), 2, "full replication restored");
+        }
+        // The file is still fully readable afterwards.
+        let op = h.read_file(&mut e, &c, "/mid", VmId(2), tag);
+        let (_, comp) = run_until_op(&mut e, &mut h, op);
+        assert_eq!(comp.bytes, 100 * MB);
+    }
+
+    #[test]
+    fn rejoined_datanode_serves_again() {
+        let (mut e, c, mut h) = setup(Placement::SingleDomain);
+        h.register_file(&c, "/pre", 64 * MB, VmId(2));
+        let n = h.datanodes().len();
+        h.fail_datanode(&mut e, &c, VmId(3));
+        assert_eq!(h.datanodes().len(), n - 1);
+        h.rejoin_datanode(VmId(3));
+        h.rejoin_datanode(VmId(3)); // idempotent
+        assert_eq!(h.datanodes().len(), n);
+        assert_eq!(h.namespace().used_space(VmId(3)), 0, "rejoins empty");
+        // New writes may land on the rejoined node again.
+        let op = h.write_file(&mut e, &c, "/post", 100 * MB, VmId(3), Tag::owner(owners::USER));
+        run_until_op(&mut e, &mut h, op);
+    }
+
+    #[test]
+    #[should_panic(expected = "namenode cannot rejoin")]
+    fn namenode_rejoin_is_rejected() {
+        let (_e, _c, mut h) = setup(Placement::SingleDomain);
+        h.rejoin_datanode(VmId(0));
     }
 
     #[test]

@@ -141,6 +141,15 @@ impl Namespace {
         self.files.keys().map(String::as_str)
     }
 
+    /// All `(block, meta)` pairs in block-id order — health scans
+    /// (replica counting) after failures.
+    pub fn blocks(&self) -> Vec<(BlockId, &BlockMeta)> {
+        let mut v: Vec<(BlockId, &BlockMeta)> =
+            self.blocks.iter().map(|(&id, bm)| (id, bm)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
     /// Removes every replica hosted on `vm`, returning each affected
     /// block with its surviving replicas (possibly empty = data loss).
     pub fn drop_replicas_on(&mut self, vm: VmId) -> Vec<(BlockId, Vec<VmId>)> {

@@ -43,6 +43,44 @@ else
     done
 fi
 
+echo "==> faults: chaos & property suites"
+# Snapshot the tree state first: fault/chaos tests must only ever write
+# under results/.
+before=$(git status --porcelain)
+cargo test -q -p vhadoop-integration \
+    --test chaos --test seed_sweep --test deprecated_shims \
+    --test speculation_recovery --test cross_crate_props
+cargo test -q -p proptest
+
+echo "==> faults: ablation case & fault-annotated trace"
+cargo run --release -q -p vhadoop-bench --bin ablations -- --case faults > /dev/null
+ftrace=results/faults.trace.json
+test -s "$ftrace" || { echo "missing or empty $ftrace" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$ftrace" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+events = t["traceEvents"]
+faults = [e for e in events if e.get("cat") == "fault"]
+assert faults, "faulted trace has no fault spans"
+names = {e["name"] for e in faults}
+print(f"    {len(faults)} fault spans: {sorted(names)}")
+PY
+else
+    grep -q '"traceEvents"' "$ftrace"
+    grep -q '"cat":"fault"' "$ftrace" || { echo "no fault spans" >&2; exit 1; }
+fi
+
+# Fail if the fault stages dirtied anything outside results/.
+after=$(git status --porcelain)
+stray=$(comm -13 <(sort <<< "$before") <(sort <<< "$after") | grep -v ' results/' || true)
+if [ -n "$stray" ]; then
+    echo "fault stage wrote outside results/:" >&2
+    echo "$stray" >&2
+    exit 1
+fi
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
 # entropy anywhere in the simulation crates.

@@ -1,0 +1,173 @@
+//! Offline stand-in for property-based testing.
+//!
+//! The build container has no access to crates.io, so this workspace ships
+//! a tiny seeded-case runner under the familiar name. It is **not**
+//! API-compatible with the real `proptest` crate and does **no input
+//! shrinking**: each case draws inputs from a [`Gen`] seeded by a pure
+//! function of the configured seed and the case index, the property runs
+//! under `catch_unwind`, and on failure the runner prints the case index
+//! and the exact per-case seed before resuming the panic — re-running with
+//! `PROPTEST_CASE_SEED=<that seed> PROPTEST_CASES=1` replays the failing
+//! inputs deterministically, which is the shrinking substitute.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Random-input source handed to each property case.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Generator seeded by a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Direct access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi]`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi]`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Uniformly random element of `xs`.
+    ///
+    /// # Panics
+    /// If `xs` is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose on empty slice");
+        &xs[self.usize_in(0, xs.len() - 1)]
+    }
+}
+
+/// How many cases to run and from which seed to derive them.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases (env override: `PROPTEST_CASES`).
+    pub cases: u32,
+    /// Base seed (env override: `PROPTEST_CASE_SEED`).
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 12, seed: 0x70726F70 }
+    }
+}
+
+impl Config {
+    /// `cases` cases from the default seed.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+
+    fn resolved(self) -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases);
+        let seed = std::env::var("PROPTEST_CASE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.seed);
+        Config { cases, seed }
+    }
+}
+
+/// SplitMix64-style mix deriving the per-case seed from base seed + index.
+fn case_seed(base: u64, index: u32) -> u64 {
+    let mut z = base ^ (u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `prop` for each configured case with a freshly seeded [`Gen`].
+///
+/// On a panicking case the runner prints `name`, the case index and the
+/// per-case seed to stderr, then resumes the panic so the test fails with
+/// the original message.
+pub fn check(name: &str, cfg: Config, mut prop: impl FnMut(&mut Gen)) {
+    // When PROPTEST_CASE_SEED is set it is the *exact* per-case seed of
+    // case 0 (the replay path printed on failure); otherwise per-case
+    // seeds are derived from the configured base seed.
+    let exact = std::env::var("PROPTEST_CASE_SEED").is_ok();
+    let cfg = cfg.resolved();
+    for case in 0..cfg.cases {
+        let seed = if exact && case == 0 { cfg.seed } else { case_seed(cfg.seed, case) };
+        let mut g = Gen::from_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| prop(&mut g))) {
+            eprintln!(
+                "proptest '{name}': case {case}/{} failed — replay with \
+                 PROPTEST_CASE_SEED={seed} PROPTEST_CASES=1",
+                cfg.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let mut a = Vec::new();
+        check("collect-a", Config { cases: 5, seed: 9 }, |g| a.push(g.u64_in(0, 1000)));
+        let mut b = Vec::new();
+        check("collect-b", Config { cases: 5, seed: 9 }, |g| b.push(g.u64_in(0, 1000)));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let mut c = Vec::new();
+        check("collect-c", Config { cases: 5, seed: 10 }, |g| c.push(g.u64_in(0, 1000)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draws_stay_in_bounds() {
+        check("bounds", Config { cases: 50, seed: 1 }, |g| {
+            let u = g.usize_in(3, 7);
+            assert!((3..=7).contains(&u));
+            let f = g.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let &x = g.choose(&[10, 20, 30]);
+            assert!([10, 20, 30].contains(&x));
+            let _ = g.bool(0.5);
+        });
+    }
+
+    #[test]
+    fn failing_case_resumes_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("fails", Config { cases: 3, seed: 2 }, |_| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+    }
+}

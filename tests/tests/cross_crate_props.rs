@@ -1,6 +1,6 @@
 //! Cross-crate randomized tests: invariants that must hold for arbitrary
-//! configurations of the whole stack (seeded loops — the offline build has
-//! no proptest).
+//! configurations of the whole stack (seeded loops plus the in-repo
+//! `proptest` shim — the offline build has no crates.io proptest).
 
 use mapreduce::config::JobConfig;
 use rand::rngs::StdRng;
@@ -63,4 +63,69 @@ fn jobs_always_terminate() {
         let rep = run_wordcount(cluster, mb << 20, JobConfig::default(), RootSeed(17));
         assert!(rep.elapsed_s.is_finite() && rep.elapsed_s > 0.0);
     }
+}
+
+/// A random `FaultPlan` over a random small cluster never breaks the
+/// platform's core guarantees: the run terminates, the job's output
+/// payload equals the fault-free run's, and no block ever drops to zero
+/// live replicas (replication 3 vs. at most 2 crashes).
+#[test]
+fn random_fault_plans_preserve_results_and_data() {
+    use vhadoop::prelude::*;
+
+    let mb = 1u64 << 20;
+    let run = |vms: u32, seed: u64, plan: FaultPlan| {
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2)
+                        .vms(vms)
+                        .placement(Placement::CrossDomain)
+                        .build(),
+                )
+                .hdfs(HdfsConfig { block_size: mb, replication: 3 })
+                .no_monitor()
+                .faults(plan)
+                .seed(seed)
+                .build(),
+        );
+        p.register_input("/prop/in", 3 * mb, VmId(1));
+        let corpus = workloads::textgen::TextCorpus::english_like(RootSeed(seed).derive("corpus"));
+        let input = GeneratorInput::new(3, mb, move |idx| corpus.split_records(idx, mb));
+        let spec = JobSpec::new("wc", "/prop/in", "/prop/out")
+            .with_config(JobConfig::default().with_reduces(2));
+        // run_job panics if the simulation drains first — that IS the
+        // termination property.
+        let result = p.run_job(spec, Box::new(workloads::wordcount::WordCountApp), Box::new(input));
+        while p.step().is_some() {}
+        let mut outputs: Vec<(String, i64)> =
+            result.outputs.iter().map(|(k, v)| (k.as_text().to_string(), v.as_int())).collect();
+        outputs.sort();
+        (outputs, p)
+    };
+
+    proptest::check("random-fault-plans", proptest::Config::with_cases(5), |g| {
+        let vms = g.u32_in(5, 8);
+        let seed = g.u64_in(0, 10_000);
+        let (clean, _) = run(vms, seed, FaultPlan::new());
+
+        let mut profile = FaultProfile::new(vms, 2);
+        profile.max_events = g.u32_in(1, 5);
+        let plan = FaultPlan::random(&profile, RootSeed(g.u64_in(0, u64::MAX - 1)));
+        let planned = plan.len();
+        let (faulted, p) = run(vms, seed, plan);
+
+        assert_eq!(faulted, clean, "injected faults changed the job's output payload");
+        assert_eq!(p.rt.hdfs.lost_blocks(), 0, "a block lost its last replica");
+        for (id, meta) in p.rt.hdfs.namespace().blocks() {
+            assert!(!meta.replicas.is_empty(), "{id} has no live replica");
+        }
+        assert_eq!(
+            p.fault_log().iter().map(|f| f.lost_blocks).sum::<usize>(),
+            0,
+            "an injected crash destroyed acknowledged data"
+        );
+        assert_eq!(p.fault_log().len(), planned, "every planned event fires exactly once");
+    });
 }

@@ -1,0 +1,117 @@
+//! The `#[deprecated]` migration entry points must stay exact synonyms of
+//! the `migration(dst)` session calls they forward to: same reports, same
+//! job results, on identically configured platforms.
+
+#![allow(deprecated)]
+
+mod common;
+
+use common::{fig2_job, MB};
+use vhadoop::prelude::*;
+
+fn platform(seed: u64) -> VHadoop {
+    VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build(),
+            )
+            .no_monitor()
+            .seed(seed)
+            .build(),
+    )
+}
+
+#[test]
+fn migrate_cluster_equals_idle_session() {
+    let shim = platform(1).migrate_cluster(HostId(1));
+    let session = platform(1).migration(HostId(1)).idle();
+    assert_eq!(shim, session);
+    assert_eq!(shim.per_vm.len(), 4);
+}
+
+#[test]
+fn migrate_during_job_equals_after_during_job_session() {
+    let bytes = 3 * MB;
+    let delay = SimDuration::from_secs(1);
+
+    let mut a = platform(2);
+    let (spec, app, input) = fig2_job(&mut a, bytes, 2);
+    let (shim_rep, shim_res) = a.migrate_during_job(spec, app, input, HostId(1), delay);
+
+    let mut b = platform(2);
+    let (spec, app, input) = fig2_job(&mut b, bytes, 2);
+    let (sess_rep, sess_res) = b.migration(HostId(1)).after(delay).during_job(spec, app, input);
+
+    assert_eq!(shim_rep, sess_rep);
+    assert_eq!(common::sorted_outputs(&shim_res), common::sorted_outputs(&sess_res));
+    assert_eq!(shim_res.counters.launched_maps, sess_res.counters.launched_maps);
+}
+
+#[test]
+fn start_migration_equals_session_start() {
+    let drive = |p: &mut VHadoop| loop {
+        if let Some(rep) = p.poll() {
+            return rep;
+        }
+        p.step().expect("migration must finish before the simulation drains");
+    };
+
+    let mut a = platform(3);
+    a.start_migration(HostId(1));
+    assert!(a.migration_busy());
+    let shim = drive(&mut a);
+
+    let mut b = platform(3);
+    b.migration(HostId(1)).start();
+    let session = drive(&mut b);
+
+    assert_eq!(shim, session);
+}
+
+#[test]
+fn take_migration_report_equals_poll() {
+    let mut a = platform(4);
+    a.start_migration(HostId(1));
+    while a.take_migration_report().is_none() {
+        a.step().expect("migration must finish before the simulation drains");
+    }
+    // Consumed — both accessors drain the same slot.
+    assert!(a.poll().is_none());
+    assert!(a.take_migration_report().is_none());
+
+    let mut b = platform(4);
+    b.migration(HostId(1)).start();
+    while b.poll().is_none() {
+        b.step().expect("migration must finish before the simulation drains");
+    }
+    assert!(b.take_migration_report().is_none());
+}
+
+#[test]
+fn migrate_cluster_under_load_equals_under_load_session() {
+    fn submit(count: &mut u32) -> impl FnMut(&mut mapreduce::runtime::MrRuntime) -> bool + '_ {
+        move |rt| {
+            if *count == 0 {
+                return false;
+            }
+            *count -= 1;
+            let run = *count;
+            workloads::wordcount::submit_wordcount(rt, run, MB, JobConfig::default(), RootSeed(9));
+            true
+        }
+    }
+
+    let mut a = platform(5);
+    let mut ca = 3u32;
+    let (shim_rep, shim_jobs) = a.migrate_cluster_under_load(HostId(1), submit(&mut ca));
+
+    let mut b = platform(5);
+    let mut cb = 3u32;
+    let (sess_rep, sess_jobs) = b.migration(HostId(1)).under_load(submit(&mut cb));
+
+    assert_eq!(shim_rep, sess_rep);
+    assert_eq!(shim_jobs.len(), sess_jobs.len());
+    for (x, y) in shim_jobs.iter().zip(&sess_jobs) {
+        assert_eq!(common::sorted_outputs(x), common::sorted_outputs(y));
+    }
+}

@@ -1,0 +1,168 @@
+//! Regression suite for tracker death racing an in-flight speculative
+//! copy (the double-scheduling audit of the recovery/speculation pair).
+//!
+//! Audit conclusion encoded here: when a tracker dies while a map has a
+//! live speculative twin, `fail_tracker`/`lose_tracker` conservatively
+//! invalidate BOTH attempts under a fresh epoch — the surviving twin's
+//! completion event is orphaned and swallowed by the epoch check, its
+//! slot is released, and the task re-runs once. Wasteful by design, never
+//! a double-schedule: output is counted exactly once and no slot leaks.
+
+mod common;
+
+use mapreduce::prelude::*;
+use vhadoop::prelude::*;
+
+/// CPU-heavy identity job: 8 maps of 40 records, ~2 s per healthy map, so
+/// a throttled VM lags far past the 1.5× speculation threshold.
+#[derive(Debug)]
+struct HeavyApp;
+
+impl MapReduceApp for HeavyApp {
+    fn name(&self) -> &str {
+        "heavy"
+    }
+    fn map(&self, k: &K, v: &V, out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), v.clone());
+    }
+    fn reduce(&self, k: &K, vs: &[V], out: &mut dyn FnMut(K, V)) {
+        out(k.clone(), V::Int(vs.len() as i64));
+    }
+    fn cost(&self) -> CostProfile {
+        CostProfile { map_cpu_per_record: 1.2e8, ..Default::default() }
+    }
+}
+
+const INPUT: u64 = (8 << 20) - 1;
+
+fn launch(plan: FaultPlan) -> VHadoop {
+    VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(2).vms(9).placement(Placement::SingleDomain).build(),
+            )
+            .hdfs(HdfsConfig { block_size: 1 << 20, replication: 2 })
+            .no_monitor()
+            .seed(77)
+            .faults(plan)
+            .build(),
+    )
+}
+
+fn submit_heavy(p: &mut VHadoop) -> JobId {
+    p.register_input("/in", INPUT, VmId(1));
+    let input = GeneratorInput::new(8, 1 << 20, |idx| {
+        (0..40).map(|i| (K::Int((idx * 100 + i) as i64), V::Float(i as f64))).collect()
+    });
+    let config = JobConfig {
+        speculative: true,
+        locality_aware: false,
+        use_combiner: false,
+        ..Default::default()
+    };
+    let spec = JobSpec::new("heavy", "/in", "/out").with_config(config);
+    p.rt.submit(spec, Box::new(HeavyApp), Box::new(input))
+}
+
+/// A plan making VM 2 a deep straggler for the whole job.
+fn straggler_plan() -> FaultPlan {
+    FaultPlan::new().at(
+        SimTime::from_nanos(200_000_000),
+        FaultKind::StragglerVm { vm: 2, factor: 0.05, duration: SimDuration::from_secs(120) },
+    )
+}
+
+/// Sorted `(key, count)` outputs of the heavy job.
+fn sorted(res: &JobResult) -> Vec<(i64, i64)> {
+    let mut v: Vec<(i64, i64)> =
+        res.outputs.iter().map(|(k, val)| (k.as_int(), val.as_int())).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Drives the job; the first time a speculative pair is observed,
+/// `intervene(primary, backup)` picks a VM to kill and `kill` is applied.
+fn run_with_intervention(
+    p: &mut VHadoop,
+    id: JobId,
+    mut intervene: impl FnMut(&mut VHadoop, VmId, VmId) -> bool,
+) -> (JobResult, bool) {
+    let mut intervened = false;
+    loop {
+        if !intervened {
+            if let Some(&(_m, primary, backup)) = p.rt.mr.speculating(id).first() {
+                intervened = intervene(p, primary, backup);
+            }
+        }
+        let (_, events) = p.step().expect("job must finish before the simulation drains");
+        for ev in events {
+            if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                if res.id == id {
+                    return (*res, intervened);
+                }
+            }
+        }
+    }
+}
+
+/// Baseline payload: the same job, no faults, no failures.
+fn clean_outputs() -> Vec<(i64, i64)> {
+    let mut p = launch(FaultPlan::new());
+    let id = submit_heavy(&mut p);
+    let (res, _) = run_with_intervention(&mut p, id, |_, _, _| true);
+    sorted(&res)
+}
+
+#[test]
+fn tracker_death_of_primary_during_speculation_is_not_double_scheduled() {
+    let clean = clean_outputs();
+
+    let mut p = launch(straggler_plan());
+    let id = submit_heavy(&mut p);
+    let (res, intervened) = run_with_intervention(&mut p, id, |p, primary, _backup| {
+        // Kill the straggling primary while its backup copy is in flight.
+        p.fail_node(primary);
+        true
+    });
+    assert!(intervened, "speculation never started — straggler not detected");
+    assert_eq!(sorted(&res), clean, "output must be counted exactly once");
+    assert!(res.counters.relaunched_tasks >= 1, "both attempts must be invalidated");
+    assert!(p.rt.mr.busy_trackers().is_empty(), "a slot leaked after recovery");
+}
+
+#[test]
+fn tracker_death_of_backup_during_speculation_is_not_double_scheduled() {
+    let clean = clean_outputs();
+
+    let mut p = launch(straggler_plan());
+    let id = submit_heavy(&mut p);
+    let (res, intervened) = run_with_intervention(&mut p, id, |p, _primary, backup| {
+        // Kill the healthy backup: the conservative path also re-queues
+        // the (still running) primary under a fresh epoch.
+        p.fail_node(backup);
+        true
+    });
+    assert!(intervened, "speculation never started — straggler not detected");
+    assert_eq!(sorted(&res), clean, "output must be counted exactly once");
+    assert!(res.counters.relaunched_tasks >= 1);
+    assert!(p.rt.mr.busy_trackers().is_empty(), "a slot leaked after recovery");
+}
+
+#[test]
+fn deferred_tracker_timeout_during_speculation_recovers_once() {
+    let clean = clean_outputs();
+
+    let mut p = launch(straggler_plan());
+    let id = submit_heavy(&mut p);
+    let (res, intervened) = run_with_intervention(&mut p, id, |p, primary, _backup| {
+        // The detection-latency path: attempts die now, the re-queue
+        // arrives 500 ms later as a PH_REQUEUE_* timer.
+        let rt = &mut p.rt;
+        rt.mr.lose_tracker(&mut rt.engine, &rt.cluster, primary, SimDuration::from_millis(500));
+        true
+    });
+    assert!(intervened, "speculation never started — straggler not detected");
+    assert_eq!(sorted(&res), clean, "output must be counted exactly once");
+    assert!(res.counters.relaunched_tasks >= 1);
+    assert!(p.rt.mr.busy_trackers().is_empty(), "a slot leaked after recovery");
+}
