@@ -8,16 +8,36 @@
 //! * **strong scaling** — fixed 64 MB of data: more workers help until
 //!   framework overheads and the shared NFS substrate dominate.
 //!
+//! Next to the simulated times, each run reports harness wall-clock and
+//! the engine's kernel counters (reallocations / flows touched per
+//! reallocation), so future solver-scale PRs show up in the trajectory.
+//!
 //! ```sh
 //! cargo run --release -p vhadoop-bench --bin scalability [--scale 8|--full]
 //! ```
 
 use mapreduce::config::JobConfig;
 use simcore::rng::RootSeed;
+use std::time::Instant;
 use vcluster::spec::{ClusterSpec, Placement};
 use vhadoop_bench::{cli_scale, ResultSink};
 use vhdfs::hdfs::HdfsConfig;
-use workloads::wordcount::run_wordcount_with;
+use workloads::wordcount::{run_wordcount_with, WordcountReport};
+
+fn timed(f: impl FnOnce() -> WordcountReport) -> (WordcountReport, f64) {
+    let t0 = Instant::now();
+    let rep = f();
+    (rep, t0.elapsed().as_secs_f64())
+}
+
+fn kernel_line(rep: &WordcountReport, wall_s: f64) -> String {
+    let k = rep.kernel;
+    let per = k.flows_touched as f64 / k.reallocations.max(1) as f64;
+    format!(
+        "wall {wall_s:>6.3}s  reallocs {:>6}  flows/realloc {per:>5.1}  wakeups {:>6}",
+        k.reallocations, k.wakeups
+    )
+}
 
 fn main() {
     let scale = cli_scale();
@@ -33,15 +53,28 @@ fn main() {
         // Weak scaling: one block per worker, data ∝ workers.
         let bytes = (workers * per_worker_mb) << 20;
         let hdfs = HdfsConfig { block_size: (bytes / workers).max(1 << 20), replication: 2 };
-        let weak = run_wordcount_with(spec.clone(), bytes, JobConfig::default(), hdfs, RootSeed(7));
-        println!("weak   {vms:>2} VMs, {:>4} MB -> {:>6.1}s", bytes >> 20, weak.elapsed_s);
+        let (weak, wall) = timed(|| {
+            run_wordcount_with(spec.clone(), bytes, JobConfig::default(), hdfs, RootSeed(7))
+        });
+        println!(
+            "weak   {vms:>2} VMs, {:>4} MB -> {:>6.1}s   [{}]",
+            bytes >> 20,
+            weak.elapsed_s,
+            kernel_line(&weak, wall)
+        );
         sink.push("weak-scaling", f64::from(vms), weak.elapsed_s);
 
         // Strong scaling: fixed data, blocks sized for ~15 maps.
         let bytes = fixed_mb << 20;
         let hdfs = HdfsConfig { block_size: (bytes / 15).max(1 << 20), replication: 2 };
-        let strong = run_wordcount_with(spec, bytes, JobConfig::default(), hdfs, RootSeed(7));
-        println!("strong {vms:>2} VMs, {:>4} MB -> {:>6.1}s", bytes >> 20, strong.elapsed_s);
+        let (strong, wall) =
+            timed(|| run_wordcount_with(spec, bytes, JobConfig::default(), hdfs, RootSeed(7)));
+        println!(
+            "strong {vms:>2} VMs, {:>4} MB -> {:>6.1}s   [{}]",
+            bytes >> 20,
+            strong.elapsed_s,
+            kernel_line(&strong, wall)
+        );
         sink.push("strong-scaling", f64::from(vms), strong.elapsed_s);
     }
     sink.finish();

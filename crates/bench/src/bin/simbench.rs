@@ -1,0 +1,381 @@
+//! Kernel micro-bench: incremental component-partitioned fluid solver vs.
+//! the former global re-solve, on synthetic churn shaped like the paper's
+//! worst cases (shuffle storms, migration under load, fault-plan churn) at
+//! 16→256 VMs.
+//!
+//! Offline and criterion-free: each scenario runs twice — once with
+//! [`Engine::set_full_reallocate`] forcing the old global pass, once
+//! incrementally — asserts the two wakeup sequences are **identical**
+//! (the optimization is output-invariant), and reports wall-clock
+//! (`std::time::Instant`, the one sanctioned use outside the determinism
+//! lint) plus the machine-independent kernel counters
+//! (`reallocations`, `flows_touched`, `resources_touched`).
+//!
+//! ```sh
+//! cargo run --release -p vhadoop-bench --bin simbench             # full sweep
+//! cargo run --release -p vhadoop-bench --bin simbench -- --quick  # CI scenario
+//! ```
+//!
+//! Emits `results/bench_simcore.json` (all scenarios) and refreshes the
+//! repo-root `BENCH_simcore.json` trajectory point consumed by the
+//! check.sh `perf` stage.
+
+use rand::Rng;
+use simcore::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+use vhadoop_bench::write_artifact;
+
+/// Synthetic cluster shape: `vms` VMs packed 8 per host, one vCPU resource
+/// per VM, one CPU + NIC per host, one shared switch. Compute flows stay
+/// inside their host (per-host components); transfers cross the switch and
+/// transiently merge components — the honest adversary for the
+/// component-partitioned solver.
+struct Topo {
+    vcpu: Vec<ResourceId>,
+    host_cpu: Vec<ResourceId>,
+    nic: Vec<ResourceId>,
+    switch: ResourceId,
+    hosts: u32,
+}
+
+impl Topo {
+    fn build(e: &mut Engine, vms: u32) -> Topo {
+        let hosts = vms.div_ceil(8).max(1);
+        let host_cpu = (0..hosts)
+            .map(|h| e.add_resource(format!("host{h}.cpu"), ResourceKind::Cpu, 32e9))
+            .collect();
+        let nic = (0..hosts)
+            .map(|h| e.add_resource(format!("host{h}.nic"), ResourceKind::Net, 1.25e9))
+            .collect();
+        let vcpu = (0..vms)
+            .map(|v| e.add_resource(format!("vm{v}.vcpu"), ResourceKind::Cpu, 4e9))
+            .collect();
+        let switch = e.add_resource("switch", ResourceKind::Net, 10e9);
+        Topo { vcpu, host_cpu, nic, switch, hosts }
+    }
+
+    fn host_of(&self, vm: u32) -> u32 {
+        (vm / 8).min(self.hosts - 1)
+    }
+
+    fn compute(&self, vm: u32, work: f64) -> (Vec<Demand>, f64) {
+        let h = self.host_of(vm) as usize;
+        (vec![Demand::unit(self.vcpu[vm as usize]), Demand::unit(self.host_cpu[h])], work)
+    }
+
+    fn transfer(&self, src_vm: u32, dst_vm: u32, bytes: f64) -> (Vec<Demand>, f64) {
+        let s = self.host_of(src_vm) as usize;
+        let d = self.host_of(dst_vm) as usize;
+        let mut demands = vec![Demand::unit(self.nic[s]), Demand::unit(self.switch)];
+        if d != s {
+            demands.push(Demand::unit(self.nic[d]));
+        }
+        (demands, bytes)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    /// Every wakeup respawns mostly intra-host compute, occasionally a
+    /// cross-host transfer: thousands of small independent components.
+    ShuffleStorm,
+    /// Steady compute churn with one long migration-style transfer per
+    /// host cycling through VMs.
+    MigrationUnderLoad,
+    /// Compute churn plus a random [`FaultPlan`] translated into capacity
+    /// degrade/restore cycles and mass timer arm/cancel churn.
+    FaultChurn,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::ShuffleStorm => "shuffle_storm",
+            Scenario::MigrationUnderLoad => "migration_under_load",
+            Scenario::FaultChurn => "fault_churn",
+        }
+    }
+}
+
+/// Tag owners for wakeup routing inside the bench.
+const OWNER_COMPUTE: u32 = 1;
+const OWNER_TRANSFER: u32 = 2;
+const OWNER_CHAFF: u32 = 3;
+const OWNER_FAULT: u32 = 4;
+
+struct RunOutcome {
+    wall_s: f64,
+    stats: KernelStats,
+    /// Exact wakeup sequence `(t_ns, owner, a)` — compared between the
+    /// baseline and incremental runs to prove output identity.
+    wakeups: Vec<(u64, u32, u32)>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(scenario: Scenario, vms: u32, events: usize, full: bool, trace: bool) -> RunOutcome {
+    let mut e = Engine::new();
+    e.set_full_reallocate(full);
+    if trace {
+        e.tracer_mut().set_enabled(true);
+    }
+    let topo = Topo::build(&mut e, vms);
+    let mut rng = RootSeed(2012).stream(scenario.name());
+
+    // Warm pool: two compute flows per VM.
+    for vm in 0..vms {
+        for _ in 0..2 {
+            let (d, w) = topo.compute(vm, rng.gen_range(1e9..8e9));
+            e.start_flow(d, w, Tag::new(OWNER_COMPUTE, vm, 0));
+        }
+    }
+
+    let mut plan_for_faults: Option<FaultPlan> = None;
+    match scenario {
+        Scenario::ShuffleStorm => {}
+        Scenario::MigrationUnderLoad => {
+            // One long transfer per host pair, refreshed on completion.
+            for h in 0..topo.hosts {
+                let src = h * 8;
+                let dst = ((h + 1) % topo.hosts) * 8;
+                let (d, w) = topo.transfer(src, dst, 2e9);
+                e.start_flow(d, w, Tag::new(OWNER_TRANSFER, src, 0));
+            }
+        }
+        Scenario::FaultChurn => {
+            // Random fault plan (pre-sorted at insertion): throttles become
+            // capacity scalings armed as timers below.
+            let plan = FaultPlan::random(
+                &FaultProfile {
+                    vms,
+                    hosts: topo.hosts,
+                    horizon: SimDuration::from_secs(30),
+                    max_events: 24,
+                    max_crashes: 0,
+                    allow_migration_abort: false,
+                },
+                RootSeed(2012),
+            );
+            for (i, ev) in plan.events().iter().enumerate() {
+                e.set_timer_at(ev.at, Tag::new(OWNER_FAULT, i as u32, 0));
+            }
+            plan_for_faults = Some(plan);
+        }
+    }
+
+    let started = Instant::now();
+    let mut wakeups = Vec::with_capacity(events);
+    let mut chaff: Vec<TimerId> = Vec::new();
+    let mut degraded: Vec<(ResourceId, f64)> = Vec::new();
+    while wakeups.len() < events {
+        let Some((t, w)) = e.next_wakeup() else {
+            break;
+        };
+        let tag = w.tag();
+        wakeups.push((t.as_nanos(), tag.owner, tag.a));
+        if trace && wakeups.len() % 256 == 0 {
+            e.trace_kernel_counters();
+        }
+        match tag.owner {
+            OWNER_COMPUTE => {
+                // Respawn on the same VM: 90% compute (intra-host
+                // component), 10% cross-host shuffle transfer.
+                let vm = tag.a;
+                if rng.gen_bool(0.1) {
+                    let dst = rng.gen_range(0..vms);
+                    let (d, work) = topo.transfer(vm, dst, rng.gen_range(1e8..1e9));
+                    e.start_flow(d, work, Tag::new(OWNER_TRANSFER, vm, 0));
+                } else {
+                    let (d, work) = topo.compute(vm, rng.gen_range(1e9..8e9));
+                    e.start_flow(d, work, Tag::new(OWNER_COMPUTE, vm, 0));
+                }
+                // Fault churn also hammers the timer heap: arm a batch of
+                // timeout guards and cancel most of them immediately —
+                // the tombstone-compaction path under load.
+                if scenario == Scenario::FaultChurn {
+                    for k in 0..4u32 {
+                        let id = e.set_timer_in(
+                            SimDuration::from_secs(3600 + u64::from(k)),
+                            Tag::new(OWNER_CHAFF, k, 0),
+                        );
+                        chaff.push(id);
+                    }
+                    while chaff.len() > 2 {
+                        let id = chaff.remove(0);
+                        e.cancel_timer(id);
+                    }
+                }
+            }
+            OWNER_TRANSFER => {
+                // Transfer done: replace with compute on the source VM.
+                let vm = tag.a;
+                let (d, work) = topo.compute(vm, rng.gen_range(1e9..8e9));
+                e.start_flow(d, work, Tag::new(OWNER_COMPUTE, vm, 0));
+                if scenario == Scenario::MigrationUnderLoad {
+                    // Next migration leg from the following VM on the host.
+                    let src = (vm + 1) % vms;
+                    let dst = (src + 8) % vms;
+                    let (d, work) = topo.transfer(src, dst, 2e9);
+                    e.start_flow(d, work, Tag::new(OWNER_TRANSFER, src, 0));
+                }
+            }
+            OWNER_FAULT => {
+                let plan = plan_for_faults.as_ref().expect("fault scenario");
+                let ev = plan.events()[tag.a as usize];
+                let (resource, factor) = match ev.kind {
+                    FaultKind::LinkDegrade { host, factor, .. } => {
+                        (topo.nic[host as usize], factor)
+                    }
+                    FaultKind::SlowDisk { factor, .. } => (topo.switch, factor),
+                    FaultKind::StragglerVm { vm, factor, .. } => (topo.vcpu[vm as usize], factor),
+                    _ => continue,
+                };
+                let factor = factor.clamp(0.01, 1.0);
+                let cap = e.fluid().capacity(resource);
+                e.set_capacity(resource, cap * factor);
+                degraded.push((resource, factor));
+                // Restore half the outstanding degradations a little later.
+                if degraded.len() > 1 {
+                    let (r, f) = degraded.remove(0);
+                    let cap = e.fluid().capacity(r);
+                    e.set_capacity(r, cap / f);
+                }
+            }
+            _ => {}
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    RunOutcome { wall_s, stats: e.kernel_stats(), wakeups }
+}
+
+struct Row {
+    scenario: &'static str,
+    vms: u32,
+    events: usize,
+    base: RunOutcome,
+    incr: RunOutcome,
+}
+
+impl Row {
+    fn touched_ratio(&self) -> f64 {
+        self.base.stats.flows_touched as f64 / self.incr.stats.flows_touched.max(1) as f64
+    }
+}
+
+fn per_realloc(stats: &KernelStats) -> f64 {
+    stats.flows_touched as f64 / stats.reallocations.max(1) as f64
+}
+
+fn row_json(r: &Row) -> String {
+    let mut o = String::new();
+    let _ = writeln!(o, "    {{");
+    let _ = writeln!(o, "      \"scenario\": \"{}\",", r.scenario);
+    let _ = writeln!(o, "      \"vms\": {},", r.vms);
+    let _ = writeln!(o, "      \"events\": {},", r.events);
+    for (key, out) in [("baseline", &r.base), ("incremental", &r.incr)] {
+        let s = &out.stats;
+        let _ = writeln!(o, "      \"{key}\": {{");
+        let _ = writeln!(o, "        \"wall_s\": {:.6},", out.wall_s);
+        let _ = writeln!(o, "        \"reallocations\": {},", s.reallocations);
+        let _ = writeln!(o, "        \"flows_touched\": {},", s.flows_touched);
+        let _ = writeln!(o, "        \"resources_touched\": {},", s.resources_touched);
+        let _ = writeln!(o, "        \"flows_per_realloc\": {:.3}", per_realloc(s));
+        let _ = writeln!(o, "      }},");
+    }
+    let _ = writeln!(o, "      \"touched_ratio\": {:.3},", r.touched_ratio());
+    let _ = writeln!(o, "      \"wall_speedup\": {:.3},", r.base.wall_s / r.incr.wall_s.max(1e-12));
+    let _ = writeln!(o, "      \"identical_wakeups\": true");
+    let _ = write!(o, "    }}");
+    o
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cases: Vec<(Scenario, u32, usize)> = if quick {
+        // The deterministic CI scenario: 256-VM shuffle storm. Counter
+        // ceilings on exactly this case are pinned in scripts/check.sh.
+        vec![(Scenario::ShuffleStorm, 256, 2000)]
+    } else {
+        let mut v = Vec::new();
+        for scenario in [Scenario::ShuffleStorm, Scenario::MigrationUnderLoad, Scenario::FaultChurn]
+        {
+            for vms in [16u32, 64, 256] {
+                v.push((scenario, vms, 2000));
+            }
+        }
+        v
+    };
+
+    let mut rows = Vec::new();
+    for (scenario, vms, events) in cases {
+        let base = run(scenario, vms, events, true, false);
+        // The incremental run also samples the kernel trace counters
+        // (engine.reallocations / flows_touched / heap_len) through the
+        // explicit export path.
+        let incr = run(scenario, vms, events, false, true);
+        assert_eq!(
+            base.wakeups,
+            incr.wakeups,
+            "{} @ {vms} VMs: incremental solver diverged from global baseline",
+            scenario.name()
+        );
+        println!(
+            "{:<22} {:>4} VMs  {:>6} ev  wall {:>8.4}s -> {:>8.4}s  flows/realloc {:>9.1} -> {:>7.1}  ({:.1}x fewer touched)",
+            scenario.name(),
+            vms,
+            events,
+            base.wall_s,
+            incr.wall_s,
+            per_realloc(&base.stats),
+            per_realloc(&incr.stats),
+            base.stats.flows_touched as f64 / incr.stats.flows_touched.max(1) as f64,
+        );
+        rows.push(Row { scenario: scenario.name(), vms, events, base, incr });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"seed\": 2012,\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&row_json(r));
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    match write_artifact("bench_simcore.json", &json) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+    // The repo-root trajectory point tracks the full sweep only; the CI
+    // quick run must not clobber it (check.sh asserts a clean tree).
+    if !quick {
+        if let Err(e) = std::fs::write("BENCH_simcore.json", &json) {
+            eprintln!("could not write BENCH_simcore.json: {e}");
+        } else {
+            println!("wrote BENCH_simcore.json");
+        }
+    }
+
+    // Self-checks mirrored by the check.sh perf stage: the incremental
+    // solver must touch ≥ 5× fewer flows on every 256-VM scenario, with
+    // identical reallocation counts (same decision sequence).
+    for r in &rows {
+        assert_eq!(
+            r.base.stats.reallocations, r.incr.stats.reallocations,
+            "{}: reallocation count must not depend on solver mode",
+            r.scenario
+        );
+        if r.vms >= 256 {
+            assert!(
+                r.touched_ratio() >= 5.0,
+                "{} @ {} VMs: touched ratio {:.2} < 5x",
+                r.scenario,
+                r.vms,
+                r.touched_ratio()
+            );
+        }
+    }
+    println!(
+        "simbench OK: incremental solver output-identical, >=5x fewer flows touched at 256 VMs"
+    );
+}

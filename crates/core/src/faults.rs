@@ -83,9 +83,10 @@ pub(crate) struct FaultDriver {
 }
 
 impl FaultDriver {
-    /// Arms one apply-timer per event of `plan` (in injection order).
+    /// Arms one apply-timer per event of `plan` (already in injection
+    /// order — plans sort at insertion time).
     pub(crate) fn install(&mut self, engine: &mut Engine, plan: &FaultPlan) {
-        for ev in plan.sorted() {
+        for &ev in plan.events() {
             let idx = self.events.len() as u32;
             self.events.push(ev);
             engine.set_timer_at(ev.at, Tag::new(owners::FAULT, idx, FAULT_APPLY));

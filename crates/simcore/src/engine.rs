@@ -10,7 +10,7 @@
 //! [`Engine::next_wakeup`], dispatch on the tag, and start new activities.
 //! Everything is single-threaded and deterministic.
 
-use crate::fluid::{Demand, FluidNet, ResourceKind};
+use crate::fluid::{Demand, FluidNet, FluidStats, ResourceKind};
 use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Name, Tracer};
@@ -163,6 +163,32 @@ struct Batch {
     pending: usize,
 }
 
+/// Cumulative kernel-level work counters exposed by
+/// [`Engine::kernel_stats`] — the fluid solver's [`FluidStats`] plus event
+/// queue health. The `simbench` harness and the check.sh perf stage pin
+/// ceilings on these; they are machine-speed independent.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Fluid reallocation passes that found dirty state.
+    pub reallocations: u64,
+    /// Flows re-solved, summed over all reallocations.
+    pub flows_touched: u64,
+    /// Resources visited, summed over all reallocations.
+    pub resources_touched: u64,
+    /// Current completion-index heap length (live + stale).
+    pub completion_heap_len: usize,
+    /// Current event heap length (live + tombstoned entries).
+    pub event_heap_len: usize,
+    /// Cancelled-timer tombstones currently in the event heap.
+    pub dead_timers: usize,
+    /// Total wakeups delivered so far.
+    pub wakeups: u64,
+}
+
+/// Tombstone compaction floor: never rebuild the event heap for fewer dead
+/// entries than this (rebuilds are O(heap) — only worth it at scale).
+const DEAD_TIMER_COMPACT_MIN: usize = 64;
+
 /// The simulation engine. See the module docs for the programming model.
 #[derive(Debug)]
 pub struct Engine {
@@ -181,6 +207,12 @@ pub struct Engine {
     out: VecDeque<(SimTime, Wakeup)>,
     /// Total wakeups delivered; useful for tests and progress telemetry.
     wakeups_delivered: u64,
+    /// Cancelled timers whose heap entry has not yet popped or been
+    /// compacted away.
+    dead_timers: usize,
+    /// Interned counter names for [`Engine::trace_kernel_counters`],
+    /// created on first use.
+    kernel_counter_names: Option<[Name; 3]>,
     tracer: Tracer,
 }
 
@@ -208,6 +240,8 @@ impl Engine {
             next_batch: 0,
             out: VecDeque::new(),
             wakeups_delivered: 0,
+            dead_timers: 0,
+            kernel_counter_names: None,
             tracer: Tracer::new(),
         }
     }
@@ -248,6 +282,34 @@ impl Engine {
         self.wakeups_delivered
     }
 
+    /// Current event-heap length (live entries + not-yet-compacted
+    /// tombstones); regression tests pin this after mass cancellation.
+    pub fn event_heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Snapshot of the kernel work counters (see [`KernelStats`]).
+    pub fn kernel_stats(&self) -> KernelStats {
+        let FluidStats { reallocations, flows_touched, resources_touched, completion_heap_len } =
+            self.fluid.stats();
+        KernelStats {
+            reallocations,
+            flows_touched,
+            resources_touched,
+            completion_heap_len,
+            event_heap_len: self.heap.len(),
+            dead_timers: self.dead_timers,
+            wakeups: self.wakeups_delivered,
+        }
+    }
+
+    /// Forces every fluid reallocation to re-solve the whole network (the
+    /// pre-incremental global algorithm). Output-identical either way; the
+    /// bench harness uses it as the counter/wall-clock baseline.
+    pub fn set_full_reallocate(&mut self, on: bool) {
+        self.fluid.set_full_solve(on);
+    }
+
     // ----- tracing --------------------------------------------------------
 
     /// Read access to the tracer (exports, queries).
@@ -279,6 +341,26 @@ impl Engine {
         self.tracer.counter(name, self.now, value);
     }
 
+    /// Emits the kernel work counters (`engine.reallocations`,
+    /// `engine.flows_touched`, `engine.heap_len`) as trace counter samples
+    /// at the current instant. Deliberately *not* called by the engine
+    /// itself — monitored runs pin exact counter counts — so harnesses that
+    /// want the kernel trajectory (e.g. `simbench`) call this explicitly at
+    /// their own sampling points. No-op while tracing is disabled.
+    pub fn trace_kernel_counters(&mut self) {
+        let names = *self.kernel_counter_names.get_or_insert_with(|| {
+            [
+                self.tracer.intern("engine.reallocations"),
+                self.tracer.intern("engine.flows_touched"),
+                self.tracer.intern("engine.heap_len"),
+            ]
+        });
+        let stats = self.kernel_stats();
+        self.tracer.counter(names[0], self.now, stats.reallocations as f64);
+        self.tracer.counter(names[1], self.now, stats.flows_touched as f64);
+        self.tracer.counter(names[2], self.now, stats.event_heap_len as f64);
+    }
+
     // ----- timers ---------------------------------------------------------
 
     /// Fires a [`Wakeup::Timer`] at the absolute instant `at` (clamped to
@@ -299,8 +381,33 @@ impl Engine {
 
     /// Cancels a pending timer. Returns `false` if it already fired or was
     /// cancelled.
+    ///
+    /// The heap entry becomes a tombstone; once tombstones outnumber live
+    /// timers (fault/timeout churn), the heap is rebuilt without them, so
+    /// mass cancellation cannot grow the event queue without bound.
     pub fn cancel_timer(&mut self, id: TimerId) -> bool {
-        self.timers.remove(&id).is_some()
+        let cancelled = self.timers.remove(&id).is_some();
+        if cancelled {
+            self.note_dead_timer();
+        }
+        cancelled
+    }
+
+    /// Accounts one new tombstone and compacts the event heap when dead
+    /// entries dominate live ones.
+    fn note_dead_timer(&mut self) {
+        self.dead_timers += 1;
+        if self.dead_timers < DEAD_TIMER_COMPACT_MIN || self.dead_timers <= self.timers.len() {
+            return;
+        }
+        let epoch = self.epoch;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|&Reverse(e)| match e.ev {
+            Ev::Timer { id } => self.timers.contains_key(&id),
+            Ev::FluidWake { epoch: e } => e == epoch,
+        });
+        self.heap = BinaryHeap::from(entries);
+        self.dead_timers = 0;
     }
 
     // ----- activities -----------------------------------------------------
@@ -348,7 +455,9 @@ impl Engine {
                 self.refresh_fluid();
             }
             Current::Delay(t) => {
-                self.timers.remove(&t);
+                if self.timers.remove(&t).is_some() {
+                    self.note_dead_timer();
+                }
             }
             Current::Idle => {}
         }
@@ -382,7 +491,9 @@ impl Engine {
             match entry.ev {
                 Ev::Timer { id } => {
                     let Some(kind) = self.timers.remove(&id) else {
-                        continue; // cancelled
+                        // Tombstone of a cancelled timer drained naturally.
+                        self.dead_timers = self.dead_timers.saturating_sub(1);
+                        continue;
                     };
                     self.now = entry.time;
                     match kind {
@@ -718,6 +829,49 @@ mod tests {
         );
         let (t, _) = e.next_wakeup().unwrap();
         assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn mass_timer_cancellation_compacts_heap() {
+        let (mut e, _r) = engine1();
+        // Arm a large far-future timer population, then cancel all of it:
+        // the tombstoned heap must shrink instead of holding every entry
+        // until its (never-delivered) pop time.
+        let ids: Vec<_> = (0..10_000u64)
+            .map(|i| e.set_timer_in(SimDuration::from_secs(1_000 + i), Tag::new(T, i as u32, 0)))
+            .collect();
+        let full = e.event_heap_len();
+        assert_eq!(full, 10_000);
+        for id in ids {
+            assert!(e.cancel_timer(id));
+        }
+        let after = e.event_heap_len();
+        assert!(after < full / 10, "heap compacted: {after} entries left of {full}");
+        assert_eq!(e.kernel_stats().dead_timers, after);
+        assert!(e.next_wakeup().is_none(), "no cancelled timer ever fires");
+    }
+
+    #[test]
+    fn full_reallocate_mode_is_wakeup_identical() {
+        let run = |full: bool| {
+            let (mut e, r) = engine1();
+            e.set_full_reallocate(full);
+            let r2 = e.add_resource("link2", ResourceKind::Net, 40.0);
+            for i in 0..8u32 {
+                let res = if i % 2 == 0 { r } else { r2 };
+                e.start_flow(
+                    vec![Demand::unit(res)],
+                    50.0 + f64::from(i) * 13.0,
+                    Tag::new(T, i, 0),
+                );
+            }
+            let mut trace = Vec::new();
+            while let Some((t, w)) = e.next_wakeup() {
+                trace.push((t.as_nanos(), w.tag().a));
+            }
+            trace
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

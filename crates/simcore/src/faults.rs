@@ -80,11 +80,13 @@ pub struct FaultEvent {
 
 /// A deterministic schedule of faults.
 ///
-/// Events may be added in any order; [`FaultPlan::sorted`] yields them in
-/// injection order (stable for ties, so scripted same-instant faults apply
-/// in insertion order).
+/// Events may be added in any order; the plan keeps them sorted by instant
+/// at insertion time (stable for ties, so scripted same-instant faults
+/// apply in insertion order) and [`FaultPlan::events`] yields them in
+/// injection order directly — no per-consumer re-sort.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
+    /// Invariant: non-decreasing by `at` (maintained by [`FaultPlan::push`]).
     events: Vec<FaultEvent>,
 }
 
@@ -100,9 +102,12 @@ impl FaultPlan {
         self
     }
 
-    /// Schedules `kind` at `at`.
+    /// Schedules `kind` at `at`, keeping the plan sorted by instant.
+    /// Same-instant events stay in insertion order (the new event goes
+    /// after existing ties, matching the former stable sort).
     pub fn push(&mut self, at: SimTime, kind: FaultKind) {
-        self.events.push(FaultEvent { at, kind });
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
     }
 
     /// Number of scheduled events.
@@ -115,16 +120,17 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// The scheduled events, in insertion order.
+    /// The scheduled events, in injection order (sorted by instant;
+    /// same-instant events in insertion order).
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// The scheduled events in injection order (stable sort by instant).
+    /// The scheduled events in injection order, as an owned vec. The plan
+    /// is already sorted at insertion time, so this is just a clone;
+    /// prefer borrowing [`FaultPlan::events`].
     pub fn sorted(&self) -> Vec<FaultEvent> {
-        let mut v = self.events.clone();
-        v.sort_by_key(|e| e.at);
-        v
+        self.events.clone()
     }
 
     /// Generates a random plan from `profile`, deterministically from

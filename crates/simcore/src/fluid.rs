@@ -13,10 +13,26 @@
 //! measures: a vCPU cap is a flow demanding {vcpu, host-cpu}; a cross-host
 //! transfer demands {src NIC, switch, dst NIC}; dom0 I/O overhead is an
 //! extra CPU demand attached to an I/O flow.
+//!
+//! ## Incremental re-solve (DESIGN.md §13)
+//!
+//! Max-min fairness decomposes exactly over **connected components** of the
+//! flow/resource bipartite graph: the rate of a flow depends only on flows
+//! it is (transitively) coupled to through shared resources. The kernel
+//! exploits this: every mutation (flow add/remove/finish, capacity change)
+//! marks its resources *dirty*, and [`FluidNet::reallocate`] re-solves only
+//! the connected components reachable from dirty resources — untouched
+//! components keep their rates, which are byte-identical to what a global
+//! solve would assign them. A lazy min-heap of projected completion
+//! instants ([`FluidNet::earliest_completion`]) replaces the former
+//! full-flow scan, so scheduling the next wake costs `O(log flows)` instead
+//! of `O(flows)`.
 
 use crate::ids::{FlowId, ResourceId};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Rates above this are treated as "instantaneous" (flow over only
@@ -24,6 +40,11 @@ use std::fmt;
 const RATE_CAP: f64 = 1e18;
 /// Absolute slack under which remaining work counts as finished.
 const DONE_EPS: f64 = 1e-6;
+/// Completion-heap compaction threshold: rebuild once the heap holds this
+/// many entries *and* more than [`HEAP_SLACK`]× the live-flow count.
+const HEAP_COMPACT_MIN: usize = 64;
+/// See [`HEAP_COMPACT_MIN`].
+const HEAP_SLACK: usize = 4;
 
 /// What a resource meters; used by monitors to group utilization report rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,6 +105,10 @@ struct FlowState {
 #[derive(Debug, Default, Clone)]
 struct FlowSlot {
     gen: u32,
+    /// Estimate stamp: bumped whenever this slot's rate is re-assigned or
+    /// the flow leaves; completion-heap entries with an older stamp are
+    /// stale and dropped lazily.
+    stamp: u32,
     state: Option<FlowState>,
 }
 
@@ -92,6 +117,23 @@ struct FlowSlot {
 pub struct FinishedFlow {
     /// Handle of the flow that drained.
     pub id: FlowId,
+}
+
+/// Cumulative kernel work counters (monotonic; see DESIGN.md §13). The
+/// perf harness and the check.sh `perf` stage pin ceilings on these, so a
+/// regression in incremental behavior fails CI machine-independently.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FluidStats {
+    /// Number of [`FluidNet::reallocate`] passes that found dirty state.
+    pub reallocations: u64,
+    /// Total flows re-solved across all reallocations (the dirty-component
+    /// closure size, summed). `flows_touched / reallocations` is the mean
+    /// component size — the number the incremental solver drives down.
+    pub flows_touched: u64,
+    /// Total resources visited across all reallocations.
+    pub resources_touched: u64,
+    /// Current completion-heap length (live + stale entries).
+    pub completion_heap_len: usize,
 }
 
 /// The fluid network: resources plus active flows plus the current max-min
@@ -105,6 +147,35 @@ pub struct FluidNet {
     active: usize,
     last_update: SimTime,
     allocation_dirty: bool,
+    /// Live flow slots crossing each resource (one entry per demand row,
+    /// so duplicate demands stay balanced with [`FluidNet::detach`]).
+    res_flows: Vec<Vec<u32>>,
+    /// Seed resources touched since the last reallocate, deduplicated via
+    /// `res_mark`.
+    dirty: Vec<u32>,
+    /// Per-resource dirty/visited mark (shared by seeding and the closure
+    /// walk inside `reallocate`; always all-false between calls).
+    res_mark: Vec<bool>,
+    /// Per-slot visited mark for the closure walk (all-false between calls).
+    flow_mark: Vec<bool>,
+    /// Live flows with `remaining <= DONE_EPS` — the set that makes
+    /// `earliest_completion` return "now" immediately.
+    near_done: usize,
+    /// Lazy min-heap of projected completions: `(finish_ns, slot, stamp)`.
+    /// Entries whose stamp no longer matches the slot are stale.
+    completions: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Scratch buffers for the restricted progressive filling, persisted
+    /// across calls so a re-solve allocates nothing proportional to the
+    /// whole network. Entries are only meaningful for resources of the
+    /// current closure.
+    scratch_residual: Vec<f64>,
+    scratch_weight: Vec<f64>,
+    scratch_count: Vec<u32>,
+    scratch_saturated: Vec<bool>,
+    /// When true, every reallocation seeds all resources — the former
+    /// global solve. Bench baseline knob; output-identical by construction.
+    full_solve: bool,
+    stats: FluidStats,
 }
 
 impl Default for FluidNet {
@@ -123,6 +194,18 @@ impl FluidNet {
             active: 0,
             last_update: SimTime::ZERO,
             allocation_dirty: false,
+            res_flows: Vec::new(),
+            dirty: Vec::new(),
+            res_mark: Vec::new(),
+            flow_mark: Vec::new(),
+            near_done: 0,
+            completions: BinaryHeap::new(),
+            scratch_residual: Vec::new(),
+            scratch_weight: Vec::new(),
+            scratch_count: Vec::new(),
+            scratch_saturated: Vec::new(),
+            full_solve: false,
+            stats: FluidStats::default(),
         }
     }
 
@@ -145,6 +228,12 @@ impl FluidNet {
             used: 0.0,
             cumulative: 0.0,
         });
+        self.res_flows.push(Vec::new());
+        self.res_mark.push(false);
+        self.scratch_residual.push(0.0);
+        self.scratch_weight.push(0.0);
+        self.scratch_count.push(0);
+        self.scratch_saturated.push(false);
         id
     }
 
@@ -172,6 +261,7 @@ impl FluidNet {
     pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0, "resource capacity must be non-negative");
         self.resources[r.index()].capacity = capacity;
+        self.mark_dirty(r.index());
         self.allocation_dirty = true;
     }
 
@@ -200,6 +290,23 @@ impl FluidNet {
         self.active
     }
 
+    /// Cumulative kernel counters (see [`FluidStats`]).
+    pub fn stats(&self) -> FluidStats {
+        FluidStats { completion_heap_len: self.completions.len(), ..self.stats }
+    }
+
+    /// Forces every reallocation to re-solve the whole network (the former
+    /// global algorithm). Rates are identical either way — this is the
+    /// bench harness's baseline knob for counter/wall-clock comparisons.
+    pub fn set_full_solve(&mut self, on: bool) {
+        self.full_solve = on;
+    }
+
+    /// Whether full (global) re-solves are forced on.
+    pub fn full_solve(&self) -> bool {
+        self.full_solve
+    }
+
     /// Starts a flow of `work` units over `demands`. The allocation is
     /// marked dirty; the caller must `reallocate` (the engine does).
     ///
@@ -221,10 +328,22 @@ impl FluidNet {
                 s
             }
             None => {
-                self.slots.push(FlowSlot { gen: 0, state: Some(state) });
+                self.slots.push(FlowSlot { gen: 0, stamp: 0, state: Some(state) });
+                self.flow_mark.push(false);
                 (self.slots.len() - 1) as u32
             }
         };
+        let f = self.slots[slot as usize].state.as_ref().expect("just stored");
+        if f.remaining <= DONE_EPS {
+            self.near_done += 1;
+        }
+        for i in 0..self.slots[slot as usize].state.as_ref().expect("just stored").demands.len() {
+            let r = self.slots[slot as usize].state.as_ref().expect("just stored").demands[i]
+                .resource
+                .index();
+            self.res_flows[r].push(slot);
+            self.mark_dirty(r);
+        }
         self.active += 1;
         self.allocation_dirty = true;
         FlowId { slot, gen: self.slots[slot as usize].gen }
@@ -239,6 +358,11 @@ impl FluidNet {
         }
         let state = slot.state.take().expect("checked above");
         slot.gen = slot.gen.wrapping_add(1);
+        slot.stamp = slot.stamp.wrapping_add(1);
+        if state.remaining <= DONE_EPS {
+            self.near_done -= 1;
+        }
+        self.detach(id.slot, &state.demands);
         self.free.push(id.slot);
         self.active -= 1;
         self.allocation_dirty = true;
@@ -268,6 +392,25 @@ impl FluidNet {
         slot.state.as_ref()
     }
 
+    /// Unregisters a departing flow from the per-resource index and marks
+    /// its resources dirty (its component must re-solve).
+    fn detach(&mut self, slot: u32, demands: &[Demand]) {
+        for d in demands {
+            let r = d.resource.index();
+            let list = &mut self.res_flows[r];
+            let pos = list.iter().position(|&s| s == slot).expect("flow indexed on its resource");
+            list.swap_remove(pos);
+            self.mark_dirty(r);
+        }
+    }
+
+    fn mark_dirty(&mut self, r: usize) {
+        if !self.res_mark[r] {
+            self.res_mark[r] = true;
+            self.dirty.push(r as u32);
+        }
+    }
+
     /// Integrates flow progress from the last update instant to `now`.
     ///
     /// # Panics
@@ -287,59 +430,108 @@ impl FluidNet {
             "advancing fluid time with a dirty allocation"
         );
         let dt = (now - self.last_update).as_secs_f64();
+        let mut crossed = 0usize;
         for slot in &mut self.slots {
             if let Some(f) = slot.state.as_mut() {
                 if f.rate > 0.0 {
+                    let before = f.remaining;
                     f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    if before > DONE_EPS && f.remaining <= DONE_EPS {
+                        crossed += 1;
+                    }
                     for d in &f.demands {
                         self.resources[d.resource.index()].cumulative += f.rate * d.weight * dt;
                     }
                 }
             }
         }
+        self.near_done += crossed;
         self.last_update = now;
     }
 
-    /// Recomputes the max-min fair allocation over all live flows.
+    /// Recomputes the max-min fair allocation over the flows whose
+    /// component changed since the last call.
     ///
-    /// Progressive filling: every unfrozen flow's rate rises uniformly; the
-    /// resource with the smallest residual fair share saturates first and
-    /// freezes every flow crossing it; repeat. Runs in
-    /// `O(resources · flows)` which is ample at virtual-cluster scale.
+    /// Progressive filling restricted to the dirty closure: every unfrozen
+    /// flow's rate rises uniformly; the resource with the smallest residual
+    /// fair share saturates first and freezes every flow crossing it;
+    /// repeat. Flows outside the closure keep their rates — max-min shares
+    /// of independent components are unaffected by each other, so the
+    /// result is identical to a global solve. Runs in
+    /// `O(closure_resources · closure_flows)` instead of the former
+    /// `O(resources · flows)`.
     pub fn reallocate(&mut self) {
         self.allocation_dirty = false;
-        for r in &mut self.resources {
-            r.used = 0.0;
+        if self.full_solve {
+            for r in 0..self.resources.len() {
+                self.mark_dirty(r);
+            }
         }
-        if self.active == 0 {
+        if self.dirty.is_empty() {
             return;
         }
+        self.stats.reallocations += 1;
 
-        // Residual capacity, unfrozen weight, and unfrozen-flow count per
-        // resource. The integer count is authoritative for "is anyone still
-        // here" — floating-point weight subtraction can leave dust.
-        let mut residual: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        let mut weight: Vec<f64> = vec![0.0; self.resources.len()];
-        let mut count: Vec<u32> = vec![0; self.resources.len()];
-        // Indices of unfrozen live flow slots.
-        let mut unfrozen: Vec<u32> = Vec::with_capacity(self.active);
-        for (i, slot) in self.slots.iter().enumerate() {
-            if let Some(f) = &slot.state {
-                unfrozen.push(i as u32);
-                for d in &f.demands {
-                    weight[d.resource.index()] += d.weight;
-                    count[d.resource.index()] += 1;
+        // Closure walk over the flow/resource bipartite graph: every flow
+        // crossing an affected resource is affected, and drags in its other
+        // resources. `res_mark`/`flow_mark` double as visited sets.
+        let mut aff_res = std::mem::take(&mut self.dirty);
+        let mut aff_flows: Vec<u32> = Vec::new();
+        let mut qi = 0;
+        while qi < aff_res.len() {
+            let r = aff_res[qi] as usize;
+            qi += 1;
+            for k in 0..self.res_flows[r].len() {
+                let s = self.res_flows[r][k] as usize;
+                if !self.flow_mark[s] {
+                    self.flow_mark[s] = true;
+                    aff_flows.push(s as u32);
+                    let f = self.slots[s].state.as_ref().expect("indexed flows are live");
+                    for i in 0..f.demands.len() {
+                        let ri =
+                            self.slots[s].state.as_ref().expect("live").demands[i].resource.index();
+                        if !self.res_mark[ri] {
+                            self.res_mark[ri] = true;
+                            aff_res.push(ri as u32);
+                        }
+                    }
                 }
             }
         }
+        // Solve flows in ascending slot order — the exact accumulation
+        // order of the former global pass, so shares stay bit-identical.
+        aff_flows.sort_unstable();
+        self.stats.flows_touched += aff_flows.len() as u64;
+        self.stats.resources_touched += aff_res.len() as u64;
 
+        for &r in &aff_res {
+            let ri = r as usize;
+            self.res_mark[ri] = false;
+            self.resources[ri].used = 0.0;
+            self.scratch_residual[ri] = self.resources[ri].capacity;
+            self.scratch_weight[ri] = 0.0;
+            self.scratch_count[ri] = 0;
+        }
+        for &s in &aff_flows {
+            self.flow_mark[s as usize] = false;
+            let f = self.slots[s as usize].state.as_ref().expect("live");
+            for d in &f.demands {
+                self.scratch_weight[d.resource.index()] += d.weight;
+                self.scratch_count[d.resource.index()] += 1;
+            }
+        }
+
+        let mut unfrozen = aff_flows.clone();
         while !unfrozen.is_empty() {
-            // Find the bottleneck share among resources that still carry
-            // unfrozen flows (count is the authoritative membership test).
+            // Find the bottleneck share among closure resources that still
+            // carry unfrozen flows (the integer count is the authoritative
+            // membership test — floating-point weight subtraction can
+            // leave dust).
             let mut share = f64::INFINITY;
-            for r in 0..residual.len() {
-                if count[r] > 0 && weight[r] > 0.0 {
-                    let s = residual[r] / weight[r];
+            for &r in &aff_res {
+                let ri = r as usize;
+                if self.scratch_count[ri] > 0 && self.scratch_weight[ri] > 0.0 {
+                    let s = self.scratch_residual[ri] / self.scratch_weight[ri];
                     if s < share {
                         share = s;
                     }
@@ -350,14 +542,17 @@ impl FluidNet {
             // Freeze flows that cross a saturating resource (or all of them
             // when nothing constrains).
             let tol = share * 1e-12 + 1e-30;
-            let mut saturated = vec![false; self.resources.len()];
             let mut any_saturated = false;
-            if share < RATE_CAP {
-                for (r, sat) in saturated.iter_mut().enumerate() {
-                    if count[r] > 0 && weight[r] > 0.0 && residual[r] / weight[r] <= share + tol {
-                        *sat = true;
-                        any_saturated = true;
-                    }
+            for &r in &aff_res {
+                let ri = r as usize;
+                self.scratch_saturated[ri] = false;
+                if share < RATE_CAP
+                    && self.scratch_count[ri] > 0
+                    && self.scratch_weight[ri] > 0.0
+                    && self.scratch_residual[ri] / self.scratch_weight[ri] <= share + tol
+                {
+                    self.scratch_saturated[ri] = true;
+                    any_saturated = true;
                 }
             }
 
@@ -365,17 +560,18 @@ impl FluidNet {
             for &slot_idx in &unfrozen {
                 let f =
                     self.slots[slot_idx as usize].state.as_mut().expect("unfrozen flows are live");
-                let frozen_now =
-                    !any_saturated || f.demands.iter().any(|d| saturated[d.resource.index()]);
+                let frozen_now = !any_saturated
+                    || f.demands.iter().any(|d| self.scratch_saturated[d.resource.index()]);
                 if frozen_now {
                     f.rate = share;
                     for d in &f.demands {
                         let r = d.resource.index();
-                        residual[r] = (residual[r] - share * d.weight).max(0.0);
-                        weight[r] -= d.weight;
-                        count[r] -= 1;
-                        if count[r] == 0 {
-                            weight[r] = 0.0;
+                        self.scratch_residual[r] =
+                            (self.scratch_residual[r] - share * d.weight).max(0.0);
+                        self.scratch_weight[r] -= d.weight;
+                        self.scratch_count[r] -= 1;
+                        if self.scratch_count[r] == 0 {
+                            self.scratch_weight[r] = 0.0;
                         }
                         self.resources[r].used += share * d.weight;
                     }
@@ -389,45 +585,88 @@ impl FluidNet {
             );
             unfrozen = still;
         }
+
+        // Re-stamp every touched flow and index its projected completion.
+        for &s in &aff_flows {
+            let slot = &mut self.slots[s as usize];
+            slot.stamp = slot.stamp.wrapping_add(1);
+            let f = slot.state.as_ref().expect("live");
+            if f.rate > 0.0 {
+                let d = SimDuration::from_secs_f64(f.remaining / f.rate);
+                let key = self.last_update.as_nanos().saturating_add(d.as_nanos());
+                self.completions.push(Reverse((key, s, slot.stamp)));
+            }
+        }
+        self.compact_completions();
+
+        // Recycle the seed list's allocation.
+        aff_res.clear();
+        self.dirty = aff_res;
+    }
+
+    /// Drops stale completion entries wholesale once they dominate the
+    /// heap, bounding memory under long flow churn.
+    fn compact_completions(&mut self) {
+        if self.completions.len() <= HEAP_COMPACT_MIN
+            || self.completions.len() <= HEAP_SLACK * self.active
+        {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.completions).into_vec();
+        entries.retain(|&Reverse((_, s, stamp))| {
+            let slot = &self.slots[s as usize];
+            slot.stamp == stamp && slot.state.is_some()
+        });
+        self.completions = BinaryHeap::from(entries);
     }
 
     /// The next instant at which some flow drains, given current rates, or
     /// `None` if no flow is progressing. The allocation must be clean.
-    pub fn earliest_completion(&self) -> Option<SimTime> {
+    ///
+    /// Served from the completion index: stale heap entries are popped
+    /// lazily, and the winning flow's instant is recomputed from its
+    /// remaining work *now* — the same arithmetic (and therefore the same
+    /// nanosecond) as the former full scan.
+    pub fn earliest_completion(&mut self) -> Option<SimTime> {
         debug_assert!(!self.allocation_dirty, "earliest_completion on dirty allocation");
-        let mut best: Option<f64> = None;
-        for slot in &self.slots {
-            if let Some(f) = &slot.state {
-                if f.remaining <= DONE_EPS {
-                    return Some(self.last_update);
-                }
-                if f.rate > 0.0 {
-                    let t = f.remaining / f.rate;
-                    best = Some(best.map_or(t, |b: f64| b.min(t)));
-                }
-            }
+        if self.near_done > 0 {
+            return Some(self.last_update);
         }
-        best.map(|secs| {
-            // Round up one nanosecond so the event lands at-or-after the
-            // true completion instant.
-            let d = SimDuration::from_secs_f64(secs).saturating_add(SimDuration::from_nanos(1));
-            self.last_update + d
-        })
+        while let Some(&Reverse((_, s, stamp))) = self.completions.peek() {
+            let slot = &self.slots[s as usize];
+            if slot.stamp == stamp && slot.state.as_ref().is_some_and(|f| f.rate > 0.0) {
+                break;
+            }
+            self.completions.pop();
+        }
+        let &Reverse((_, s, _)) = self.completions.peek()?;
+        let f = self.slots[s as usize].state.as_ref().expect("validated above");
+        let secs = f.remaining / f.rate;
+        // Round up one nanosecond so the event lands at-or-after the true
+        // completion instant.
+        let d = SimDuration::from_secs_f64(secs).saturating_add(SimDuration::from_nanos(1));
+        Some(self.last_update + d)
     }
 
     /// Removes and returns every flow whose work has drained (as of the
     /// last `advance_to`). The allocation becomes dirty if any finished.
     pub fn take_finished(&mut self) -> Vec<FinishedFlow> {
         let mut done = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let finished = match &slot.state {
+        for i in 0..self.slots.len() {
+            let finished = match &self.slots[i].state {
                 Some(f) => f.remaining <= DONE_EPS.max(f.total * 1e-12),
                 None => false,
             };
             if finished {
-                slot.state = None;
+                let slot = &mut self.slots[i];
+                let state = slot.state.take().expect("checked above");
                 let id = FlowId { slot: i as u32, gen: slot.gen };
                 slot.gen = slot.gen.wrapping_add(1);
+                slot.stamp = slot.stamp.wrapping_add(1);
+                if state.remaining <= DONE_EPS {
+                    self.near_done -= 1;
+                }
+                self.detach(i as u32, &state.demands);
                 self.free.push(i as u32);
                 self.active -= 1;
                 self.allocation_dirty = true;
@@ -615,5 +854,65 @@ mod tests {
         assert!((net.flow_rate(fa) - 5.0).abs() < 1e-9);
         assert!((net.flow_rate(fb) - 5.0).abs() < 1e-9);
         assert!((net.flow_rate(fc) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untouched_component_keeps_rates_and_is_not_touched() {
+        // Two independent links; churn on one must not re-solve the other.
+        let mut net = FluidNet::new();
+        let r1 = net.add_resource("l1", ResourceKind::Net, 100.0);
+        let r2 = net.add_resource("l2", ResourceKind::Net, 60.0);
+        let a = net.add_flow(vec![Demand::unit(r1)], 1e6);
+        let b = net.add_flow(vec![Demand::unit(r2)], 1e6);
+        net.reallocate();
+        assert_eq!(net.flow_rate(a), 100.0);
+        assert_eq!(net.flow_rate(b), 60.0);
+        let touched0 = net.stats().flows_touched;
+
+        // Add churn on l1 only: the re-solve must touch l1's two flows and
+        // leave b's rate (and touch count) alone.
+        let c = net.add_flow(vec![Demand::unit(r1)], 1e6);
+        net.reallocate();
+        assert_eq!(net.flow_rate(a), 50.0);
+        assert_eq!(net.flow_rate(c), 50.0);
+        assert_eq!(net.flow_rate(b), 60.0, "independent component undisturbed");
+        assert_eq!(net.stats().flows_touched - touched0, 2, "only l1's component re-solved");
+    }
+
+    #[test]
+    fn full_solve_mode_matches_incremental() {
+        let build = |full: bool| {
+            let mut net = FluidNet::new();
+            net.set_full_solve(full);
+            let r1 = net.add_resource("l1", ResourceKind::Net, 100.0);
+            let r2 = net.add_resource("l2", ResourceKind::Net, 40.0);
+            let f1 = net.add_flow(vec![Demand::unit(r1)], 500.0);
+            net.reallocate();
+            let f2 = net.add_flow(vec![Demand::unit(r1), Demand::unit(r2)], 300.0);
+            let f3 = net.add_flow(vec![Demand::unit(r2)], 200.0);
+            net.reallocate();
+            net.advance_to(SimTime::from_secs(1));
+            net.remove_flow(f3);
+            net.reallocate();
+            let e = net.earliest_completion();
+            (net.flow_rate(f1), net.flow_rate(f2), net.used(r1), net.cumulative(r2), e)
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn completion_heap_compacts_under_churn() {
+        let (mut net, r) = net1();
+        // One long-lived flow plus heavy add/remove churn: stale entries
+        // must not accumulate past the compaction bound.
+        let _keeper = net.add_flow(vec![Demand::unit(r)], 1e12);
+        for _ in 0..10_000 {
+            let f = net.add_flow(vec![Demand::unit(r)], 1e9);
+            net.reallocate();
+            net.remove_flow(f);
+            net.reallocate();
+        }
+        let len = net.stats().completion_heap_len;
+        assert!(len <= HEAP_COMPACT_MIN.max(HEAP_SLACK * net.active_flows()) + 2, "heap {len}");
     }
 }

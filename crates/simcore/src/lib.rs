@@ -49,9 +49,9 @@ pub mod trace;
 
 /// One-stop imports for kernel clients.
 pub mod prelude {
-    pub use crate::engine::{ChainSpec, Engine, Step, Wakeup};
+    pub use crate::engine::{ChainSpec, Engine, KernelStats, Step, Wakeup};
     pub use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
-    pub use crate::fluid::{Demand, FluidNet, ResourceKind};
+    pub use crate::fluid::{Demand, FluidNet, FluidStats, ResourceKind};
     pub use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
     pub use crate::rng::RootSeed;
     pub use crate::stats::{OnlineStats, Summary};

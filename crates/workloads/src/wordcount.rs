@@ -45,6 +45,10 @@ pub struct WordcountReport {
     pub input_bytes: u64,
     /// Job wall time, seconds.
     pub elapsed_s: f64,
+    /// Kernel work counters of the run (reallocations, flows touched, …) —
+    /// the bench harness reports these next to simulated times so solver
+    /// regressions show up in the trajectory.
+    pub kernel: simcore::engine::KernelStats,
     /// Full job result (counters, outputs).
     pub result: JobResult,
 }
@@ -111,7 +115,8 @@ fn run_wordcount_inner(
     let spec = JobSpec::new("wordcount", "/wordcount/in", "/wordcount/out").with_config(config);
     let result = rt.run_job(spec, Box::new(WordCountApp), Box::new(input));
     let trace = traced.then(|| rt.engine.tracer().to_chrome_json());
-    (WordcountReport { input_bytes, elapsed_s: result.elapsed_secs(), result }, trace)
+    let kernel = rt.engine.kernel_stats();
+    (WordcountReport { input_bytes, elapsed_s: result.elapsed_secs(), kernel, result }, trace)
 }
 
 /// Registers a fresh input file and submits one Wordcount job on an

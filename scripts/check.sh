@@ -81,10 +81,61 @@ if [ -n "$stray" ]; then
     exit 1
 fi
 
+echo "==> perf: simbench quick scenario (incremental fluid solver)"
+# Runs the deterministic 256-VM shuffle-storm churn scenario twice (global
+# baseline vs incremental solver). The binary itself asserts the wakeup
+# sequences are identical and the touched ratio is >= 5x; here we addition-
+# ally pin machine-independent counter ceilings so a regression in the
+# dirty-component closure (e.g. over-seeding) fails CI regardless of host
+# speed. Current values: reallocations 4512, incremental flows_touched
+# 73373 (ceilings carry ~1.5x headroom).
+cargo run --release -q -p vhadoop-bench --bin simbench -- --quick
+perf=results/bench_simcore.json
+test -s "$perf" || { echo "missing or empty $perf" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$perf" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "simcore" and d["scenarios"], "bad bench schema"
+for s in d["scenarios"]:
+    for k in ("scenario", "vms", "events", "baseline", "incremental",
+              "touched_ratio", "wall_speedup", "identical_wakeups"):
+        assert k in s, f"scenario missing key {k}"
+    for side in ("baseline", "incremental"):
+        for k in ("wall_s", "reallocations", "flows_touched",
+                  "resources_touched", "flows_per_realloc"):
+            assert k in s[side], f"{side} missing key {k}"
+    assert s["identical_wakeups"] is True, "solver output diverged"
+quick = [s for s in d["scenarios"]
+         if s["scenario"] == "shuffle_storm" and s["vms"] == 256]
+assert quick, "quick scenario missing from results"
+q = quick[0]
+assert q["incremental"]["reallocations"] <= 6800, \
+    f"reallocations regressed: {q['incremental']['reallocations']}"
+assert q["incremental"]["flows_touched"] <= 110000, \
+    f"flows_touched regressed: {q['incremental']['flows_touched']}"
+assert q["touched_ratio"] >= 5.0, \
+    f"touched ratio below 5x: {q['touched_ratio']}"
+print(f"    shuffle_storm@256: {q['touched_ratio']:.1f}x fewer flows touched, "
+      f"{q['incremental']['flows_touched']} flows over "
+      f"{q['incremental']['reallocations']} reallocations")
+PY
+else
+    # No python3: textual envelope + the identity flag at least.
+    grep -q '"bench": "simcore"' "$perf"
+    grep -q '"identical_wakeups": true' "$perf" \
+        || { echo "solver output diverged" >&2; exit 1; }
+    grep -q '"touched_ratio"' "$perf"
+fi
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
-# entropy anywhere in the simulation crates.
-if grep -rnE 'Instant::now|SystemTime::now|thread_rng' crates/*/src; then
+# entropy anywhere in the simulation crates. The two offline bench
+# harnesses (simbench, scalability) are the sanctioned exception: they
+# measure host wall-clock *around* deterministic runs.
+if grep -rnE 'Instant::now|SystemTime::now|thread_rng' crates/*/src \
+    | grep -vE '^crates/bench/src/bin/(simbench|scalability)\.rs:[0-9]+:.*Instant'; then
     echo "determinism lint FAILED: wall clock or OS entropy in crates/" >&2
     exit 1
 fi
