@@ -10,7 +10,11 @@
 //!   two wordcount jobs contending for the same slots;
 //! * `faults`          — the Fig. 2 wordcount clean vs. under an injected
 //!   `FaultPlan` (node crash + straggler + link degradation); the faulted
-//!   run's trace is exported to `results/faults.trace.json`.
+//!   run's trace is exported to `results/faults.trace.json`;
+//! * `placement`       — pack vs. spread vs. adaptive VM placement under
+//!   the `vsched` controller, for each `JobMix` arrival stream (cpu-bound,
+//!   shuffle-heavy, wordcount) — the paper's normal-vs-cross-domain table
+//!   as a closed-loop policy choice.
 //!
 //! ```sh
 //! cargo run --release -p vhadoop-bench --bin ablations \
@@ -30,8 +34,16 @@ fn cluster(placement: Placement, xen: XenParams) -> ClusterSpec {
     ClusterSpec::builder().hosts(2).vms(16).placement(placement).xen(xen).build()
 }
 
-const CASES: &[&str] =
-    &["locality", "combiner", "dom0", "migration-order", "speculation", "scheduler", "faults"];
+const CASES: &[&str] = &[
+    "locality",
+    "combiner",
+    "dom0",
+    "migration-order",
+    "speculation",
+    "scheduler",
+    "faults",
+    "placement",
+];
 
 fn main() {
     let scale = cli_scale();
@@ -145,6 +157,19 @@ fn main() {
         }
     }
 
+    // --- VM placement policy under a controller-driven job stream -----------
+    if wanted("placement") {
+        use workloads::loadgen::JobMix;
+        for mix in JobMix::ALL {
+            for (x, kind) in placement_kinds(mix).into_iter().enumerate() {
+                let name = kind.name();
+                let makespan = run_placement_stream(mix, kind);
+                println!("placement mix={} policy={}: {:.1}s", mix.name(), name, makespan);
+                sink.push(&format!("placement-{}", mix.name()), x as f64, makespan);
+            }
+        }
+    }
+
     sink.finish();
 
     // Shape checks (only for the studies that actually ran).
@@ -177,6 +202,78 @@ fn main() {
         assert!(f.iter().all(|&(_, y)| y > 0.0), "both runs complete");
         assert!(f[1].1 >= f[0].1 * 0.95, "injected faults cannot speed the job up");
     }
+    if wanted("placement") {
+        // Series order is [pack, spread, adaptive] (see placement_kinds).
+        let cpu = pts("placement-cpu-bound");
+        let shf = pts("placement-shuffle-heavy");
+        let wc = pts("placement-wordcount");
+        assert!(cpu[0].1 < shf_slack(cpu[1].1), "cpu-bound mix: pack must beat spread");
+        assert!(shf[1].1 < shf_slack(shf[0].1), "shuffle-heavy mix: spread must beat pack");
+        assert!(wc[0].1 <= wc[1].1 * 1.05, "wordcount mix: pack (normal) no worse than spread");
+        for series in [&cpu, &shf, &wc] {
+            let best = series[0].1.min(series[1].1);
+            assert!(
+                series[2].1 <= best * 1.05,
+                "adaptive must track the better static policy (got {:.1}s vs best {:.1}s)",
+                series[2].1,
+                best
+            );
+        }
+    }
+}
+
+/// Strict-inequality guard with a little slack so the assertion tests a
+/// real gap, not float noise.
+fn shf_slack(y: f64) -> f64 {
+    y * 0.99
+}
+
+/// The three policies a placement series sweeps, in CSV x-order
+/// (0 = pack, 1 = spread, 2 = adaptive with the mix's own hint).
+fn placement_kinds(mix: workloads::loadgen::JobMix) -> [vsched::placement::PlacementKind; 3] {
+    use vsched::placement::{PlacementKind, WorkloadHint};
+    let (maps, cpu_secs, io_bytes) = mix.base();
+    [
+        PlacementKind::Pack,
+        PlacementKind::Spread,
+        PlacementKind::Adaptive(WorkloadHint {
+            tasks: maps,
+            cpu_secs_per_task: cpu_secs,
+            shuffle_bytes_per_task: io_bytes,
+        }),
+    ]
+}
+
+/// One controller-driven arrival stream of `mix` jobs under `kind`
+/// placement on the paper's 2×16 geometry; returns the stream makespan in
+/// seconds. Small HDFS blocks keep the synthetic inputs from drowning the
+/// run in NFS reads.
+fn run_placement_stream(
+    mix: workloads::loadgen::JobMix,
+    kind: vsched::placement::PlacementKind,
+) -> f64 {
+    use vhadoop::prelude::*;
+    use workloads::loadgen::ArrivalProcess;
+
+    let mut p = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(cluster(Placement::SingleDomain, XenParams::default()))
+            .hdfs(vhdfs::hdfs::HdfsConfig { block_size: 1 << 20, replication: 2 })
+            .no_monitor()
+            .seed(4242)
+            .controller(ControllerConfig::enabled_with(kind))
+            .build(),
+    );
+    let arrivals =
+        ArrivalProcess::new(mix, 4, SimDuration::from_secs(2), 2, RootSeed(4242)).schedule();
+    for (i, a) in arrivals.iter().enumerate() {
+        p.schedule_job(a.at, a.tenant, a.expected_s, a.job(i as u32));
+    }
+    let done = p.drive_until_idle();
+    assert_eq!(done.len(), 4, "every arrival must complete");
+    let rep = p.controller().expect("controller enabled").slo_report();
+    assert_eq!(rep.starved, 0, "no admitted job may starve");
+    p.now().as_secs_f64()
 }
 
 /// The Fig. 2 wordcount geometry through the full platform, clean or with

@@ -20,8 +20,10 @@ use mapreduce::config::JobConfig;
 use simcore::rng::RootSeed;
 use std::time::Instant;
 use vcluster::spec::{ClusterSpec, Placement};
+use vhadoop::prelude::{ControllerConfig, PlacementKind, PlatformConfig, SimDuration, VHadoop};
 use vhadoop_bench::{cli_scale, ResultSink};
 use vhdfs::hdfs::HdfsConfig;
+use workloads::loadgen::{ArrivalProcess, JobMix};
 use workloads::wordcount::{run_wordcount_with, WordcountReport};
 
 fn timed(f: impl FnOnce() -> WordcountReport) -> (WordcountReport, f64) {
@@ -76,6 +78,50 @@ fn main() {
             kernel_line(&strong, wall)
         );
         sink.push("strong-scaling", f64::from(vms), strong.elapsed_s);
+    }
+
+    // Closed-loop stream scaling: the same geometry driven by the vsched
+    // control plane (admission queue + spread placement), so scheduler
+    // decisions — admissions, queue depth, waits — join the kernel
+    // counters in the trajectory.
+    for &vms in &[8u32, 16] {
+        let t0 = Instant::now();
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2)
+                        .vms(vms)
+                        .placement(Placement::SingleDomain)
+                        .build(),
+                )
+                .hdfs(HdfsConfig { block_size: 1 << 20, replication: 2 })
+                .no_monitor()
+                .seed(7)
+                .controller(ControllerConfig::enabled_with(PlacementKind::Spread))
+                .build(),
+        );
+        let arrivals =
+            ArrivalProcess::new(JobMix::Wordcount, 4, SimDuration::from_secs(2), 2, RootSeed(7))
+                .schedule();
+        for (i, a) in arrivals.iter().enumerate() {
+            p.schedule_job(a.at, a.tenant, a.expected_s, a.job(i as u32));
+        }
+        let done = p.drive_until_idle();
+        assert_eq!(done.len(), 4, "stream jobs all finish");
+        let ctrl = p.metrics().ctrl.expect("controller stats in the snapshot");
+        println!(
+            "stream {vms:>2} VMs, {:>4} jobs -> {:>6.1}s   [wall {:>6.3}s  adm {} fin {} \
+             q_hwm {}  wait p95 {:>4.1}s]",
+            4,
+            p.now().as_secs_f64(),
+            t0.elapsed().as_secs_f64(),
+            ctrl.jobs_admitted,
+            ctrl.jobs_finished,
+            ctrl.queue_depth_hwm,
+            ctrl.queue_wait_p95_s
+        );
+        sink.push("ctrl-stream", f64::from(vms), p.now().as_secs_f64());
     }
     sink.finish();
 

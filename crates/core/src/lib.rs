@@ -48,12 +48,13 @@ pub use tuner;
 pub use vcluster;
 pub use vhdfs;
 pub use vmonitor;
+pub use vsched;
 pub use workloads;
 
 /// Convenience imports covering the whole platform surface.
 pub mod prelude {
     pub use crate::faults::{InjectedFault, MIN_THROTTLE_FACTOR, TRACKER_TIMEOUT};
-    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::metrics::{ControllerStats, MetricsSnapshot};
     pub use crate::platform::{
         FailureImpact, PlatformConfig, PlatformConfigBuilder, PlatformEvent, VHadoop,
     };
@@ -63,4 +64,5 @@ pub mod prelude {
     pub use vcluster::prelude::*;
     pub use vhdfs::prelude::{Hdfs, HdfsConfig};
     pub use vmonitor::prelude::*;
+    pub use vsched::prelude::*;
 }

@@ -25,6 +25,36 @@ pub struct MetricsSnapshot {
     pub counter_samples: usize,
     /// Per-category span statistics, sorted by category name.
     pub categories: Vec<CategoryStats>,
+    /// Control-plane decisions, when the platform runs a controller.
+    pub ctrl: Option<ControllerStats>,
+}
+
+/// Controller decisions distilled for `MetricsSnapshot` (printed by
+/// `scalability`/`simbench` alongside kernel stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerStats {
+    /// Jobs admitted into the queue.
+    pub jobs_admitted: u64,
+    /// Jobs bounced off the full queue.
+    pub jobs_rejected: u64,
+    /// Jobs handed to the JobTracker.
+    pub jobs_started: u64,
+    /// Jobs that completed.
+    pub jobs_finished: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_depth_hwm: u64,
+    /// VM moves the rebalancer handed to the migration manager.
+    pub migrations_planned: u64,
+    /// VM moves that completed.
+    pub migrations_completed: u64,
+    /// Injected aborts survived by planned migrations.
+    pub migrations_aborted: u64,
+    /// SLO violations so far.
+    pub slo_violations: u64,
+    /// Median admission-to-start wait, seconds.
+    pub queue_wait_p50_s: f64,
+    /// 95th-percentile admission-to-start wait, seconds.
+    pub queue_wait_p95_s: f64,
 }
 
 impl MetricsSnapshot {
@@ -57,6 +87,21 @@ impl MetricsSnapshot {
                 c.max.as_secs_f64(),
             );
         }
+        if let Some(ctrl) = &self.ctrl {
+            let _ = writeln!(
+                out,
+                "ctrl: adm={} rej={} fin={} q_hwm={} mig={}/{} viol={} wait p50={:.2}s p95={:.2}s",
+                ctrl.jobs_admitted,
+                ctrl.jobs_rejected,
+                ctrl.jobs_finished,
+                ctrl.queue_depth_hwm,
+                ctrl.migrations_completed,
+                ctrl.migrations_planned,
+                ctrl.slo_violations,
+                ctrl.queue_wait_p50_s,
+                ctrl.queue_wait_p95_s,
+            );
+        }
         out
     }
 }
@@ -79,12 +124,30 @@ impl VHadoop {
     fn snapshot(&self, filter: impl FnMut(&Span) -> bool) -> MetricsSnapshot {
         let tracer = self.rt.engine.tracer();
         let categories = tracer.category_stats(filter);
+        let ctrl = self.controller().map(|c| {
+            let counters = c.counters();
+            let slo = c.slo_report();
+            ControllerStats {
+                jobs_admitted: counters.jobs_admitted,
+                jobs_rejected: counters.jobs_rejected,
+                jobs_started: counters.jobs_started,
+                jobs_finished: counters.jobs_finished,
+                queue_depth_hwm: counters.queue_depth_hwm,
+                migrations_planned: counters.migrations_planned,
+                migrations_completed: counters.migrations_completed,
+                migrations_aborted: counters.migrations_aborted,
+                slo_violations: counters.slo_violations,
+                queue_wait_p50_s: slo.queue_wait_p50_s,
+                queue_wait_p95_s: slo.queue_wait_p95_s,
+            }
+        });
         MetricsSnapshot {
             sim_time: self.rt.engine.now(),
             wakeups: self.rt.engine.wakeups_delivered(),
             spans: categories.iter().map(|c| c.count).sum(),
             counter_samples: tracer.counters().len(),
             categories,
+            ctrl,
         }
     }
 }

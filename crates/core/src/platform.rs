@@ -35,6 +35,8 @@ use vcluster::spec::ClusterSpec;
 use vhdfs::hdfs::HdfsConfig;
 use vmonitor::analyser::MonitorReport;
 use vmonitor::monitor::Monitor;
+use vsched::controller::{Controller, ControllerConfig};
+use vsched::placement::apply_placement;
 
 /// Marker payload for the deferred-migration timer.
 pub(crate) const MIGRATION_START_MARK: u64 = 0x4D49_4752;
@@ -65,6 +67,10 @@ pub struct PlatformConfig {
     /// Record structured trace spans and counters (see
     /// [`simcore::trace`]). Off by default: an untraced run pays nothing.
     pub tracing: bool,
+    /// Closed-loop control plane (admission, placement, rebalancing).
+    /// Disabled by default — a disabled controller changes nothing about
+    /// the run.
+    pub controller: ControllerConfig,
 }
 
 impl Default for PlatformConfig {
@@ -78,6 +84,7 @@ impl Default for PlatformConfig {
             faults: FaultPlan::new(),
             seed: 42,
             tracing: false,
+            controller: ControllerConfig::default(),
         }
     }
 }
@@ -151,6 +158,12 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Installs a closed-loop controller configuration.
+    pub fn controller(mut self, cfg: ControllerConfig) -> Self {
+        self.cfg.controller = cfg;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> PlatformConfig {
         self.cfg
@@ -185,6 +198,8 @@ pub struct VHadoop {
     pub(crate) pending_migration_dst: Option<HostId>,
     /// Installed fault plan, live throttles and injection log.
     pub(crate) faults: FaultDriver,
+    /// Closed-loop controller; `Some` only when the config enables it.
+    pub(crate) ctrl: Option<Box<Controller>>,
 }
 
 impl VHadoop {
@@ -192,8 +207,17 @@ impl VHadoop {
     /// configured) the monitor.
     pub fn launch(config: PlatformConfig) -> Self {
         let seed = RootSeed(config.seed);
-        let vms = config.cluster.vms;
-        let mut rt = MrRuntime::new(config.cluster, config.hdfs, seed);
+        let mut cluster = config.cluster;
+        let vms = cluster.vms;
+        // An enabled controller may re-place VMs before the cluster boots;
+        // disabled (or with the `Spec` policy) it leaves the spec alone.
+        let mut ctrl =
+            config.controller.enabled.then(|| Box::new(Controller::new(config.controller)));
+        if let Some(c) = &ctrl {
+            let map = c.placement_map(&cluster);
+            apply_placement(&mut cluster, map);
+        }
+        let mut rt = MrRuntime::new(cluster, config.hdfs, seed);
         rt.mr.set_policy(config.scheduler);
         // Enable tracing before the monitor attaches, so the monitor's
         // column names are interned into a live tracer.
@@ -201,6 +225,9 @@ impl VHadoop {
         let monitor = config.monitor_interval.map(|iv| Monitor::attach(&mut rt.engine, iv));
         let mut faults = FaultDriver::default();
         faults.install(&mut rt.engine, &config.faults);
+        if let Some(c) = ctrl.as_mut() {
+            c.attach(&mut rt.engine, &rt.cluster);
+        }
         VHadoop {
             rt,
             monitor,
@@ -209,6 +236,7 @@ impl VHadoop {
             migration_report: None,
             pending_migration_dst: None,
             faults,
+            ctrl,
         }
     }
 
@@ -297,43 +325,9 @@ impl VHadoop {
         self.migration_report = None;
     }
 
-    /// Live-migrates every VM to `dst` with the cluster otherwise idle.
-    #[deprecated(note = "use `migration(dst).idle()`")]
-    pub fn migrate_cluster(&mut self, dst: HostId) -> ClusterMigrationReport {
-        self.migration(dst).idle()
-    }
-
-    /// Submits `spec` and, `start_after` later, live-migrates the whole
-    /// cluster to `dst` while the job runs.
-    #[deprecated(note = "use `migration(dst).after(start_after).during_job(spec, app, input)`")]
-    pub fn migrate_during_job(
-        &mut self,
-        spec: JobSpec,
-        app: Box<dyn MapReduceApp>,
-        input: Box<dyn InputFormat>,
-        dst: HostId,
-        start_after: SimDuration,
-    ) -> (ClusterMigrationReport, JobResult) {
-        self.migration(dst).after(start_after).during_job(spec, app, input)
-    }
-
-    /// Starts a whole-cluster migration to `dst` without driving the
-    /// simulation.
-    #[deprecated(note = "use `migration(dst).start()`")]
-    pub fn start_migration(&mut self, dst: HostId) {
-        self.migration(dst).start();
-    }
-
     /// True while a migration session is in flight.
     pub fn migration_busy(&self) -> bool {
         self.migration.busy()
-    }
-
-    /// The report of the last completed cluster migration, if any
-    /// (consumed by the call).
-    #[deprecated(note = "use `poll()`")]
-    pub fn take_migration_report(&mut self) -> Option<ClusterMigrationReport> {
-        self.poll()
     }
 
     /// Advances the simulation by one wakeup, routing it; `None` when the
@@ -344,15 +338,57 @@ impl VHadoop {
         Some((t, events))
     }
 
-    /// Migrates the whole cluster to `dst` while `submit_next` keeps it
-    /// busy.
-    #[deprecated(note = "use `migration(dst).under_load(submit_next)`")]
-    pub fn migrate_cluster_under_load(
+    /// The closed-loop controller, when the config enabled one.
+    pub fn controller(&self) -> Option<&Controller> {
+        self.ctrl.as_deref()
+    }
+
+    /// Registers a job to arrive at `at` with the controller (open-loop
+    /// stream input); returns the controller job id.
+    ///
+    /// # Panics
+    /// If the platform was launched without an enabled controller.
+    pub fn schedule_job(
         &mut self,
-        dst: HostId,
-        submit_next: impl FnMut(&mut MrRuntime) -> bool,
-    ) -> (ClusterMigrationReport, Vec<JobResult>) {
-        self.migration(dst).under_load(submit_next)
+        at: SimTime,
+        tenant: u32,
+        expected_s: f64,
+        job: mapreduce::runtime::PendingJob,
+    ) -> u32 {
+        let ctrl = self.ctrl.as_mut().expect("controller not enabled in PlatformConfig");
+        ctrl.schedule(&mut self.rt.engine, at, tenant, expected_s, job)
+    }
+
+    /// Offers a job to the controller's admission queue right now; returns
+    /// whether it was admitted.
+    ///
+    /// # Panics
+    /// If the platform was launched without an enabled controller.
+    pub fn enqueue_job(
+        &mut self,
+        tenant: u32,
+        expected_s: f64,
+        job: mapreduce::runtime::PendingJob,
+    ) -> bool {
+        let mut ctrl = self.ctrl.take().expect("controller not enabled in PlatformConfig");
+        let admitted = ctrl.offer(&mut self.rt, &mut self.migration, tenant, expected_s, job);
+        self.ctrl = Some(ctrl);
+        admitted
+    }
+
+    /// Drives the simulation until the controller has no queued, running,
+    /// or future jobs (and the event queue supports no further progress);
+    /// returns completed jobs in completion order.
+    pub fn drive_until_idle(&mut self) -> Vec<JobResult> {
+        let mut done = Vec::new();
+        while let Some((_, events)) = self.step() {
+            for ev in events {
+                if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                    done.push(*res);
+                }
+            }
+        }
+        done
     }
 
     /// Simulates the crash of worker VM `vm`: its datanode replicas are
@@ -405,6 +441,15 @@ impl VHadoop {
                 return Vec::new();
             }
         }
+        if w.tag().owner == owners::CTRL {
+            // Borrow dance: the controller needs the runtime and the
+            // migration manager, both fields of self.
+            if let Some(mut ctrl) = self.ctrl.take() {
+                ctrl.on_wakeup(&mut self.rt, &mut self.migration, w);
+                self.ctrl = Some(ctrl);
+            }
+            return Vec::new();
+        }
         if w.tag().owner == owners::FAULT {
             if let Wakeup::Timer { tag, .. } = w {
                 return self.on_fault_wakeup(*tag);
@@ -418,6 +463,9 @@ impl VHadoop {
                 &mut self.dirty,
                 w,
             );
+            if let Some(ctrl) = self.ctrl.as_mut() {
+                ctrl.on_migration_events(&events);
+            }
             let mut out = Vec::new();
             for ev in events {
                 if let MigrationEvent::AllDone(rep) = &ev {
@@ -428,6 +476,12 @@ impl VHadoop {
             return out;
         }
         let routed = self.rt.route_full(w);
+        if let Some(mut ctrl) = self.ctrl.take() {
+            for ev in &routed.job_events {
+                ctrl.on_job_event(&mut self.rt, &mut self.migration, ev);
+            }
+            self.ctrl = Some(ctrl);
+        }
         let mut out: Vec<PlatformEvent> =
             routed.job_events.into_iter().map(PlatformEvent::Job).collect();
         if let Some(c) = routed.hdfs_completion {

@@ -153,6 +153,43 @@ impl MrRuntime {
     }
 }
 
+/// A fully-described job that has not been handed to the JobTracker yet —
+/// the unit a control plane's admission queue holds. Construction captures
+/// everything (spec, app, input recipe) in a deferred closure; nothing
+/// touches the runtime (no HDFS registration, no scheduling) until
+/// [`PendingJob::submit`] runs, so a job can wait in a queue for simulated
+/// hours without perturbing the cluster.
+pub struct PendingJob {
+    name: String,
+    submit: Box<dyn FnOnce(&mut MrRuntime) -> JobId>,
+}
+
+impl PendingJob {
+    /// Wraps a deferred submission under a display `name`.
+    pub fn new(
+        name: impl Into<String>,
+        submit: impl FnOnce(&mut MrRuntime) -> JobId + 'static,
+    ) -> Self {
+        PendingJob { name: name.into(), submit: Box::new(submit) }
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers the job's input and hands it to the JobTracker now.
+    pub fn submit(self, rt: &mut MrRuntime) -> JobId {
+        (self.submit)(rt)
+    }
+}
+
+impl std::fmt::Debug for PendingJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingJob").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
 /// Output of [`MrRuntime::route_full`].
 #[derive(Debug, Default)]
 pub struct Routed {

@@ -21,5 +21,7 @@ pub const TUNER: u32 = 6;
 pub const WORKLOAD: u32 = 7;
 /// Fault-injection driver timers ([`crate::faults::FaultPlan`] events).
 pub const FAULT: u32 = 8;
+/// Closed-loop control plane (admission ticks, job arrivals, rebalancer).
+pub const CTRL: u32 = 9;
 /// Reserved for tests and ad-hoc client code.
 pub const USER: u32 = 100;

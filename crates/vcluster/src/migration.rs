@@ -316,13 +316,31 @@ impl MigrationManager {
         vms: &[VmId],
         dst: HostId,
     ) {
+        let moves: Vec<(VmId, HostId)> = vms.iter().map(|&vm| (vm, dst)).collect();
+        self.start_moves(engine, cluster, &moves);
+    }
+
+    /// Starts a migration session over an explicit per-VM move plan — the
+    /// general form of [`MigrationManager::start_cluster_migration`], used
+    /// by the rebalancing control plane where different VMs head to
+    /// different hosts.
+    ///
+    /// # Panics
+    /// If a migration session is already in progress, or any VM already
+    /// lives on its requested destination.
+    pub fn start_moves(
+        &mut self,
+        engine: &mut Engine,
+        cluster: &VirtualCluster,
+        moves: &[(VmId, HostId)],
+    ) {
         assert!(!self.busy(), "migration session already in progress");
-        assert!(!vms.is_empty(), "nothing to migrate");
+        assert!(!moves.is_empty(), "nothing to migrate");
         self.session_started = Some(engine.now());
         self.finished.clear();
         self.aborts.clear();
-        self.expected = vms.len();
-        for &vm in vms {
+        self.expected = moves.len();
+        for &(vm, dst) in moves {
             assert_ne!(cluster.host_of(vm), dst, "{vm} already on {dst}");
             self.queue.push_back((vm, dst));
         }
@@ -753,6 +771,22 @@ mod tests {
         let rep = drive(&mut e, &mut c, &mut mgr, &mut dirty);
         assert_eq!(rep.per_vm[0].aborts, 2);
         assert_eq!(c.host_of(VmId(0)), HostId(1));
+    }
+
+    #[test]
+    fn start_moves_honours_per_vm_destinations() {
+        let mut e = Engine::new();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(2).placement(Placement::Custom(vec![0, 1])).build();
+        let mut c = VirtualCluster::new(&mut e, spec);
+        let mut mgr = MigrationManager::new(MigrationConfig::default());
+        let mut dirty = ConstantDirtyModel(0.5e6);
+        mgr.start_moves(&mut e, &c, &[(VmId(0), HostId(1)), (VmId(1), HostId(0))]);
+        let rep = drive(&mut e, &mut c, &mut mgr, &mut dirty);
+        assert_eq!(rep.per_vm.len(), 2);
+        assert_eq!(c.host_of(VmId(0)), HostId(1));
+        assert_eq!(c.host_of(VmId(1)), HostId(0), "each VM reached its own destination");
+        assert!(!mgr.busy());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # vsched — closed-loop cluster control plane
+//!
+//! The seed platform runs one pre-placed job at a time; this crate closes
+//! the loop around it, in three layers:
+//!
+//! * [`queue`] — open-loop job arrivals feed a **bounded admission queue**
+//!   with a pluggable start order (FIFO, shortest-expected-first,
+//!   per-tenant fair share) and per-job SLO tracking (queue wait,
+//!   makespan, slowdown);
+//! * [`placement`] — a [`placement::PlacementPolicy`] rewrites the VM→host
+//!   map before the cluster boots: pack (the paper's "normal" layout),
+//!   spread (cross-domain), or an adaptive pick priced by a first-order
+//!   makespan model;
+//! * [`rebalance`] — a periodic controller samples per-host CPU/NIC load
+//!   from the fluid kernel's cumulative counters and plans bounded live
+//!   migrations (hysteresis + cooldown + move budget) through the
+//!   existing migration session API, including idle-time consolidation
+//!   for the energy report.
+//!
+//! [`controller::Controller`] glues the layers together and is driven by
+//! the `vhadoop` platform's event loop. Everything reacts to simulated
+//! wakeups only and draws no randomness, so controlled runs remain pure
+//! functions of (config, seed); with the controller disabled (the
+//! default) the platform is byte-identical to a controller-free build.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod placement;
+pub mod queue;
+pub mod rebalance;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::controller::{Controller, ControllerConfig, ControllerCounters};
+    pub use crate::placement::{
+        apply_placement, estimate_makespan, AdaptivePlacement, PackPlacement, PlacementKind,
+        PlacementPolicy, SpecPlacement, SpreadPlacement, WorkloadHint,
+    };
+    pub use crate::queue::{
+        AdmissionQueue, JobSlo, QueueConfig, QueuePolicy, QueuedJob, SloConfig, SloReport,
+        SloTracker,
+    };
+    pub use crate::rebalance::{HostLoad, RebalanceConfig, RebalancePlan, Rebalancer};
+}

@@ -1,0 +1,331 @@
+//! VM placement policies.
+//!
+//! The seed platform pins the VM→host map at cluster construction via
+//! [`Placement::host_of`]. This module turns that decision into a policy:
+//! a [`PlacementPolicy`] may rewrite the map before the cluster is built
+//! (pack onto few hosts, spread across all, or pick adaptively from a
+//! workload hint), or decline ([`SpecPlacement`]) and leave the spec's own
+//! layout untouched — the byte-identical default.
+//!
+//! The adaptive policy reuses the paper's normal-vs-cross-domain framing:
+//! packing keeps shuffle traffic on the fast in-host software bridge but
+//! stacks every VCPU (and dom0's per-byte I/O tax) onto one host's cores;
+//! spreading pays the slower physical NIC but doubles the core budget.
+//! [`estimate_makespan`] prices both effects and the policy picks the
+//! cheaper layout.
+
+use vcluster::spec::{ClusterSpec, Placement};
+
+/// Rough description of the workload a placement must serve, used by
+/// [`AdaptivePlacement`] to price candidate layouts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadHint {
+    /// Concurrent tasks in one wave (map slots demanded).
+    pub tasks: u32,
+    /// Guest CPU seconds each task burns.
+    pub cpu_secs_per_task: f64,
+    /// Bytes each task ships through spill + shuffle.
+    pub shuffle_bytes_per_task: u64,
+}
+
+/// Maps a cluster spec to an explicit VM→host assignment, or declines and
+/// keeps the spec's own placement.
+pub trait PlacementPolicy {
+    /// Stable display name (CSV column, trace args).
+    fn name(&self) -> &'static str;
+
+    /// Returns `Some(map)` with one host index per VM to override the
+    /// spec's placement, or `None` to keep the spec untouched.
+    fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>>;
+}
+
+/// Keeps the spec's own placement — the policy under which the platform is
+/// byte-identical to a controller-free run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecPlacement;
+
+impl PlacementPolicy for SpecPlacement {
+    fn name(&self) -> &'static str {
+        "spec"
+    }
+    fn assign(&self, _spec: &ClusterSpec) -> Option<Vec<u32>> {
+        None
+    }
+}
+
+/// Consolidates: fills hosts in index order, moving on only when a host's
+/// DRAM is exhausted (the paper's "normal" single-domain layout when the
+/// VMs fit one host).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackPlacement;
+
+impl PlacementPolicy for PackPlacement {
+    fn name(&self) -> &'static str {
+        "pack"
+    }
+    fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>> {
+        let per_host = (spec.host.dram / spec.vm.mem.max(1)).max(1) as u32;
+        Some((0..spec.vms).map(|v| (v / per_host).min(spec.hosts - 1)).collect())
+    }
+}
+
+/// Balances: VM *i* lands on host *i* mod hosts (the paper's cross-domain
+/// layout generalized to any host count).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadPlacement;
+
+impl PlacementPolicy for SpreadPlacement {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+    fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>> {
+        Some((0..spec.vms).map(|v| v % spec.hosts).collect())
+    }
+}
+
+/// Picks pack or spread, whichever [`estimate_makespan`] prices cheaper
+/// for the hinted workload on the given spec. `host_load` (one entry per
+/// host, 0.0 = idle, 1.0 = saturated) discounts cores already busy with
+/// background work; pass an empty slice when the cluster is idle.
+#[derive(Debug, Clone)]
+pub struct AdaptivePlacement {
+    /// The workload being priced.
+    pub hint: WorkloadHint,
+    /// Per-host background CPU load in `[0, 1]`; empty = all idle.
+    pub host_load: Vec<f64>,
+}
+
+impl PlacementPolicy for AdaptivePlacement {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>> {
+        let pack = PackPlacement.assign(spec)?;
+        let spread = SpreadPlacement.assign(spec)?;
+        let t_pack = estimate_makespan(spec, &pack, &self.hint, &self.host_load);
+        let t_spread = estimate_makespan(spec, &spread, &self.hint, &self.host_load);
+        Some(if t_pack <= t_spread { pack } else { spread })
+    }
+}
+
+/// Selects a placement policy by value (config-friendly; trait objects
+/// don't fit `PartialEq` configs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PlacementKind {
+    /// Keep the spec's own placement ([`SpecPlacement`]).
+    #[default]
+    Spec,
+    /// Consolidate onto few hosts ([`PackPlacement`]).
+    Pack,
+    /// Balance across all hosts ([`SpreadPlacement`]).
+    Spread,
+    /// Model-driven pick between pack and spread ([`AdaptivePlacement`]).
+    Adaptive(WorkloadHint),
+}
+
+impl PlacementKind {
+    /// Instantiates the policy this kind names.
+    pub fn policy(&self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::Spec => Box::new(SpecPlacement),
+            PlacementKind::Pack => Box::new(PackPlacement),
+            PlacementKind::Spread => Box::new(SpreadPlacement),
+            PlacementKind::Adaptive(hint) => {
+                Box::new(AdaptivePlacement { hint: *hint, host_load: Vec::new() })
+            }
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementKind::Spec => "spec",
+            PlacementKind::Pack => "pack",
+            PlacementKind::Spread => "spread",
+            PlacementKind::Adaptive(_) => "adaptive",
+        }
+    }
+
+    /// The VM→host override for `spec`, if this kind produces one.
+    pub fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>> {
+        self.policy().assign(spec)
+    }
+}
+
+/// Applies a placement override to a spec in place (no-op on `None`).
+pub fn apply_placement(spec: &mut ClusterSpec, map: Option<Vec<u32>>) {
+    if let Some(map) = map {
+        assert_eq!(map.len(), spec.vms as usize, "placement map must cover every VM");
+        spec.placement = Placement::Custom(map);
+    }
+}
+
+/// First-order makespan estimate of one task wave under `map`.
+///
+/// CPU side: VM 0 is the namenode (runs no tasks), so tasks land on the
+/// remaining workers proportionally to each host's worker count. A host's
+/// wave time is its guest work plus dom0's per-byte I/O tax, divided by
+/// its effective cores (discounted by `host_load` and Xen's hypervisor
+/// overhead). Wire side: shuffle bytes split into same-host traffic at
+/// bridge speed and cross-host traffic at NIC speed, with the same-host
+/// fraction Σ(wᕼ/W)² from random sender/receiver pairing. The wave's cost
+/// is the serialized sum of the two sides — pessimistic on overlap, but it
+/// keeps the wire term visible when CPU dominates, which is exactly where
+/// pack and spread tie on compute and differ only in shuffle path.
+pub fn estimate_makespan(
+    spec: &ClusterSpec,
+    map: &[u32],
+    hint: &WorkloadHint,
+    host_load: &[f64],
+) -> f64 {
+    assert_eq!(map.len(), spec.vms as usize);
+    let hosts = spec.hosts as usize;
+    let mut workers = vec![0u32; hosts];
+    for (vm, &h) in map.iter().enumerate() {
+        if vm != 0 {
+            // VM 0 hosts the namenode/jobtracker and takes no tasks.
+            workers[h as usize] += 1;
+        }
+    }
+    let total_workers: u32 = workers.iter().sum();
+    if total_workers == 0 {
+        return f64::INFINITY;
+    }
+    let tasks = f64::from(hint.tasks);
+    let bytes_per_task = hint.shuffle_bytes_per_task as f64;
+    let total_bytes = tasks * bytes_per_task;
+
+    // Same-host shuffle fraction: sender and receiver drawn independently
+    // from the worker population.
+    let p_same: f64 = workers
+        .iter()
+        .map(|&w| {
+            let f = f64::from(w) / f64::from(total_workers);
+            f * f
+        })
+        .sum();
+
+    // Per-host CPU time for the wave, including dom0's I/O tax on the
+    // bytes its local workers move.
+    let mut t_cpu: f64 = 0.0;
+    for (h, &w) in workers.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let share = f64::from(w) / f64::from(total_workers);
+        let host_tasks = tasks * share;
+        let guest_cycles = host_tasks * hint.cpu_secs_per_task * spec.host.core_hz;
+        // dom0 charges for both directions of the host's shuffle bytes.
+        let host_bytes = total_bytes * share * 2.0;
+        let dom0_cycles = host_bytes * spec.xen.dom0_cycles_per_net_byte;
+        let load = host_load.get(h).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        let eff_cores =
+            (f64::from(spec.host.cores) * (1.0 - load)).max(1.0) / spec.xen.cpu_overhead;
+        // The wave can't use more cores than it has runnable tasks.
+        let usable = eff_cores.min(host_tasks.max(1.0));
+        t_cpu = t_cpu.max((guest_cycles + dom0_cycles) / (spec.host.core_hz * usable));
+    }
+
+    // Wire time: same-host bytes ride the bridge, cross-host bytes the NIC
+    // (each host's NIC carries its egress share).
+    let bridge = total_bytes * p_same / spec.host.bridge_bw.max(1.0);
+    let busy_hosts = workers.iter().filter(|&&w| w > 0).count().max(1) as f64;
+    let nic = total_bytes * (1.0 - p_same) / (spec.host.nic_bw.max(1.0) * busy_hosts);
+    let t_wire = bridge + nic;
+
+    t_cpu + t_wire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::default() // 2 hosts × 8 cores, 16 VMs × 1 GiB
+    }
+
+    #[test]
+    fn spec_policy_declines() {
+        assert_eq!(SpecPlacement.assign(&spec()), None);
+        assert_eq!(PlacementKind::Spec.assign(&spec()), None);
+    }
+
+    #[test]
+    fn pack_fills_first_host_first() {
+        let map = PackPlacement.assign(&spec()).unwrap();
+        assert_eq!(map.len(), 16);
+        assert!(map.iter().all(|&h| h == 0), "16 × 1 GiB VMs fit host 0's 32 GiB: {map:?}");
+        let mut small = spec();
+        small.host.dram = 8 * vcluster::spec::GIB;
+        let map = PackPlacement.assign(&small).unwrap();
+        assert_eq!(&map[..8], &[0; 8], "first 8 on host 0");
+        assert_eq!(&map[8..], &[1; 8], "overflow spills to host 1");
+    }
+
+    #[test]
+    fn spread_round_robins() {
+        let map = SpreadPlacement.assign(&spec()).unwrap();
+        assert_eq!(map[0], 0);
+        assert_eq!(map[1], 1);
+        assert_eq!(map[2], 0);
+        assert_eq!(map.iter().filter(|&&h| h == 0).count(), 8);
+    }
+
+    #[test]
+    fn apply_placement_rewrites_spec() {
+        let mut s = spec();
+        apply_placement(&mut s, None);
+        assert_eq!(s.placement, Placement::SingleDomain, "None keeps the spec layout");
+        let map = SpreadPlacement.assign(&s);
+        apply_placement(&mut s, map);
+        assert!(matches!(s.placement, Placement::Custom(_)));
+        assert_eq!(s.host_of(1), 1);
+        s.validate().expect("rewritten spec stays valid");
+    }
+
+    #[test]
+    fn estimator_prefers_pack_for_cpu_bound_and_spread_for_shuffle_heavy() {
+        let s = spec();
+        let pack = PackPlacement.assign(&s).unwrap();
+        let spread = SpreadPlacement.assign(&s).unwrap();
+        // Few heavy tasks, modest shuffle: fits one host's cores, bridge wins.
+        let cpu =
+            WorkloadHint { tasks: 3, cpu_secs_per_task: 8.0, shuffle_bytes_per_task: 48 << 20 };
+        assert!(
+            estimate_makespan(&s, &pack, &cpu, &[]) < estimate_makespan(&s, &spread, &cpu, &[]),
+            "cpu-bound should pack"
+        );
+        // Full wave of cheap tasks with big shuffles: oversubscription +
+        // dom0 tax sink the packed host.
+        let shf =
+            WorkloadHint { tasks: 15, cpu_secs_per_task: 2.5, shuffle_bytes_per_task: 4 << 20 };
+        assert!(
+            estimate_makespan(&s, &spread, &shf, &[]) < estimate_makespan(&s, &pack, &shf, &[]),
+            "shuffle-heavy should spread"
+        );
+    }
+
+    #[test]
+    fn adaptive_matches_the_cheaper_layout() {
+        let s = spec();
+        let cpu =
+            WorkloadHint { tasks: 3, cpu_secs_per_task: 8.0, shuffle_bytes_per_task: 48 << 20 };
+        let a = AdaptivePlacement { hint: cpu, host_load: Vec::new() };
+        assert_eq!(a.assign(&s), PackPlacement.assign(&s), "adaptive packs the cpu-bound mix");
+        let shf =
+            WorkloadHint { tasks: 15, cpu_secs_per_task: 2.5, shuffle_bytes_per_task: 4 << 20 };
+        let a = AdaptivePlacement { hint: shf, host_load: Vec::new() };
+        assert_eq!(a.assign(&s), SpreadPlacement.assign(&s), "adaptive spreads the shuffle mix");
+    }
+
+    #[test]
+    fn background_load_tilts_adaptive_away_from_a_busy_host() {
+        let s = spec();
+        let cpu =
+            WorkloadHint { tasks: 3, cpu_secs_per_task: 8.0, shuffle_bytes_per_task: 48 << 20 };
+        let pack = PackPlacement.assign(&s).unwrap();
+        let idle = estimate_makespan(&s, &pack, &cpu, &[]);
+        let busy = estimate_makespan(&s, &pack, &cpu, &[0.9, 0.0]);
+        assert!(busy > idle, "load on the packed host must raise its estimate");
+    }
+}

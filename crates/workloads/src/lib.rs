@@ -24,7 +24,9 @@ pub mod wordcount;
 /// Convenience imports.
 pub mod prelude {
     pub use crate::dfsio::{run_dfsio, DfsioReport};
-    pub use crate::loadgen::{submit_load_job, SyntheticLoadApp};
+    pub use crate::loadgen::{
+        load_job, submit_load_job, ArrivalProcess, JobArrival, JobMix, SyntheticLoadApp,
+    };
     pub use crate::mrbench::{run_mrbench, MrBenchApp, MrBenchReport};
     pub use crate::terasort::{run_terasort, validate, TeraSortReport};
     pub use crate::textgen::TextCorpus;

@@ -2,4 +2,4 @@
 //!
 //! The runnable examples are the `[[bin]]` targets declared in
 //! `Cargo.toml`: `quickstart`, `ml_pipeline`, `datacenter_migration`,
-//! and `tuning_session`.
+//! `tuning_session`, and `job_stream`.

@@ -15,7 +15,7 @@ cargo test --workspace -q
 
 echo "==> examples build & run"
 cargo build --release -p vhadoop-examples
-for bin in quickstart datacenter_migration tuning_session ml_pipeline; do
+for bin in quickstart datacenter_migration tuning_session ml_pipeline job_stream; do
     echo "--> $bin"
     cargo run --release -q -p vhadoop-examples --bin "$bin" > /dev/null
 done
@@ -48,7 +48,7 @@ echo "==> faults: chaos & property suites"
 # under results/.
 before=$(git status --porcelain)
 cargo test -q -p vhadoop-integration \
-    --test chaos --test seed_sweep --test deprecated_shims \
+    --test chaos --test seed_sweep --test session_api \
     --test speculation_recovery --test cross_crate_props
 cargo test -q -p proptest
 
@@ -79,6 +79,47 @@ if [ -n "$stray" ]; then
     echo "fault stage wrote outside results/:" >&2
     echo "$stray" >&2
     exit 1
+fi
+
+echo "==> ctrl: placement ablation & SLO report"
+# The placement ablation binary asserts the paper-shaped outcome itself
+# (pack wins cpu-bound, spread wins shuffle-heavy, adaptive matches the
+# winner); here we run it and then validate the job_stream example's SLO
+# report — schema, zero starvation, and deterministic counter pins.
+cargo run --release -q -p vhadoop-bench --bin ablations -- --case placement > /dev/null
+slo=results/job_stream.slo.json
+test -s "$slo" || { echo "missing or empty $slo" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$slo" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["report"] == "slo", "bad report schema"
+for k in ("jobs", "admitted", "rejected", "started", "finished", "starved",
+          "queue_wait_s", "makespan_s", "slowdown", "violations", "counters"):
+    assert k in d, f"SLO report missing key {k}"
+for k in ("p50", "p95", "max"):
+    assert k in d["queue_wait_s"], f"queue_wait_s missing {k}"
+c = d["counters"]
+for k in ("queue_depth_hwm", "migrations_planned", "migrations_completed",
+          "migrations_aborted", "rebalance_ticks", "consolidations"):
+    assert k in c, f"counters missing key {k}"
+# The run is deterministic: every admitted job starts and finishes, and
+# the rebalancer's session really completes.
+assert d["starved"] == 0, f"starved jobs: {d['starved']}"
+assert d["jobs"] == d["admitted"] == d["finished"] == 6, "job accounting drifted"
+assert d["rejected"] == 0
+assert c["migrations_planned"] >= 1, "rebalancer never planned a move"
+assert c["migrations_completed"] == c["migrations_planned"], "moves aborted"
+assert c["queue_depth_hwm"] <= 8, f"queue ran away: {c['queue_depth_hwm']}"
+print(f"    {d['jobs']} jobs, wait p95 {d['queue_wait_s']['p95']:.1f}s, "
+      f"{c['migrations_completed']} migrations, 0 starved")
+PY
+else
+    grep -q '"report": "slo"' "$slo"
+    grep -q '"starved": 0' "$slo" || { echo "starved jobs in SLO report" >&2; exit 1; }
+    grep -q '"queue_wait_s"' "$slo"
+    grep -q '"counters"' "$slo"
 fi
 
 echo "==> perf: simbench quick scenario (incremental fluid solver)"

@@ -129,3 +129,58 @@ fn random_fault_plans_preserve_results_and_data() {
         assert_eq!(p.fault_log().len(), planned, "every planned event fires exactly once");
     });
 }
+
+/// The admission queue never starves: whatever random `FaultPlan` is
+/// thrown at a controller-driven job stream, every admitted job is
+/// eventually started and finished — the closed loop keeps pumping
+/// through crashes, stalls, and partitions.
+#[test]
+fn controller_never_starves_jobs_under_random_faults() {
+    use vhadoop::prelude::*;
+    use workloads::loadgen::load_job;
+
+    let mb = 1u64 << 20;
+    proptest::check("controller-never-starves", proptest::Config::with_cases(5), |g| {
+        let vms = g.u32_in(6, 10);
+        let seed = g.u64_in(0, 10_000);
+        let mut profile = FaultProfile::new(vms, 2);
+        profile.max_events = g.u32_in(1, 4);
+        let plan = FaultPlan::random(&profile, RootSeed(g.u64_in(0, u64::MAX - 1)));
+
+        let mut cfg = ControllerConfig::enabled_with(PlacementKind::Spread);
+        cfg.queue.max_active = 2;
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2)
+                        .vms(vms)
+                        .placement(Placement::SingleDomain)
+                        .build(),
+                )
+                .hdfs(HdfsConfig { block_size: mb, replication: 3 })
+                .no_monitor()
+                .faults(plan)
+                .seed(seed)
+                .controller(cfg)
+                .build(),
+        );
+        let jobs = g.u32_in(3, 5);
+        for run in 0..jobs {
+            let cpu = 1.0 + f64::from(run);
+            p.schedule_job(
+                SimTime::from_secs(u64::from(run)),
+                run % 2,
+                cpu + 2.0,
+                load_job(run, 3, cpu, mb),
+            );
+        }
+        let done = p.drive_until_idle();
+        assert_eq!(done.len() as u32, jobs, "a job was lost under faults");
+
+        let rep = p.controller().unwrap().slo_report();
+        assert_eq!(rep.admitted, u64::from(jobs));
+        assert_eq!(rep.starved, 0, "an admitted job never started: {rep:?}");
+        assert_eq!(rep.finished, u64::from(jobs));
+    });
+}
