@@ -14,7 +14,11 @@
 //! * `placement`       — pack vs. spread vs. adaptive VM placement under
 //!   the `vsched` controller, for each `JobMix` arrival stream (cpu-bound,
 //!   shuffle-heavy, wordcount) — the paper's normal-vs-cross-domain table
-//!   as a closed-loop policy choice.
+//!   as a closed-loop policy choice;
+//! * `topology`        — the paper's normal-vs-cross-domain experiment over
+//!   the rack tree: workers split within one rack vs. split across racks
+//!   behind an oversubscribed core trunk vs. the same trunk congested
+//!   further; writes `results/topology.{csv,json}`.
 //!
 //! ```sh
 //! cargo run --release -p vhadoop-bench --bin ablations \
@@ -43,6 +47,7 @@ const CASES: &[&str] = &[
     "scheduler",
     "faults",
     "placement",
+    "topology",
 ];
 
 fn main() {
@@ -170,6 +175,28 @@ fn main() {
         }
     }
 
+    // --- network topology: normal vs cross-rack vs cross-core ---------------
+    if wanted("topology") {
+        let (normal, cross_rack, cross_core) = run_topology_cases(mb, seed);
+        let mut tsink =
+            ResultSink::new("topology", "case (0=normal 1=cross-rack 2=cross-core)", "seconds");
+        println!(
+            "topology normal={normal:.1}s cross-rack={cross_rack:.1}s cross-core={cross_core:.1}s"
+        );
+        tsink.push("topology", 0.0, normal);
+        tsink.push("topology", 1.0, cross_rack);
+        tsink.push("topology", 2.0, cross_core);
+        tsink.finish();
+        assert!(
+            normal < cross_rack,
+            "paper shape: packed workers ({normal:.1}s) beat a cross-rack split ({cross_rack:.1}s)"
+        );
+        assert!(
+            cross_rack < cross_core,
+            "a congested core ({cross_core:.1}s) must cost more than a healthy one ({cross_rack:.1}s)"
+        );
+    }
+
     sink.finish();
 
     // Shape checks (only for the studies that actually ran).
@@ -226,6 +253,38 @@ fn main() {
 /// real gap, not float noise.
 fn shf_slack(y: f64) -> f64 {
     y * 0.99
+}
+
+/// The paper's normal-vs-cross-domain wordcount generalized to the rack
+/// tree: 4 hosts on 2 racks (hosts 0,1 | 2,3), workers split over two
+/// hosts, shuffle kept heavy (no combiner, several reduces) so the wire
+/// matters. *Normal* splits within rack 0 — shuffle crosses NICs and the
+/// 8 Gb/s ToR only. *Cross-rack* splits over hosts 0 and 2 behind a
+/// 4:1-oversubscribed core trunk (250 Mb/s against 1 Gb/s vNICs): every
+/// shuffle pair and all NFS traffic now share that single link.
+/// *Cross-core* congests the same trunk a further 4x. Returns the three
+/// makespans.
+fn run_topology_cases(mb: u64, seed: RootSeed) -> (f64, f64, f64) {
+    use vcluster::spec::GBIT_PER_SEC;
+    use vcluster::topology::TopologySpec;
+
+    let run = |second_host: u32, core_bw: f64| {
+        let map: Vec<u32> = (0..16).map(|v| if v % 2 == 0 { 0 } else { second_host }).collect();
+        let mut topo = TopologySpec::racks(2);
+        topo.core_bw = core_bw;
+        let spec = ClusterSpec::builder()
+            .hosts(4)
+            .vms(16)
+            .placement(Placement::Custom(map))
+            .topology(topo)
+            .build();
+        let cfg = JobConfig::default().with_combiner(false).with_reduces(4);
+        run_wordcount(spec, mb << 20, cfg, seed).elapsed_s
+    };
+    let normal = run(1, GBIT_PER_SEC); // in-rack: the core carries NFS only
+    let cross_rack = run(2, GBIT_PER_SEC * 0.25);
+    let cross_core = run(2, GBIT_PER_SEC * 0.0625);
+    (normal, cross_rack, cross_core)
 }
 
 /// The three policies a placement series sweeps, in CSV x-order

@@ -13,18 +13,22 @@
 //! reallocation), so future solver-scale PRs show up in the trajectory.
 //!
 //! ```sh
-//! cargo run --release -p vhadoop-bench --bin scalability [--scale 8|--full]
+//! cargo run --release -p vhadoop-bench --bin scalability [--scale 8|--full] [--racks N]
 //! ```
 
 use mapreduce::config::JobConfig;
 use simcore::rng::RootSeed;
 use std::time::Instant;
 use vcluster::spec::{ClusterSpec, Placement};
-use vhadoop::prelude::{ControllerConfig, PlacementKind, PlatformConfig, SimDuration, VHadoop};
-use vhadoop_bench::{cli_scale, ResultSink};
+use vhadoop::prelude::{
+    ControllerConfig, GeneratorInput, JobSpec, PlacementKind, PlatformConfig, SimDuration, VHadoop,
+    VmId,
+};
+use vhadoop_bench::{cli_racks, cli_scale, ResultSink};
 use vhdfs::hdfs::HdfsConfig;
 use workloads::loadgen::{ArrivalProcess, JobMix};
-use workloads::wordcount::{run_wordcount_with, WordcountReport};
+use workloads::textgen::TextCorpus;
+use workloads::wordcount::{run_wordcount_with, WordCountApp, WordcountReport};
 
 fn timed(f: impl FnOnce() -> WordcountReport) -> (WordcountReport, f64) {
     let t0 = Instant::now();
@@ -122,6 +126,61 @@ fn main() {
             ctrl.queue_wait_p95_s
         );
         sink.push("ctrl-stream", f64::from(vms), p.now().as_secs_f64());
+    }
+
+    // Rack sweep (opt-in via --racks N): the fixed-data wordcount over a
+    // racked fabric — two hosts per rack behind a shared core trunk —
+    // reporting the per-rack ToR traffic and mean utilization the fluid
+    // kernel accounted, so rack-level hotspots land in the trajectory next
+    // to the kernel counters.
+    let racks = cli_racks();
+    if racks >= 2 {
+        let mb = fixed_mb;
+        let blocks = mb.max(1) as usize; // 1 MB blocks: `mb` of them
+        let t0 = Instant::now();
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2 * racks)
+                        .vms(16.max(2 * racks))
+                        .placement(Placement::CrossDomain)
+                        .racks(racks)
+                        .build(),
+                )
+                .hdfs(HdfsConfig { block_size: 1 << 20, replication: 3 })
+                .no_monitor()
+                .seed(7)
+                .build(),
+        );
+        p.register_input("/racked/in", mb << 20, VmId(1));
+        let corpus = TextCorpus::english_like(RootSeed(7).derive("corpus"));
+        let input =
+            GeneratorInput::new(blocks, 1 << 20, move |idx| corpus.split_records(idx, 1 << 20));
+        let spec = JobSpec::new("wc", "/racked/in", "/racked/out")
+            .with_config(JobConfig::default().with_reduces(4));
+        let _ = p.run_job(spec, Box::new(WordCountApp), Box::new(input));
+        while p.step().is_some() {}
+
+        let elapsed = p.now().as_secs_f64();
+        println!(
+            "racked {racks:>2} racks, {:>4} MB -> {:>6.1}s   [wall {:>6.3}s]",
+            mb,
+            elapsed,
+            t0.elapsed().as_secs_f64()
+        );
+        let stats = p.rt.cluster.rack_switch_stats(&p.rt.engine, elapsed);
+        assert_eq!(stats.len() as u32, racks, "one ToR stat per rack");
+        for s in &stats {
+            println!(
+                "       {}: {:>7.1} MB through ToR, mean util {:>5.1}%",
+                s.rack,
+                s.bytes / (1 << 20) as f64,
+                s.mean_util * 100.0
+            );
+            sink.push("racked-tor-util", f64::from(s.rack.0), s.mean_util);
+        }
+        sink.push("racked", f64::from(racks), elapsed);
     }
     sink.finish();
 

@@ -193,6 +193,19 @@ pub fn cli_case() -> Option<String> {
     args.iter().position(|a| a == "--case").and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Parses `--racks <n>` from the process args (default 1, the paper's
+/// flat testbed): sweeps that support it spread the hosts over `n` racks
+/// behind a core trunk and report per-rack ToR utilization.
+pub fn cli_racks() -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--racks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Checks a series is non-decreasing in x up to `slack` relative dips
 /// (shape assertions in the fig binaries' self-tests).
 pub fn non_decreasing(points: &[(f64, f64)], slack: f64) -> bool {

@@ -27,7 +27,8 @@ pub struct Counters {
     pub output_bytes: u64,
     /// Map tasks that ran with a data-local split.
     pub data_local_maps: u64,
-    /// Map tasks that ran host-local (same physical machine as a replica).
+    /// Map tasks that ran near a replica without holding one: on the same
+    /// physical machine, or (multi-rack fabrics) in the same rack.
     pub rack_local_maps: u64,
     /// Map tasks launched (including speculative attempts).
     pub launched_maps: u64,

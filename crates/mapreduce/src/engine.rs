@@ -258,10 +258,15 @@ impl MrEngine {
         cluster: &VirtualCluster,
         f: impl FnOnce(&mut dyn TaskScheduler, &SchedulerView) -> R,
     ) -> R {
-        let trackers: Vec<TrackerInfo> =
-            self.trackers.iter().map(|&vm| TrackerInfo { vm, host: cluster.host_of(vm) }).collect();
+        let trackers: Vec<TrackerInfo> = self
+            .trackers
+            .iter()
+            .map(|&vm| TrackerInfo { vm, host: cluster.host_of(vm), rack: cluster.rack_of(vm) })
+            .collect();
         let vm_hosts: Vec<vcluster::cluster::HostId> =
             cluster.vms().map(|v| cluster.host_of(v)).collect();
+        let vm_racks: Vec<vcluster::topology::RackId> =
+            cluster.vms().map(|v| cluster.rack_of(v)).collect();
         let mut job_ids: Vec<u32> = self.jobs.keys().copied().collect();
         job_ids.sort_unstable();
         let jobs: Vec<JobView> = job_ids
@@ -282,6 +287,8 @@ impl MrEngine {
         let view = SchedulerView {
             trackers: &trackers,
             vm_hosts: &vm_hosts,
+            vm_racks: &vm_racks,
+            racks: cluster.rack_count(),
             used_map_slots: &self.used_map_slots,
             used_reduce_slots: &self.used_reduce_slots,
             jobs,
@@ -339,6 +346,13 @@ impl MrEngine {
                 if locations.contains(&a.vm) {
                     job.counters.data_local_maps += 1;
                 } else if locations.iter().any(|&l| cluster.host_of(l) == cluster.host_of(a.vm)) {
+                    job.counters.rack_local_maps += 1;
+                } else if cluster.rack_count() > 1
+                    && locations.iter().any(|&l| cluster.rack_of(l) == cluster.rack_of(a.vm))
+                {
+                    // Same rack, different host: still counts as
+                    // rack-local in Hadoop's ledger (the tier the flat
+                    // model could never hit).
                     job.counters.rack_local_maps += 1;
                 }
                 let ep = job.map_epoch[m];

@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{HashMap, VecDeque};
 use vcluster::cluster::{HostId, VmId};
+use vcluster::topology::RackId;
 
 /// Which placement policy drives the JobTracker. Selected engine-wide via
 /// `PlatformConfig::scheduler` or per submission via
@@ -83,6 +84,8 @@ pub struct TrackerInfo {
     pub vm: VmId,
     /// The physical host currently running it (for host-local placement).
     pub host: HostId,
+    /// The rack that host sits in (for rack-local placement).
+    pub rack: RackId,
 }
 
 /// One unfinished job as the scheduler sees it. Jobs appear in ascending
@@ -116,6 +119,13 @@ pub struct SchedulerView<'a> {
     /// that are not live trackers, e.g. a failed datanode whose host still
     /// counts as "near" for host-local placement).
     pub vm_hosts: &'a [HostId],
+    /// Rack of every VM, indexed by `VmId.0` (same coverage note).
+    pub vm_racks: &'a [RackId],
+    /// Number of racks in the cluster fabric. Rack-local scheduling
+    /// passes only run when this exceeds 1 — on a flat single-rack
+    /// cluster "rack-local" would match every tracker and shadow the
+    /// emptiest-tracker fallback.
+    pub racks: u32,
     /// Map slots currently held, by tracker VM id.
     pub used_map_slots: &'a HashMap<u32, u32>,
     /// Reduce slots currently held, by tracker VM id.
@@ -216,8 +226,9 @@ impl Slots {
     }
 }
 
-/// Stock Hadoop map placement: data-local replica first, host-local
-/// second, otherwise the emptiest tracker (ties to the lowest id).
+/// Stock Hadoop map placement over the locality tiers: data-local replica
+/// first, host-local second, rack-local third (multi-rack fabrics only),
+/// otherwise the emptiest tracker (ties to the lowest id).
 fn pick_map_vm(
     view: &SchedulerView,
     slots: &Slots,
@@ -240,6 +251,19 @@ fn pick_map_vm(
             view.trackers.iter().find(|t| slots.free_map(t.vm, cfg) > 0 && hosts.contains(&t.host))
         {
             return Some(t.vm);
+        }
+        // Rack-local third — only meaningful (and only run) when the
+        // fabric actually has more than one rack.
+        if view.racks > 1 {
+            let racks: Vec<RackId> =
+                locations.iter().map(|&l| view.vm_racks[l.0 as usize]).collect();
+            if let Some(t) = view
+                .trackers
+                .iter()
+                .find(|t| slots.free_map(t.vm, cfg) > 0 && racks.contains(&t.rack))
+            {
+                return Some(t.vm);
+            }
         }
     }
     // Emptiest tracker, lowest id.
@@ -349,8 +373,9 @@ impl TaskScheduler for Fair {
 }
 
 /// Lee & Lin's job-driven scheduling: per job, place every data-local map
-/// pairing first, then host-local, then the remainder; reduces go
-/// largest-partition-first (LPT) onto the least-loaded trackers.
+/// pairing first, then host-local, then rack-local (when the fabric has
+/// racks), then the remainder; reduces go largest-partition-first (LPT)
+/// onto the least-loaded trackers.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JobDriven;
 
@@ -400,7 +425,29 @@ impl TaskScheduler for JobDriven {
                     None => true,
                 }
             });
-            // Pass 3: whatever is left goes to the emptiest trackers.
+            // Pass 3: rack-local (multi-rack fabrics only; on one rack
+            // this tier is every tracker and would shadow the emptiest-
+            // tracker balancing below).
+            if view.racks > 1 {
+                remaining.retain(|&m| {
+                    let racks: Vec<RackId> =
+                        job.map_locations[m].iter().map(|&l| view.vm_racks[l.0 as usize]).collect();
+                    let near = view
+                        .trackers
+                        .iter()
+                        .find(|t| slots.free_map(t.vm, cfg) > 0 && racks.contains(&t.rack));
+                    match near {
+                        Some(t) => {
+                            let vm = t.vm;
+                            slots.take_map(vm);
+                            out.push(Assignment { job: job.id, kind: TaskKind::Map(m), vm });
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            }
+            // Pass 4: whatever is left goes to the emptiest trackers.
             for m in remaining {
                 let Some(vm) = view
                     .trackers
@@ -447,13 +494,16 @@ mod tests {
     use super::*;
 
     fn trackers(n: u32) -> Vec<TrackerInfo> {
-        // Two hosts, round-robin placement, VM 0 excluded (master).
-        (1..=n).map(|i| TrackerInfo { vm: VmId(i), host: HostId(i % 2) }).collect()
+        // Two hosts on one rack, round-robin placement, VM 0 excluded
+        // (master).
+        (1..=n).map(|i| TrackerInfo { vm: VmId(i), host: HostId(i % 2), rack: RackId(0) }).collect()
     }
 
     struct ViewFixture {
         trackers: Vec<TrackerInfo>,
         vm_hosts: Vec<HostId>,
+        vm_racks: Vec<RackId>,
+        racks: u32,
         used_map: HashMap<u32, u32>,
         used_reduce: HashMap<u32, u32>,
         configs: Vec<JobConfig>,
@@ -469,6 +519,8 @@ mod tests {
             ViewFixture {
                 trackers: trackers(n_trackers),
                 vm_hosts: (0..=n_trackers).map(|i| HostId(i % 2)).collect(),
+                vm_racks: vec![RackId(0); n_trackers as usize + 1],
+                racks: 1,
                 used_map: HashMap::new(),
                 used_reduce: HashMap::new(),
                 configs: Vec::new(),
@@ -502,6 +554,8 @@ mod tests {
             SchedulerView {
                 trackers: &self.trackers,
                 vm_hosts: &self.vm_hosts,
+                vm_racks: &self.vm_racks,
+                racks: self.racks,
                 used_map_slots: &self.used_map,
                 used_reduce_slots: &self.used_reduce,
                 jobs: (0..self.configs.len())
@@ -622,6 +676,45 @@ mod tests {
             assert_eq!(a.vm, VmId(2), "reduce avoids the map-loaded tracker");
         }
         assert_eq!(Fifo.assign(&fx.view()).len(), 1);
+    }
+
+    /// The rack-local tier sits between host-local and anywhere: when the
+    /// replica node and every tracker on its host are full, a same-rack
+    /// tracker wins over an off-rack one — but only on a multi-rack
+    /// fabric; flat clusters keep the emptiest-tracker fallback.
+    #[test]
+    fn rack_local_beats_off_rack() {
+        // Hosts alternate (vm1/vm3 on host 1, vm2/vm4 on host 0) while
+        // racks split differently: vm1/vm2 in rack 0, vm3/vm4 in rack 1.
+        // Replica on vm1; vm1 and vm3 (vm1's host peer) are full, so both
+        // the data-local and host-local passes fail. vm2 carries one task
+        // (1 free slot), vm4 is idle (2 free).
+        let setup = || {
+            let mut fx = ViewFixture::new(4);
+            fx.used_map.insert(1, 2);
+            fx.used_map.insert(3, 2);
+            fx.used_map.insert(2, 1);
+            fx.job(JobConfig::default(), 1, vec![vec![VmId(1)]], false, vec![]);
+            fx
+        };
+        let mut racked = setup();
+        racked.racks = 2;
+        racked.vm_racks = vec![RackId(0), RackId(0), RackId(0), RackId(1), RackId(1)];
+        for t in &mut racked.trackers {
+            t.rack = racked.vm_racks[t.vm.0 as usize];
+        }
+        for a in [Fifo.assign(&racked.view()), JobDriven.assign(&racked.view())] {
+            assert_eq!(
+                a.first().expect("placed").vm,
+                VmId(2),
+                "same-rack vm2 preferred over the emptier off-rack vm4"
+            );
+        }
+        // Flat fabric, identical slots: the emptiest tracker (vm4) wins —
+        // the rack pass must not fire with one rack.
+        let flat = setup();
+        let a = Fifo.assign(&flat.view());
+        assert_eq!(a.first().expect("placed").vm, VmId(4), "flat fallback is the emptiest");
     }
 
     #[test]

@@ -1,22 +1,30 @@
 //! The virtual cluster materialized onto the fluid network.
 //!
 //! [`VirtualCluster::new`] registers one resource per physical contention
-//! point — host CPUs, host NICs, host software bridges, the inter-host
-//! switch, the NFS server's NIC and disk — plus a VCPU-cap resource per VM
-//! (the Xen credit scheduler's `cap`). All higher layers (HDFS, MapReduce,
+//! point — host CPUs, host NICs, host software bridges, the switching
+//! fabric described by the spec's [`TopologySpec`](crate::topology), the
+//! NFS server's NIC and disk — plus a VCPU-cap resource per VM (the Xen
+//! credit scheduler's `cap`). All higher layers (HDFS, MapReduce,
 //! migration) build their activities out of the demand paths provided here,
 //! so every contention effect flows through one shared model:
 //!
 //! * guest compute demands {vcpu, host cpu} and is inflated by the
 //!   paravirtualization overhead factor;
 //! * same-host VM↔VM traffic crosses the host bridge; cross-host traffic
-//!   crosses sender NIC → switch → receiver NIC;
+//!   crosses sender NIC → the topology's switch path (ToR, or ToR → core
+//!   → ToR across racks) → receiver NIC;
 //! * *all* guest disk I/O is NFS traffic (the paper stores VM images on a
-//!   shared NFS server), crossing host NIC → switch → NFS NIC → NFS disk;
+//!   shared NFS server, attached at the core), crossing host NIC → switch
+//!   path → NFS NIC → NFS disk;
 //! * every byte of guest I/O additionally bills dom0 CPU cycles on the
 //!   host, reproducing the "I/O processing steals CPU" virtualization tax.
+//!
+//! With the default single-rack topology the switch path is always the one
+//! legacy `switch` resource and every demand vector below is byte-for-byte
+//! what the pre-topology model produced.
 
 use crate::spec::ClusterSpec;
+use crate::topology::{LocalityTier, RackId, RackSwitchStat, Topology};
 use serde::{Deserialize, Serialize};
 use simcore::prelude::*;
 
@@ -40,9 +48,13 @@ impl std::fmt::Display for VmId {
     }
 }
 
-/// One-way latency of the intra-host bridge.
+/// One-way latency of the intra-host bridge (the [`TopologySpec`]
+/// default; kept for reference and golden-compat assertions).
+///
+/// [`TopologySpec`]: crate::topology::TopologySpec
 pub const BRIDGE_LATENCY: SimDuration = SimDuration::from_micros(50);
-/// One-way latency of the inter-host wire (NIC + switch).
+/// One-way latency of the in-rack wire (NIC + ToR switch) — the
+/// [`TopologySpec`](crate::topology::TopologySpec) default.
 pub const WIRE_LATENCY: SimDuration = SimDuration::from_micros(200);
 
 /// The instantiated cluster: resource handles plus the (mutable) VM→host map.
@@ -52,7 +64,7 @@ pub struct VirtualCluster {
     host_cpu: Vec<ResourceId>,
     host_nic: Vec<ResourceId>,
     host_bridge: Vec<ResourceId>,
-    switch: ResourceId,
+    topology: Topology,
     nfs_nic: ResourceId,
     nfs_disk: ResourceId,
     vcpu: Vec<ResourceId>,
@@ -94,7 +106,7 @@ impl VirtualCluster {
                 spec.host.bridge_bw,
             ));
         }
-        let switch = engine.add_resource("switch", ResourceKind::Net, spec.switch_bw);
+        let topology = Topology::build(engine, &spec.topology, spec.hosts, spec.switch_bw);
         let nfs_nic = engine.add_resource("nfs.nic", ResourceKind::Net, spec.nfs.nic_bw);
         let nfs_disk = engine.add_resource("nfs.disk", ResourceKind::Disk, spec.nfs.disk_bw);
 
@@ -113,7 +125,7 @@ impl VirtualCluster {
             host_cpu,
             host_nic,
             host_bridge,
-            switch,
+            topology,
             nfs_nic,
             nfs_disk,
             vcpu,
@@ -191,9 +203,63 @@ impl VirtualCluster {
         self.nfs_nic
     }
 
-    /// Inter-host switch resource (for monitors).
+    /// Inter-host switch resource (for monitors). With a multi-rack
+    /// topology this is rack 0's ToR; prefer [`tor_resource`] /
+    /// [`core_resource`] for per-tier access.
+    ///
+    /// [`tor_resource`]: VirtualCluster::tor_resource
+    /// [`core_resource`]: VirtualCluster::core_resource
     pub fn switch_resource(&self) -> ResourceId {
-        self.switch
+        self.topology.tor_resource(RackId(0))
+    }
+
+    /// The network-tier geometry this cluster runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of racks in the fabric.
+    pub fn rack_count(&self) -> u32 {
+        self.topology.rack_count()
+    }
+
+    /// Rack of physical host `host`.
+    pub fn rack_of_host(&self, host: HostId) -> RackId {
+        self.topology.rack_of_host(host.0)
+    }
+
+    /// Rack currently hosting `vm` (reflects completed migrations).
+    pub fn rack_of(&self, vm: VmId) -> RackId {
+        self.topology.rack_of_host(self.vm_host[vm.0 as usize])
+    }
+
+    /// ToR switch resource of `rack`.
+    pub fn tor_resource(&self, rack: RackId) -> ResourceId {
+        self.topology.tor_resource(rack)
+    }
+
+    /// Core switch resource; `None` on the flat single-rack fabric.
+    pub fn core_resource(&self) -> Option<ResourceId> {
+        self.topology.core_resource()
+    }
+
+    /// Locality tier of a VM pair under the current placement.
+    pub fn tier(&self, a: VmId, b: VmId) -> LocalityTier {
+        if a == b {
+            return LocalityTier::Node;
+        }
+        self.topology.tier_hosts(self.vm_host[a.0 as usize], self.vm_host[b.0 as usize])
+    }
+
+    /// Hadoop-style tree distance between two VMs (0 / 2 / 4 / 6).
+    pub fn distance(&self, a: VmId, b: VmId) -> u32 {
+        self.tier(a, b).distance()
+    }
+
+    /// Per-rack ToR traffic totals and mean utilization over `elapsed_s`
+    /// seconds of simulated time.
+    pub fn rack_switch_stats(&self, engine: &Engine, elapsed_s: f64) -> Vec<RackSwitchStat> {
+        self.topology.rack_switch_stats(engine, elapsed_s)
     }
 
     /// Fraction of `vm`'s VCPU cap currently in use (0..1).
@@ -216,32 +282,33 @@ impl VirtualCluster {
         ChainSpec::new().flow(self.cpu_demands(vm), cycles * self.spec.xen.cpu_overhead)
     }
 
-    /// Demands for a `src` → `dst` network transfer (per byte). Same-VM
-    /// transfers return an empty path (pure memory copy).
+    /// Demands for a `src` → `dst` network transfer (per byte), resolved
+    /// along the topology path: bridge on one host, sender NIC → switch
+    /// path (ToR, or ToR → core → ToR across racks) → receiver NIC
+    /// otherwise. Same-VM transfers return an empty path (pure memory
+    /// copy).
     pub fn transfer_demands(&self, src: VmId, dst: VmId) -> Vec<Demand> {
         if src == dst {
             return Vec::new();
         }
-        let hs = self.vm_host[src.0 as usize] as usize;
-        let hd = self.vm_host[dst.0 as usize] as usize;
+        let hs = self.vm_host[src.0 as usize];
+        let hd = self.vm_host[dst.0 as usize];
         let tax = self.spec.xen.dom0_cycles_per_net_byte;
         let acct = [Demand::unit(self.vio[src.0 as usize]), Demand::unit(self.vio[dst.0 as usize])];
         if hs == hd {
-            let mut d = vec![Demand::unit(self.host_bridge[hs])];
+            let mut d = vec![Demand::unit(self.host_bridge[hs as usize])];
             if tax > 0.0 {
-                d.push(Demand::weighted(self.host_cpu[hs], tax));
+                d.push(Demand::weighted(self.host_cpu[hs as usize], tax));
             }
             d.extend(acct);
             d
         } else {
-            let mut d = vec![
-                Demand::unit(self.host_nic[hs]),
-                Demand::unit(self.switch),
-                Demand::unit(self.host_nic[hd]),
-            ];
+            let mut d = vec![Demand::unit(self.host_nic[hs as usize])];
+            d.extend(self.topology.switch_path(hs, hd).into_iter().map(Demand::unit));
+            d.push(Demand::unit(self.host_nic[hd as usize]));
             if tax > 0.0 {
-                d.push(Demand::weighted(self.host_cpu[hs], tax));
-                d.push(Demand::weighted(self.host_cpu[hd], tax));
+                d.push(Demand::weighted(self.host_cpu[hs as usize], tax));
+                d.push(Demand::weighted(self.host_cpu[hd as usize], tax));
             }
             d.extend(acct);
             d
@@ -249,16 +316,14 @@ impl VirtualCluster {
     }
 
     /// A network transfer of `bytes` from `src` to `dst`, including
-    /// propagation latency. Same-VM transfers reduce to a tiny delay.
+    /// per-tier propagation latency summed along the path. Same-VM
+    /// transfers reduce to a tiny delay.
     pub fn transfer(&self, src: VmId, dst: VmId, bytes: f64) -> ChainSpec {
         if src == dst {
             return ChainSpec::new().delay(SimDuration::from_micros(5));
         }
-        let lat = if self.vm_host[src.0 as usize] == self.vm_host[dst.0 as usize] {
-            BRIDGE_LATENCY
-        } else {
-            WIRE_LATENCY
-        };
+        let lat =
+            self.topology.latency_hosts(self.vm_host[src.0 as usize], self.vm_host[dst.0 as usize]);
         ChainSpec::new().delay(lat).flow(self.transfer_demands(src, dst), bytes)
     }
 
@@ -273,16 +338,14 @@ impl VirtualCluster {
     }
 
     fn nfs_demands(&self, vm: VmId) -> Vec<Demand> {
-        let h = self.vm_host[vm.0 as usize] as usize;
-        let mut d = vec![
-            Demand::unit(self.host_nic[h]),
-            Demand::unit(self.switch),
-            Demand::unit(self.nfs_nic),
-            Demand::unit(self.nfs_disk),
-        ];
+        let h = self.vm_host[vm.0 as usize];
+        let mut d = vec![Demand::unit(self.host_nic[h as usize])];
+        d.extend(self.topology.switch_path_to_core(h).into_iter().map(Demand::unit));
+        d.push(Demand::unit(self.nfs_nic));
+        d.push(Demand::unit(self.nfs_disk));
         let tax = self.spec.xen.dom0_cycles_per_disk_byte;
         if tax > 0.0 {
-            d.push(Demand::weighted(self.host_cpu[h], tax));
+            d.push(Demand::weighted(self.host_cpu[h as usize], tax));
         }
         d.push(Demand::unit(self.vio[vm.0 as usize]));
         d
@@ -302,16 +365,15 @@ impl VirtualCluster {
             .flow(self.disk_write_demands(vm), bytes)
     }
 
-    /// Demands for a host-to-host bulk transfer (migration traffic),
-    /// including dom0 packet-processing tax on both ends.
+    /// Demands for a host-to-host bulk transfer (migration traffic)
+    /// along the topology path, including dom0 packet-processing tax on
+    /// both ends.
     pub fn host_transfer_demands(&self, src: HostId, dst: HostId) -> Vec<Demand> {
         assert_ne!(src, dst, "migration source and destination must differ");
         let tax = self.spec.xen.dom0_cycles_per_net_byte;
-        let mut d = vec![
-            Demand::unit(self.host_nic[src.0 as usize]),
-            Demand::unit(self.switch),
-            Demand::unit(self.host_nic[dst.0 as usize]),
-        ];
+        let mut d = vec![Demand::unit(self.host_nic[src.0 as usize])];
+        d.extend(self.topology.switch_path(src.0, dst.0).into_iter().map(Demand::unit));
+        d.push(Demand::unit(self.host_nic[dst.0 as usize]));
         if tax > 0.0 {
             d.push(Demand::weighted(self.host_cpu[src.0 as usize], tax));
             d.push(Demand::weighted(self.host_cpu[dst.0 as usize], tax));
@@ -444,5 +506,117 @@ mod tests {
         }
         // Two 1-second reads sharing one disk ≈ 2 s (plus latency).
         assert!(last.as_secs_f64() > 1.9, "disk contention visible, got {last}");
+    }
+
+    fn build_racked() -> (Engine, VirtualCluster) {
+        // 4 hosts on 2 racks (hosts 0,1 | 2,3), VMs round-robin.
+        let mut e = Engine::new();
+        let spec = ClusterSpec::builder()
+            .hosts(4)
+            .vms(8)
+            .placement(Placement::CrossDomain)
+            .racks(2)
+            .build();
+        let c = VirtualCluster::new(&mut e, spec);
+        (e, c)
+    }
+
+    #[test]
+    fn multi_rack_registers_tors_and_core() {
+        let (e, c) = build_racked();
+        // 4 hosts × 3 + (2 ToRs + core) + nfs nic + disk + 8 vcpu + 8 vio.
+        assert_eq!(e.fluid().resource_count(), 4 * 3 + 3 + 2 + 16);
+        assert_eq!(c.rack_count(), 2);
+        assert_eq!(c.rack_of(VmId(0)), crate::topology::RackId(0)); // host 0
+        assert_eq!(c.rack_of(VmId(2)), crate::topology::RackId(1)); // host 2
+        assert!(c.core_resource().is_some());
+    }
+
+    #[test]
+    fn cross_rack_transfer_crosses_the_core() {
+        let (_, c) = build_racked();
+        // vm0 on host 0 (rack 0), vm1 on host 1 (rack 0): 1 switch hop.
+        assert_eq!(c.tier(VmId(0), VmId(1)), LocalityTier::Rack);
+        assert_eq!(c.transfer_demands(VmId(0), VmId(1)).len(), 7);
+        // vm0 → vm2 (host 2, rack 1): ToR + core + ToR.
+        assert_eq!(c.tier(VmId(0), VmId(2)), LocalityTier::OffRack);
+        assert_eq!(c.distance(VmId(0), VmId(2)), 6);
+        let d = c.transfer_demands(VmId(0), VmId(2));
+        // 2 NICs + 3 switches + 2 taxes + 2 accounting entries.
+        assert_eq!(d.len(), 9);
+        // Migration traffic takes the same path (minus vio accounting).
+        assert_eq!(c.host_transfer_demands(HostId(0), HostId(2)).len(), 7);
+        assert_eq!(c.host_transfer_demands(HostId(0), HostId(1)).len(), 5);
+    }
+
+    #[test]
+    fn cross_rack_latency_exceeds_in_rack() {
+        let (_, c) = build_racked();
+        let first_delay = |spec: ChainSpec| match spec.steps[0] {
+            simcore::engine::Step::Delay(d) => d,
+            ref other => panic!("expected delay, got {other:?}"),
+        };
+        let in_rack = first_delay(c.transfer(VmId(0), VmId(1), 1.0));
+        let cross = first_delay(c.transfer(VmId(0), VmId(2), 1.0));
+        assert_eq!(in_rack, WIRE_LATENCY);
+        assert!(cross > in_rack, "core hop adds latency");
+    }
+
+    #[test]
+    fn nfs_path_crosses_core_from_any_rack() {
+        let (_, c) = build_racked();
+        // NIC + ToR + core + nfs nic + nfs disk + tax + vio = 7.
+        assert_eq!(c.disk_read_demands(VmId(0)).len(), 7);
+        assert_eq!(c.disk_read_demands(VmId(2)).len(), 7);
+    }
+
+    #[test]
+    fn single_rack_keeps_legacy_layout() {
+        let (e, c) = build(Placement::CrossDomain);
+        // Resource names in registration order must match the
+        // pre-topology model exactly (ids pin golden traces).
+        let names: Vec<String> = e
+            .fluid()
+            .usage_snapshot()
+            .iter()
+            .map(|&(r, _, _, _)| e.fluid().resource_name(r).to_string())
+            .collect();
+        assert_eq!(
+            &names[..9],
+            &[
+                "pm0.cpu",
+                "pm0.nic",
+                "pm0.bridge",
+                "pm1.cpu",
+                "pm1.nic",
+                "pm1.bridge",
+                "switch",
+                "nfs.nic",
+                "nfs.disk"
+            ]
+        );
+        assert_eq!(c.rack_count(), 1);
+        assert!(c.core_resource().is_none());
+        assert_eq!(c.switch_resource(), c.tor_resource(crate::topology::RackId(0)));
+        assert_eq!(c.tier(VmId(0), VmId(0)), LocalityTier::Node);
+        assert_eq!(c.tier(VmId(0), VmId(1)), LocalityTier::Rack);
+    }
+
+    #[test]
+    fn rack_switch_stats_account_traffic() {
+        let (mut e, c) = build_racked();
+        // One in-rack transfer in rack 0: its ToR sees the bytes, rack 1's
+        // ToR stays idle.
+        let bytes = 1e6;
+        e.start_chain(c.transfer(VmId(0), VmId(1), bytes), Tag::new(simcore::owners::USER, 0, 0));
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = e.next_wakeup() {
+            last = t;
+        }
+        let stats = c.rack_switch_stats(&e, last.as_secs_f64());
+        assert_eq!(stats.len(), 2);
+        assert!((stats[0].bytes - bytes).abs() < 1.0, "rack 0 switched the flow");
+        assert_eq!(stats[1].bytes, 0.0, "rack 1 idle");
+        assert!(stats[0].mean_util > 0.0);
     }
 }

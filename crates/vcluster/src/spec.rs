@@ -5,6 +5,7 @@
 //! Ethernet, Xen with VM images on a shared NFS server, and guests with
 //! 1 VCPU and 1024 MB of memory.
 
+use crate::topology::TopologySpec;
 use serde::{Deserialize, Serialize};
 
 /// Bytes in one mebibyte.
@@ -156,8 +157,14 @@ pub struct ClusterSpec {
     pub nfs: NfsSpec,
     /// Xen model parameters.
     pub xen: XenParams,
-    /// Inter-host switch backplane bandwidth in bytes/second.
+    /// Inter-host switch backplane bandwidth in bytes/second. With the
+    /// default single-rack topology this *is* the one switch; with more
+    /// racks it is the inherited default for ToR/core tiers whose
+    /// bandwidths are left at `0.0`.
     pub switch_bw: f64,
+    /// Network-tier geometry: racks, host→rack map, per-tier bandwidths
+    /// and latencies. Defaults to one rack — the legacy flat wire.
+    pub topology: TopologySpec,
 }
 
 impl Default for ClusterSpec {
@@ -171,6 +178,7 @@ impl Default for ClusterSpec {
             nfs: NfsSpec::default(),
             xen: XenParams::default(),
             switch_bw: 8.0 * GBIT_PER_SEC,
+            topology: TopologySpec::default(),
         }
     }
 }
@@ -197,6 +205,17 @@ impl ClusterSpec {
         self.placement.host_of(vm, self.vms, self.hosts)
     }
 
+    /// Rack index of physical host `host`.
+    pub fn rack_of_host(&self, host: u32) -> u32 {
+        self.topology.rack_of_host(host, self.hosts)
+    }
+
+    /// Rack index of the host currently assigned to `vm` by the placement
+    /// policy (initial placement — migrations are tracked by the cluster).
+    pub fn rack_of_vm(&self, vm: u32) -> u32 {
+        self.rack_of_host(self.host_of(vm))
+    }
+
     /// Validates internal consistency, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -221,6 +240,7 @@ impl ClusterSpec {
                 return Err(format!("custom placement references unknown host {h}"));
             }
         }
+        self.topology.validate(self.hosts)?;
         // Memory oversubscription check per host.
         for h in 0..self.hosts {
             let packed: u64 =
@@ -295,6 +315,19 @@ impl ClusterSpecBuilder {
     /// Switch backplane bandwidth.
     pub fn switch_bw(mut self, bw: f64) -> Self {
         self.spec.switch_bw = bw;
+        self
+    }
+
+    /// Number of racks (contiguous host blocks, inherited tier
+    /// bandwidths); shorthand for the common multi-rack shape.
+    pub fn racks(mut self, n: u32) -> Self {
+        self.spec.topology.racks = n;
+        self
+    }
+
+    /// Full network-tier geometry.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.spec.topology = t;
         self
     }
 

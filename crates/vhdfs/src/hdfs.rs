@@ -335,12 +335,29 @@ impl Hdfs {
                 lost += 1;
                 continue;
             }
-            // Pick a source and a fresh target.
+            // Pick a source and a fresh target. Prefer a target in a rack
+            // the survivors don't already cover — re-replication restores
+            // rack diversity, not just the replica count. On one rack the
+            // preferred pool is always empty (every candidate shares the
+            // survivors' rack, and an empty `choose` consumes no RNG
+            // draw), so the legacy uniform pick — and its draw sequence —
+            // is preserved.
             let src = closest_replica(cluster, &survivors, survivors[0], &mut self.rng);
             let candidates: Vec<VmId> =
                 self.datanodes.iter().copied().filter(|d| !survivors.contains(d)).collect();
+            let covered: Vec<vcluster::topology::RackId> =
+                survivors.iter().map(|&v| cluster.rack_of(v)).collect();
+            let fresh_rack: Vec<VmId> = candidates
+                .iter()
+                .copied()
+                .filter(|&d| !covered.contains(&cluster.rack_of(d)))
+                .collect();
             use rand::seq::SliceRandom;
-            let Some(&dst) = candidates.choose(&mut self.rng) else {
+            let picked = match fresh_rack.choose(&mut self.rng) {
+                Some(&v) => Some(v),
+                None => candidates.choose(&mut self.rng).copied(),
+            };
+            let Some(dst) = picked else {
                 continue; // no node left to hold another replica
             };
             let len = self.ns.block(block).len;

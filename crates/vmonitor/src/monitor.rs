@@ -2,8 +2,9 @@
 //!
 //! Attached to a running simulation, the monitor samples every resource's
 //! utilization (per-VM VCPU, per-host CPU/NIC/bridge, NFS disk and NIC,
-//! the switch) on a fixed interval — the same columns the paper's nmon
-//! deployment collects on every master and worker VM in parallel.
+//! each rack's ToR switch and — on multi-rack fabrics — the core trunk)
+//! on a fixed interval — the same columns the paper's nmon deployment
+//! collects on every master and worker VM in parallel.
 
 use serde::{Deserialize, Serialize};
 use simcore::fluid::ResourceKind;

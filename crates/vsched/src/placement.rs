@@ -168,10 +168,13 @@ pub fn apply_placement(spec: &mut ClusterSpec, map: Option<Vec<u32>>) {
 /// its effective cores (discounted by `host_load` and Xen's hypervisor
 /// overhead). Wire side: shuffle bytes split into same-host traffic at
 /// bridge speed and cross-host traffic at NIC speed, with the same-host
-/// fraction Σ(wᕼ/W)² from random sender/receiver pairing. The wave's cost
-/// is the serialized sum of the two sides — pessimistic on overlap, but it
-/// keeps the wire term visible when CPU dominates, which is exactly where
-/// pack and spread tie on compute and differ only in shuffle path.
+/// fraction Σ(wᕼ/W)² from random sender/receiver pairing; on a multi-rack
+/// topology the cross-rack fraction 1 − Σ(wᵣ/W)² additionally squeezes
+/// through the shared core switch (a term that is exactly zero on the
+/// default single-rack fabric, where every pair is rack-local). The wave's
+/// cost is the serialized sum of the two sides — pessimistic on overlap,
+/// but it keeps the wire term visible when CPU dominates, which is exactly
+/// where pack and spread tie on compute and differ only in shuffle path.
 pub fn estimate_makespan(
     spec: &ClusterSpec,
     map: &[u32],
@@ -231,7 +234,24 @@ pub fn estimate_makespan(
     let bridge = total_bytes * p_same / spec.host.bridge_bw.max(1.0);
     let busy_hosts = workers.iter().filter(|&&w| w > 0).count().max(1) as f64;
     let nic = total_bytes * (1.0 - p_same) / (spec.host.nic_bw.max(1.0) * busy_hosts);
-    let t_wire = bridge + nic;
+
+    // Cross-rack bytes all funnel through the one core switch. With one
+    // rack p_same_rack = 1 and the term vanishes, leaving the legacy
+    // two-term estimate bit-for-bit.
+    let mut rack_workers = vec![0u32; spec.topology.racks as usize];
+    for (h, &w) in workers.iter().enumerate() {
+        rack_workers[spec.rack_of_host(h as u32) as usize] += w;
+    }
+    let p_same_rack: f64 = rack_workers
+        .iter()
+        .map(|&w| {
+            let f = f64::from(w) / f64::from(total_workers);
+            f * f
+        })
+        .sum();
+    let core_bw = if spec.topology.core_bw > 0.0 { spec.topology.core_bw } else { spec.switch_bw };
+    let core = total_bytes * (1.0 - p_same_rack) / core_bw.max(1.0);
+    let t_wire = bridge + nic + core;
 
     t_cpu + t_wire
 }
@@ -316,6 +336,29 @@ mod tests {
             WorkloadHint { tasks: 15, cpu_secs_per_task: 2.5, shuffle_bytes_per_task: 4 << 20 };
         let a = AdaptivePlacement { hint: shf, host_load: Vec::new() };
         assert_eq!(a.assign(&s), SpreadPlacement.assign(&s), "adaptive spreads the shuffle mix");
+    }
+
+    #[test]
+    fn cross_rack_core_term_raises_spread_estimate() {
+        // 4 hosts over 2 racks with a slow core: spreading across racks
+        // pays the core; the same layout on one rack doesn't.
+        let mut racked = ClusterSpec::builder().hosts(4).vms(16).racks(2).build();
+        racked.topology.core_bw = 50e6; // much slower than the NICs
+        let flat = ClusterSpec::builder().hosts(4).vms(16).build();
+        let map = SpreadPlacement.assign(&racked).unwrap();
+        let hint =
+            WorkloadHint { tasks: 15, cpu_secs_per_task: 1.0, shuffle_bytes_per_task: 32 << 20 };
+        let t_racked = estimate_makespan(&racked, &map, &hint, &[]);
+        let t_flat = estimate_makespan(&flat, &map, &hint, &[]);
+        assert!(
+            t_racked > t_flat * 1.05,
+            "slow core must show up in the estimate: racked {t_racked:.2}s vs flat {t_flat:.2}s"
+        );
+        // And with one rack the topology term is exactly zero: the
+        // estimate equals the legacy two-term price.
+        let mut one_rack = flat.clone();
+        one_rack.topology.core_bw = 50e6; // ignored: no core exists
+        assert_eq!(estimate_makespan(&one_rack, &map, &hint, &[]), t_flat);
     }
 
     #[test]

@@ -122,6 +122,35 @@ else
     grep -q '"counters"' "$slo"
 fi
 
+echo "==> topo: topology ablation, flat-spec identity & rack invariants"
+# The topology ablation binary asserts the paper-shaped makespan ordering
+# itself (in-rack < cross-rack < congested-core); the integration tests pin
+# the degeneration contract (a single-rack TopologySpec traces byte-
+# identical to the default flat spec) and the rack-spanning placement
+# properties. The racked scalability sweep exercises the per-rack ToR
+# accounting end to end.
+cargo run --release -q -p vhadoop-bench --bin ablations -- --case topology > /dev/null
+topo=results/topology.csv
+test -s "$topo" || { echo "missing or empty $topo" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$topo" <<'PY'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = [r for r in csv.DictReader(f) if r["series"] == "topology"]
+assert len(rows) == 3, f"expected 3 topology cases, got {len(rows)}"
+secs = [float(r["seconds"]) for r in rows]
+assert secs[0] < secs[1] < secs[2], f"topology ordering broken: {secs}"
+print(f"    normal {secs[0]:.2f}s < cross-rack {secs[1]:.2f}s"
+      f" < cross-core {secs[2]:.2f}s")
+PY
+else
+    test "$(wc -l < "$topo")" -eq 4 || { echo "bad $topo" >&2; exit 1; }
+fi
+cargo test -q -p vhadoop-integration --test topology
+cargo test -q -p vhadoop-integration --test cross_crate_props rack > /dev/null
+cargo run --release -q -p vhadoop-bench --bin scalability -- \
+    --scale 32 --racks 3 > /dev/null
+
 echo "==> perf: simbench quick scenario (incremental fluid solver)"
 # Runs the deterministic 256-VM shuffle-storm churn scenario twice (global
 # baseline vs incremental solver). The binary itself asserts the wakeup

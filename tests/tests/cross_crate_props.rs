@@ -130,6 +130,96 @@ fn random_fault_plans_preserve_results_and_data() {
     });
 }
 
+/// Rack-aware placement: on a two-rack fabric with the default
+/// replication factor, every chosen replica set spans at least two racks
+/// whenever both racks hold datanodes — the invariant that makes a block
+/// survive the loss of a whole rack.
+#[test]
+fn replica_sets_span_racks_when_capacity_allows() {
+    use simcore::prelude::Engine;
+    use vcluster::cluster::{VirtualCluster, VmId};
+
+    proptest::check("replicas-span-racks", proptest::Config::with_cases(16), |g| {
+        let vms = g.u32_in(4, 16);
+        let spec = ClusterSpec::builder()
+            .hosts(4)
+            .vms(vms)
+            .placement(Placement::CrossDomain)
+            .racks(2)
+            .build();
+        let mut e = Engine::new();
+        let c = VirtualCluster::new(&mut e, spec);
+        // Round-robin over 4 hosts with contiguous racks (hosts 0,1 | 2,3):
+        // vms >= 4 guarantees datanodes in both racks.
+        let datanodes: Vec<VmId> = (1..vms).map(VmId).collect();
+        let writer = VmId(g.u32_in(1, vms - 1));
+        let mut rng = simcore::rng::RootSeed(g.u64_in(0, u64::MAX - 1)).stream("prop");
+        let reps = vhdfs::placement::choose_replicas(&c, &datanodes, writer, 3, &mut rng);
+        assert_eq!(reps[0], writer, "first replica stays on the writer");
+        let racks: std::collections::BTreeSet<u32> = reps.iter().map(|&v| c.rack_of(v).0).collect();
+        assert!(
+            racks.len() >= 2,
+            "replicas {reps:?} all landed in rack {racks:?} with both racks available"
+        );
+    });
+}
+
+/// The payoff of the invariant above: no plan of datanode failures that
+/// takes out an *entire rack* — in any order, interleaved with
+/// re-replication — ever drops a block below one rack's worth of
+/// replicas. After the outage every block still has a live replica, and
+/// it lives in the surviving rack.
+#[test]
+fn whole_rack_outage_never_loses_data() {
+    use simcore::prelude::*;
+    use vcluster::cluster::{VirtualCluster, VmId};
+    use vhdfs::hdfs::{Hdfs, HdfsConfig};
+
+    proptest::check("rack-outage-keeps-data", proptest::Config::with_cases(8), |g| {
+        let vms = g.u32_in(8, 14);
+        let seed = g.u64_in(0, 10_000);
+        let spec = ClusterSpec::builder()
+            .hosts(4)
+            .vms(vms)
+            .placement(Placement::CrossDomain)
+            .racks(2)
+            .build();
+        let mut e = Engine::new();
+        let c = VirtualCluster::new(&mut e, spec);
+        let mut h = Hdfs::format(&c, HdfsConfig::default(), RootSeed(seed));
+
+        let files = g.u32_in(1, 4);
+        for f in 0..files {
+            let mb = u64::from(g.u32_in(1, 200));
+            h.register_file(&c, &format!("/rack/{f}"), mb << 20, VmId(1 + f % (vms - 1)));
+        }
+
+        // Kill every datanode of a random rack, in a random order.
+        let doomed_rack = g.u32_in(0, 1);
+        let mut doomed: Vec<VmId> =
+            h.datanodes().iter().copied().filter(|&v| c.rack_of(v).0 == doomed_rack).collect();
+        let mut order = StdRng::seed_from_u64(g.u64_in(0, u64::MAX - 1));
+        for i in (1..doomed.len()).rev() {
+            doomed.swap(i, order.gen_range(0..=i));
+        }
+        for vm in doomed {
+            let (_, lost) = h.fail_datanode(&mut e, &c, vm);
+            assert_eq!(lost, 0, "losing {vm} (rack {doomed_rack}) destroyed a block");
+        }
+        while let Some((_, w)) = e.next_wakeup() {
+            h.on_wakeup(&mut e, &w);
+        }
+
+        assert_eq!(h.lost_blocks(), 0, "a whole-rack outage must not lose data");
+        for (id, bm) in h.namespace().blocks() {
+            assert!(!bm.replicas.is_empty(), "{id} has no live replica");
+            for &r in &bm.replicas {
+                assert_ne!(c.rack_of(r).0, doomed_rack, "{id} lists a replica on the dead rack");
+            }
+        }
+    });
+}
+
 /// The admission queue never starves: whatever random `FaultPlan` is
 /// thrown at a controller-driven job stream, every admitted job is
 /// eventually started and finished — the closed loop keeps pumping
