@@ -48,6 +48,7 @@ const CASES: &[&str] = &[
     "faults",
     "placement",
     "topology",
+    "whatif",
 ];
 
 fn main() {
@@ -197,6 +198,11 @@ fn main() {
         );
     }
 
+    // --- fork-and-measure what-if rebalancing --------------------------------
+    if wanted("whatif") {
+        run_whatif_case();
+    }
+
     sink.finish();
 
     // Shape checks (only for the studies that actually ran).
@@ -253,6 +259,126 @@ fn main() {
 /// real gap, not float noise.
 fn shf_slack(y: f64) -> f64 {
     y * 0.99
+}
+
+/// One controller-driven CPU-bound stream on a 4-host cluster packed onto
+/// host 0, with the rebalancer in `mode`; returns the stream makespan and
+/// every what-if evaluation the run recorded.
+fn run_whatif_stream(
+    mode: vsched::rebalance::RebalanceMode,
+) -> (f64, Vec<vsched::controller::WhatIfOutcome>) {
+    use vhadoop::prelude::*;
+    use workloads::loadgen::load_job;
+
+    let mut cfg = ControllerConfig::enabled_with(PlacementKind::Spec);
+    cfg.rebalance = Some(RebalanceConfig {
+        interval: SimDuration::from_secs(1),
+        hot_cpu: 0.5,
+        hot_nic: 0.9,
+        cold_cpu: 0.2,
+        hysteresis_ticks: 2,
+        max_moves: 2,
+        cooldown: SimDuration::from_secs(5),
+        consolidate: false,
+        mode,
+        hint: WorkloadHint::default(),
+    });
+    // Hosts are deliberately asymmetric: 13 VMs crowd host 0 (hot), hosts
+    // 1 and 2 carry some load already, host 3 is empty — so the candidate
+    // destinations genuinely differ and the estimator can be graded.
+    let map: Vec<u32> = (0..16)
+        .map(|v| match v {
+            13 => 1,
+            14 => 1,
+            15 => 2,
+            _ => 0,
+        })
+        .collect();
+    let mut p = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(4).vms(16).placement(Placement::Custom(map)).build(),
+            )
+            .hdfs(vhdfs::hdfs::HdfsConfig { block_size: 1 << 20, replication: 2 })
+            .no_monitor()
+            .seed(4242)
+            .controller(cfg)
+            .build(),
+    );
+    // A wide CPU-heavy wave on the packed host trips the hot detector
+    // (same shape as the controller integration test).
+    let n = 3;
+    for run in 0..n {
+        p.schedule_job(
+            SimTime::from_secs(u64::from(run)),
+            run,
+            20.0,
+            load_job(run, 12, 6.0, 4 << 20),
+        );
+    }
+    let done = p.drive_until_idle();
+    assert_eq!(done.len(), n as usize, "every arrival must complete under {mode:?}");
+    if std::env::var_os("WHATIF_DEBUG").is_some() {
+        let c = p.controller().expect("enabled").counters();
+        eprintln!(
+            "[debug {mode:?}] ticks={} planned={} completed={} makespan={:.1}s",
+            c.rebalance_ticks,
+            c.migrations_planned,
+            c.migrations_completed,
+            p.now().as_secs_f64()
+        );
+    }
+    (p.now().as_secs_f64(), p.observe().whatif)
+}
+
+/// The `whatif` ablation: the same hot-host stream rebalanced by the
+/// estimator alone vs. by fork-and-measure what-if evaluation. Writes
+/// `results/whatif.{csv,json}` — one row per candidate (estimated vs.
+/// measured makespan, chosen flag) plus the two end-to-end makespans.
+fn run_whatif_case() {
+    use vsched::rebalance::RebalanceMode;
+
+    let (makespan_est, outcomes_est) = run_whatif_stream(RebalanceMode::Estimate);
+    assert!(outcomes_est.is_empty(), "estimate mode must not fork");
+    let (makespan_wi, outcomes) = run_whatif_stream(RebalanceMode::WhatIf);
+    assert!(!outcomes.is_empty(), "the hot host must trip a what-if evaluation");
+
+    // The first evaluation round: all outcomes sharing the earliest `at`.
+    let first_at = outcomes[0].at;
+    let round: Vec<_> = outcomes.iter().filter(|o| o.at == first_at).collect();
+    assert!(round.len() >= 3, "need >= 3 candidate destinations, got {}", round.len());
+    let chosen = round.iter().find(|o| o.chosen).expect("one candidate is committed");
+    assert!(
+        round.iter().all(|o| chosen.measured_s <= o.measured_s),
+        "the committed candidate must have the best measured makespan"
+    );
+    assert!(
+        makespan_wi <= makespan_est * 1.05,
+        "what-if ({makespan_wi:.1}s) must be no worse than the estimator's choice ({makespan_est:.1}s)"
+    );
+
+    let mut wsink = ResultSink::new("whatif", "candidate index", "seconds");
+    for (i, o) in outcomes.iter().enumerate() {
+        wsink.push("estimated_s", i as f64, o.estimated_s);
+        wsink.push("measured_s", i as f64, o.measured_s);
+        wsink.push("chosen", i as f64, f64::from(o.chosen));
+        let err = if o.measured_s > 0.0 {
+            (o.measured_s - o.estimated_s).abs() / o.measured_s
+        } else {
+            0.0
+        };
+        println!(
+            "whatif candidate {i}: est {:.1}s measured {:.1}s err {:.0}% {}",
+            o.estimated_s,
+            o.measured_s,
+            err * 100.0,
+            if o.chosen { "<- committed" } else { "" }
+        );
+    }
+    wsink.push("makespan", 0.0, makespan_est);
+    wsink.push("makespan", 1.0, makespan_wi);
+    println!("whatif: estimator makespan {makespan_est:.1}s, what-if makespan {makespan_wi:.1}s");
+    wsink.finish();
 }
 
 /// The paper's normal-vs-cross-domain wordcount generalized to the rack

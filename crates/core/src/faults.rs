@@ -92,6 +92,65 @@ impl FaultDriver {
             engine.set_timer_at(ev.at, Tag::new(owners::FAULT, idx, FAULT_APPLY));
         }
     }
+
+    /// Encodes installed events, live throttles, and the injection log.
+    /// The apply/restore timers themselves travel with the engine
+    /// snapshot; nothing is re-armed at restore.
+    pub(crate) fn encode_state(&self, e: &mut Encoder) {
+        self.events.encode(e);
+        let mut idxs: Vec<u32> = self.scales.keys().copied().collect();
+        idxs.sort_unstable();
+        idxs.len().encode(e);
+        for idx in idxs {
+            let s = &self.scales[&idx];
+            idx.encode(e);
+            s.resource.encode(e);
+            s.factor.encode(e);
+            s.since.encode(e);
+            s.name.to_string().encode(e);
+            s.track.encode(e);
+        }
+        self.log.len().encode(e);
+        for f in &self.log {
+            f.at.encode(e);
+            f.kind.encode(e);
+            f.lost_blocks.encode(e);
+            f.effective.encode(e);
+        }
+    }
+
+    /// Restores the driver wholesale (replacing whatever a fresh launch
+    /// installed — the snapshot's event list already contains the launch
+    /// plan plus any later [`VHadoop::install_fault_plan`] additions).
+    pub(crate) fn restore_state(&mut self, d: &mut Decoder) {
+        self.events = Vec::decode(d);
+        let n = usize::decode(d);
+        self.scales = (0..n)
+            .map(|_| {
+                let idx = u32::decode(d);
+                let resource = ResourceId::decode(d);
+                let factor = f64::decode(d);
+                let since = SimTime::decode(d);
+                let name = match String::decode(d).as_str() {
+                    "link_degrade" => "link_degrade",
+                    "slow_disk" => "slow_disk",
+                    "straggler_vm" => "straggler_vm",
+                    other => panic!("unknown throttle name in snapshot: {other}"),
+                };
+                let track = u32::decode(d);
+                (idx, ActiveScale { resource, factor, since, name, track })
+            })
+            .collect();
+        let n = usize::decode(d);
+        self.log = (0..n)
+            .map(|_| InjectedFault {
+                at: SimTime::decode(d),
+                kind: FaultKind::decode(d),
+                lost_blocks: usize::decode(d),
+                effective: bool::decode(d),
+            })
+            .collect();
+    }
 }
 
 impl VHadoop {

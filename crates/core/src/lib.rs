@@ -38,6 +38,7 @@
 
 pub mod faults;
 pub mod metrics;
+pub mod persist;
 pub mod platform;
 pub mod session;
 
@@ -54,7 +55,8 @@ pub use workloads;
 /// Convenience imports covering the whole platform surface.
 pub mod prelude {
     pub use crate::faults::{InjectedFault, MIN_THROTTLE_FACTOR, TRACKER_TIMEOUT};
-    pub use crate::metrics::{ControllerStats, MetricsSnapshot};
+    pub use crate::metrics::{ControllerStats, MetricsSnapshot, Observation};
+    pub use crate::persist::Snapshot;
     pub use crate::platform::{
         FailureImpact, PlatformConfig, PlatformConfigBuilder, PlatformEvent, VHadoop,
     };

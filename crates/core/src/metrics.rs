@@ -7,10 +7,14 @@
 //! [`VHadoop::job_metrics`] restricts them to one job via the `job` span
 //! argument the MapReduce instrumentation attaches.
 
+use crate::faults::InjectedFault;
 use crate::platform::VHadoop;
 use mapreduce::job::JobResult;
+use simcore::engine::KernelStats;
 use simcore::prelude::*;
 use std::fmt::Write as _;
+use vmonitor::analyser::MonitorReport;
+use vsched::controller::WhatIfOutcome;
 
 /// Aggregate view of one traced run (or one job within it).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +59,14 @@ pub struct ControllerStats {
     pub queue_wait_p50_s: f64,
     /// 95th-percentile admission-to-start wait, seconds.
     pub queue_wait_p95_s: f64,
+    /// Candidate migrations graded by fork-and-measure what-if evaluation.
+    pub whatif_evals: u64,
+    /// Mean relative error of `estimate_makespan` against measured fork
+    /// makespans, `|measured − estimated| / measured`. Zero when no
+    /// what-if evaluation ran.
+    pub whatif_estimator_err_mean: f64,
+    /// Worst relative estimator error across all what-if evaluations.
+    pub whatif_estimator_err_max: f64,
 }
 
 impl MetricsSnapshot {
@@ -101,16 +113,43 @@ impl MetricsSnapshot {
                 ctrl.queue_wait_p50_s,
                 ctrl.queue_wait_p95_s,
             );
+            if ctrl.whatif_evals > 0 {
+                let _ = writeln!(
+                    out,
+                    "whatif: evals={} est_err mean={:.1}% max={:.1}%",
+                    ctrl.whatif_evals,
+                    ctrl.whatif_estimator_err_mean * 100.0,
+                    ctrl.whatif_estimator_err_max * 100.0,
+                );
+            }
         }
         out
     }
+}
+
+/// One-call observability facade over a running platform: run metrics,
+/// kernel counters, the fault log, the monitor's analysis, and any what-if
+/// evaluations — everything the ablation and figure binaries previously
+/// assembled from four separate accessors.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Trace-derived run (or job) metrics, including controller stats.
+    pub metrics: MetricsSnapshot,
+    /// Simulation-kernel work counters.
+    pub kernel: KernelStats,
+    /// Every fault injected so far, in injection order.
+    pub faults: Vec<InjectedFault>,
+    /// The nmon analyser's report, when a monitor is attached.
+    pub monitor: Option<MonitorReport>,
+    /// Fork-and-measure rebalance evaluations, in evaluation order.
+    pub whatif: Vec<WhatIfOutcome>,
 }
 
 impl VHadoop {
     /// Metrics over every span recorded so far. Empty (zero spans) unless
     /// the platform was launched with tracing enabled.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.snapshot(|_| true)
+        self.distill(|_| true)
     }
 
     /// Metrics restricted to spans of `job` (matched on the `job` span
@@ -118,15 +157,38 @@ impl VHadoop {
     pub fn job_metrics(&self, job: &JobResult) -> MetricsSnapshot {
         let tracer = self.rt.engine.tracer();
         let id = f64::from(job.id.0);
-        self.snapshot(|s| tracer.span_arg(s, "job") == Some(id))
+        self.distill(|s| tracer.span_arg(s, "job") == Some(id))
     }
 
-    fn snapshot(&self, filter: impl FnMut(&Span) -> bool) -> MetricsSnapshot {
+    /// Everything observable about the run in one call (see
+    /// [`Observation`]).
+    pub fn observe(&self) -> Observation {
+        Observation {
+            metrics: self.metrics(),
+            kernel: self.rt.engine.kernel_stats(),
+            faults: self.fault_log().to_vec(),
+            monitor: self.monitor_report(),
+            whatif: self.controller().map(|c| c.whatif_outcomes().to_vec()).unwrap_or_default(),
+        }
+    }
+
+    /// [`VHadoop::observe`] with metrics restricted to one job.
+    pub fn observe_job(&self, job: &JobResult) -> Observation {
+        Observation { metrics: self.job_metrics(job), ..self.observe() }
+    }
+
+    fn distill(&self, filter: impl FnMut(&Span) -> bool) -> MetricsSnapshot {
         let tracer = self.rt.engine.tracer();
         let categories = tracer.category_stats(filter);
         let ctrl = self.controller().map(|c| {
             let counters = c.counters();
             let slo = c.slo_report();
+            let errs: Vec<f64> = c
+                .whatif_outcomes()
+                .iter()
+                .filter(|o| o.measured_s > 0.0)
+                .map(|o| (o.measured_s - o.estimated_s).abs() / o.measured_s)
+                .collect();
             ControllerStats {
                 jobs_admitted: counters.jobs_admitted,
                 jobs_rejected: counters.jobs_rejected,
@@ -139,6 +201,13 @@ impl VHadoop {
                 slo_violations: counters.slo_violations,
                 queue_wait_p50_s: slo.queue_wait_p50_s,
                 queue_wait_p95_s: slo.queue_wait_p95_s,
+                whatif_evals: c.whatif_outcomes().len() as u64,
+                whatif_estimator_err_mean: if errs.is_empty() {
+                    0.0
+                } else {
+                    errs.iter().sum::<f64>() / errs.len() as f64
+                },
+                whatif_estimator_err_max: errs.iter().copied().fold(0.0, f64::max),
             }
         });
         MetricsSnapshot {

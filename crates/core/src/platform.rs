@@ -58,22 +58,39 @@ pub struct PlatformConfig {
     /// Engine-wide task-scheduler policy the JobTracker starts with.
     /// Individual submissions may override it via
     /// [`JobConfig::with_scheduler`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "set via PlatformConfig::builder().scheduler(..) instead of writing the field"
+    )]
     pub scheduler: SchedulerPolicy,
     /// Faults to inject (see [`crate::faults`]); empty by default. More
     /// plans can be added later via [`VHadoop::install_fault_plan`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "set via PlatformConfig::builder().faults(..) instead of writing the field"
+    )]
     pub faults: FaultPlan,
     /// Root seed — the whole run is a pure function of config + seed.
     pub seed: u64,
     /// Record structured trace spans and counters (see
     /// [`simcore::trace`]). Off by default: an untraced run pays nothing.
+    #[deprecated(
+        since = "0.7.0",
+        note = "set via PlatformConfig::builder().tracing(..) instead of writing the field"
+    )]
     pub tracing: bool,
     /// Closed-loop control plane (admission, placement, rebalancing).
     /// Disabled by default — a disabled controller changes nothing about
     /// the run.
+    #[deprecated(
+        since = "0.7.0",
+        note = "set via PlatformConfig::builder().controller(..) instead of writing the field"
+    )]
     pub controller: ControllerConfig,
 }
 
 impl Default for PlatformConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         PlatformConfig {
             cluster: ClusterSpec::paper_normal(),
@@ -135,12 +152,14 @@ impl PlatformConfigBuilder {
     }
 
     /// Sets the initial task-scheduler policy.
+    #[allow(deprecated)]
     pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
         self.cfg.scheduler = policy;
         self
     }
 
     /// Sets the fault-injection plan applied at launch.
+    #[allow(deprecated)]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan;
         self
@@ -153,12 +172,14 @@ impl PlatformConfigBuilder {
     }
 
     /// Enables (or disables) structured tracing.
+    #[allow(deprecated)]
     pub fn tracing(mut self, on: bool) -> Self {
         self.cfg.tracing = on;
         self
     }
 
     /// Installs a closed-loop controller configuration.
+    #[allow(deprecated)]
     pub fn controller(mut self, cfg: ControllerConfig) -> Self {
         self.cfg.controller = cfg;
         self
@@ -200,12 +221,20 @@ pub struct VHadoop {
     pub(crate) faults: FaultDriver,
     /// Closed-loop controller; `Some` only when the config enables it.
     pub(crate) ctrl: Option<Box<Controller>>,
+    /// The configuration this platform was launched from, kept so a
+    /// [`crate::persist::Snapshot`] is self-contained: restore relaunches
+    /// from it and re-derives every launch-time identifier.
+    pub(crate) launch_config: PlatformConfig,
 }
 
 impl VHadoop {
     /// Boots the cluster, formats HDFS, starts the JobTracker and (if
     /// configured) the monitor.
+    #[allow(deprecated)]
     pub fn launch(config: PlatformConfig) -> Self {
+        // Keep the *original* config (pre-placement): restore relaunches
+        // from it and the controller re-derives the same placement.
+        let launch_config = config.clone();
         let seed = RootSeed(config.seed);
         let mut cluster = config.cluster;
         let vms = cluster.vms;
@@ -237,6 +266,7 @@ impl VHadoop {
             pending_migration_dst: None,
             faults,
             ctrl,
+            launch_config,
         }
     }
 
@@ -448,6 +478,11 @@ impl VHadoop {
                 ctrl.on_wakeup(&mut self.rt, &mut self.migration, w);
                 self.ctrl = Some(ctrl);
             }
+            // A what-if rebalance tick defers its decision; resolve it here
+            // by forking the platform per candidate (see crate::persist).
+            if let Some(req) = self.ctrl.as_mut().and_then(|c| c.take_whatif_request()) {
+                self.evaluate_whatif(req);
+            }
             return Vec::new();
         }
         if w.tag().owner == owners::FAULT {
@@ -522,6 +557,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn builder_matches_defaults_and_overrides() {
         let d = PlatformConfig::default();
         let b = PlatformConfig::builder().build();

@@ -40,6 +40,7 @@ use crate::state::{
 use simcore::owners;
 use simcore::prelude::*;
 use std::collections::HashMap;
+use std::rc::Rc;
 use vcluster::cluster::{VirtualCluster, VmId};
 use vhdfs::hdfs::{Hdfs, HdfsCompletion};
 
@@ -161,6 +162,10 @@ impl MrEngine {
         app: Box<dyn MapReduceApp>,
         input: Box<dyn InputFormat>,
     ) -> JobId {
+        // Shared ownership internally (snapshots carry these into forks);
+        // the public signature stays `Box` so callers build jobs as before.
+        let app: std::rc::Rc<dyn MapReduceApp> = Rc::from(app);
+        let input: std::rc::Rc<dyn InputFormat> = Rc::from(input);
         if let Some(policy) = spec.config.scheduler {
             self.set_policy(policy);
         }
@@ -195,7 +200,7 @@ impl MrEngine {
         self.next_job += 1;
         let n_maps = splits.len();
         let n_reduces = spec.config.num_reduces as usize;
-        let partitioner = app.partitioner();
+        let partitioner: Rc<dyn crate::app::Partitioner> = Rc::from(app.partitioner());
         let state = JobState {
             id,
             spec,

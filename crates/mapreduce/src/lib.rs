@@ -46,6 +46,7 @@ pub mod engine;
 pub mod input;
 pub mod job;
 mod maptask;
+pub mod persist;
 mod recovery;
 pub mod runtime;
 pub mod scheduler;

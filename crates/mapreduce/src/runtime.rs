@@ -159,18 +159,25 @@ impl MrRuntime {
 /// touches the runtime (no HDFS registration, no scheduling) until
 /// [`PendingJob::submit`] runs, so a job can wait in a queue for simulated
 /// hours without perturbing the cluster.
+///
+/// The closure is shared (`Rc<dyn Fn>`), so a queued job can be cloned
+/// into a snapshot and submitted independently by the parent and any
+/// number of forks. Submission recipes must therefore be pure: each
+/// invocation builds a fresh app/input and must not consume captured
+/// state.
+#[derive(Clone)]
 pub struct PendingJob {
     name: String,
-    submit: Box<dyn FnOnce(&mut MrRuntime) -> JobId>,
+    submit: std::rc::Rc<dyn Fn(&mut MrRuntime) -> JobId>,
 }
 
 impl PendingJob {
     /// Wraps a deferred submission under a display `name`.
     pub fn new(
         name: impl Into<String>,
-        submit: impl FnOnce(&mut MrRuntime) -> JobId + 'static,
+        submit: impl Fn(&mut MrRuntime) -> JobId + 'static,
     ) -> Self {
-        PendingJob { name: name.into(), submit: Box::new(submit) }
+        PendingJob { name: name.into(), submit: std::rc::Rc::new(submit) }
     }
 
     /// The job's display name.

@@ -15,6 +15,7 @@ use crate::types::{records_size, Record};
 use simcore::owners;
 use simcore::prelude::*;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use vcluster::cluster::VmId;
 use vhdfs::meta::BlockId;
 
@@ -90,9 +91,12 @@ pub(crate) enum TaskPhase {
 pub(crate) struct JobState {
     pub(crate) id: JobId,
     pub(crate) spec: JobSpec,
-    pub(crate) app: Box<dyn MapReduceApp>,
-    pub(crate) input: Box<dyn InputFormat>,
-    pub(crate) partitioner: Box<dyn Partitioner>,
+    // Shared (not owned) so a snapshot can carry them into forks: user
+    // code is immutable and deterministic, so parent and fork may safely
+    // invoke the same instance.
+    pub(crate) app: Rc<dyn MapReduceApp>,
+    pub(crate) input: Rc<dyn InputFormat>,
+    pub(crate) partitioner: Rc<dyn Partitioner>,
     pub(crate) splits: Vec<SplitInfo>,
     pub(crate) maps: Vec<TaskPhase>,
     pub(crate) reduces: Vec<TaskPhase>,

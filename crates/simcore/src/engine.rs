@@ -12,6 +12,7 @@
 
 use crate::fluid::{Demand, FluidNet, FluidStats, ResourceKind};
 use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
+use crate::persist::{Decoder, Encoder, Persist};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Name, Tracer};
 use std::cmp::Reverse;
@@ -547,6 +548,284 @@ impl Engine {
         n
     }
 
+    // ----- persistence (DESIGN.md §16) ------------------------------------
+
+    /// Compacts every lazily-deferred structure: cancelled-timer tombstones
+    /// in the event heap, stale fluid-wake entries of superseded epochs,
+    /// and the fluid completion index. Two byte-identical simulation states
+    /// then encode to byte-identical snapshots regardless of how much
+    /// garbage each happened to accumulate. Observable behavior is
+    /// unchanged — all removed entries would have been skipped on pop.
+    pub fn canonicalize(&mut self) {
+        let epoch = self.epoch;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|&Reverse(en)| match en.ev {
+            Ev::Timer { id } => self.timers.contains_key(&id),
+            Ev::FluidWake { epoch: e } => e == epoch,
+        });
+        self.heap = BinaryHeap::from(entries);
+        self.dead_timers = 0;
+        self.fluid.canonicalize();
+    }
+
+    /// Appends the complete engine state — clock, fluid network, event
+    /// heap, activities, timers, batches, pending wakeups, and tracer — to
+    /// `e`, canonicalizing first. Heaps are written as sorted vectors and
+    /// maps in ascending key order, so equal states produce equal bytes.
+    pub fn encode_state(&mut self, e: &mut Encoder) {
+        self.canonicalize();
+        self.now.encode(e);
+        self.fluid.encode_state(e);
+
+        let mut entries: Vec<Entry> = self.heap.iter().map(|&Reverse(en)| en).collect();
+        entries.sort_unstable();
+        e.usize(entries.len());
+        for en in entries {
+            en.time.encode(e);
+            e.u64(en.seq);
+            match en.ev {
+                Ev::FluidWake { epoch } => {
+                    e.u8(0);
+                    e.u64(epoch);
+                }
+                Ev::Timer { id } => {
+                    e.u8(1);
+                    id.encode(e);
+                }
+            }
+        }
+        e.u64(self.seq);
+        e.u64(self.epoch);
+        self.flow_owner.encode(e);
+
+        let mut acts: Vec<(&ActivityId, &Activity)> = self.activities.iter().collect();
+        acts.sort_by_key(|(id, _)| **id);
+        e.usize(acts.len());
+        for (id, a) in acts {
+            id.encode(e);
+            e.usize(a.remaining.len());
+            for s in &a.remaining {
+                match s {
+                    Step::Flow { demands, work } => {
+                        e.u8(0);
+                        demands.encode(e);
+                        e.f64(*work);
+                    }
+                    Step::Delay(dur) => {
+                        e.u8(1);
+                        dur.encode(e);
+                    }
+                }
+            }
+            match a.current {
+                Current::Idle => e.u8(0),
+                Current::Flow(f) => {
+                    e.u8(1);
+                    f.encode(e);
+                }
+                Current::Delay(t) => {
+                    e.u8(2);
+                    t.encode(e);
+                }
+            }
+            a.tag.encode(e);
+            a.batch.encode(e);
+        }
+        e.u64(self.next_activity);
+
+        let mut ts: Vec<(&TimerId, &TimerKind)> = self.timers.iter().collect();
+        ts.sort_by_key(|(id, _)| **id);
+        e.usize(ts.len());
+        for (id, k) in ts {
+            id.encode(e);
+            match k {
+                TimerKind::User { tag } => {
+                    e.u8(0);
+                    tag.encode(e);
+                }
+                TimerKind::ChainDelay { activity } => {
+                    e.u8(1);
+                    activity.encode(e);
+                }
+            }
+        }
+        e.u64(self.next_timer);
+
+        let mut bs: Vec<(&BatchId, &Batch)> = self.batches.iter().collect();
+        bs.sort_by_key(|(id, _)| **id);
+        e.usize(bs.len());
+        for (id, b) in bs {
+            id.encode(e);
+            b.tag.encode(e);
+            e.usize(b.pending);
+        }
+        e.u64(self.next_batch);
+
+        e.usize(self.out.len());
+        for (t, w) in &self.out {
+            t.encode(e);
+            match *w {
+                Wakeup::Timer { id, tag } => {
+                    e.u8(0);
+                    id.encode(e);
+                    tag.encode(e);
+                }
+                Wakeup::Activity { id, tag, batch } => {
+                    e.u8(1);
+                    id.encode(e);
+                    tag.encode(e);
+                    batch.encode(e);
+                }
+                Wakeup::Batch { id, tag } => {
+                    e.u8(2);
+                    id.encode(e);
+                    tag.encode(e);
+                }
+            }
+        }
+        e.u64(self.wakeups_delivered);
+        match self.kernel_counter_names {
+            None => e.u8(0),
+            Some([a, b, c]) => {
+                e.u8(1);
+                a.encode(e);
+                b.encode(e);
+                c.encode(e);
+            }
+        }
+        self.tracer.encode_state(e);
+    }
+
+    /// Rebuilds an engine from bytes written by [`Engine::encode_state`].
+    /// The rebuilt engine delivers the exact same wakeup sequence as the
+    /// original: heap entries keep their `(time, seq)` total order, so pop
+    /// order is independent of the heap's internal array layout.
+    pub fn decode_state(d: &mut Decoder) -> Engine {
+        let now = SimTime::decode(d);
+        let fluid = FluidNet::decode_state(d);
+
+        let n_entries = d.usize();
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let time = SimTime::decode(d);
+            let seq = d.u64();
+            let ev = match d.u8() {
+                0 => Ev::FluidWake { epoch: d.u64() },
+                _ => Ev::Timer { id: TimerId::decode(d) },
+            };
+            entries.push(Reverse(Entry { time, seq, ev }));
+        }
+        let heap = BinaryHeap::from(entries);
+        let seq = d.u64();
+        let epoch = d.u64();
+        let flow_owner = HashMap::<FlowId, ActivityId>::decode(d);
+
+        let n_acts = d.usize();
+        let mut activities = HashMap::with_capacity(n_acts);
+        for _ in 0..n_acts {
+            let id = ActivityId::decode(d);
+            let n_steps = d.usize();
+            let mut remaining = VecDeque::with_capacity(n_steps);
+            for _ in 0..n_steps {
+                remaining.push_back(match d.u8() {
+                    0 => {
+                        let demands = Vec::<Demand>::decode(d);
+                        let work = d.f64();
+                        Step::Flow { demands, work }
+                    }
+                    _ => Step::Delay(SimDuration::decode(d)),
+                });
+            }
+            let current = match d.u8() {
+                0 => Current::Idle,
+                1 => Current::Flow(FlowId::decode(d)),
+                _ => Current::Delay(TimerId::decode(d)),
+            };
+            let tag = Tag::decode(d);
+            let batch = Option::<BatchId>::decode(d);
+            activities.insert(id, Activity { remaining, current, tag, batch });
+        }
+        let next_activity = d.u64();
+
+        let n_timers = d.usize();
+        let mut timers = HashMap::with_capacity(n_timers);
+        for _ in 0..n_timers {
+            let id = TimerId::decode(d);
+            let kind = match d.u8() {
+                0 => TimerKind::User { tag: Tag::decode(d) },
+                _ => TimerKind::ChainDelay { activity: ActivityId::decode(d) },
+            };
+            timers.insert(id, kind);
+        }
+        let next_timer = d.u64();
+
+        let n_batches = d.usize();
+        let mut batches = HashMap::with_capacity(n_batches);
+        for _ in 0..n_batches {
+            let id = BatchId::decode(d);
+            let tag = Tag::decode(d);
+            let pending = d.usize();
+            batches.insert(id, Batch { tag, pending });
+        }
+        let next_batch = d.u64();
+
+        let n_out = d.usize();
+        let mut out = VecDeque::with_capacity(n_out);
+        for _ in 0..n_out {
+            let t = SimTime::decode(d);
+            let w = match d.u8() {
+                0 => {
+                    let id = TimerId::decode(d);
+                    let tag = Tag::decode(d);
+                    Wakeup::Timer { id, tag }
+                }
+                1 => {
+                    let id = ActivityId::decode(d);
+                    let tag = Tag::decode(d);
+                    let batch = Option::<BatchId>::decode(d);
+                    Wakeup::Activity { id, tag, batch }
+                }
+                _ => {
+                    let id = BatchId::decode(d);
+                    let tag = Tag::decode(d);
+                    Wakeup::Batch { id, tag }
+                }
+            };
+            out.push_back((t, w));
+        }
+        let wakeups_delivered = d.u64();
+        let kernel_counter_names = match d.u8() {
+            0 => None,
+            _ => {
+                let a = Name::decode(d);
+                let b = Name::decode(d);
+                let c = Name::decode(d);
+                Some([a, b, c])
+            }
+        };
+        let tracer = Tracer::decode_state(d);
+
+        Engine {
+            now,
+            fluid,
+            heap,
+            seq,
+            epoch,
+            flow_owner,
+            activities,
+            next_activity,
+            timers,
+            next_timer,
+            batches,
+            next_batch,
+            out,
+            wakeups_delivered,
+            dead_timers: 0,
+            kernel_counter_names,
+            tracer,
+        }
+    }
+
     // ----- internals ------------------------------------------------------
 
     fn push_entry(&mut self, time: SimTime, ev: Ev) {
@@ -872,6 +1151,87 @@ mod tests {
             trace
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn snapshot_mid_run_replays_identically() {
+        // Drive a mixed workload halfway, snapshot, and check the restored
+        // engine delivers the exact remaining wakeup sequence.
+        let build = || {
+            let (mut e, r) = engine1();
+            let r2 = e.add_resource("link2", ResourceKind::Net, 40.0);
+            e.tracer_mut().set_enabled(true);
+            for i in 0..10u32 {
+                let res = if i % 2 == 0 { r } else { r2 };
+                let spec = ChainSpec::new()
+                    .on(res, 50.0 + f64::from(i) * 13.0)
+                    .delay(SimDuration::from_millis(u64::from(i) * 7))
+                    .on(res, 25.0);
+                e.start_chain(spec, Tag::new(T, i, 0));
+            }
+            e.set_timer_in(SimDuration::from_secs(2), Tag::new(T, 100, 0));
+            let dead = e.set_timer_in(SimDuration::from_secs(3), Tag::new(T, 101, 0));
+            e.cancel_timer(dead);
+            e
+        };
+        let mut control = build();
+        let mut original = build();
+        for _ in 0..5 {
+            control.next_wakeup();
+            original.next_wakeup();
+        }
+        let mut enc = Encoder::new();
+        original.encode_state(&mut enc);
+        let bytes = enc.finish();
+        let mut restored = Engine::decode_state(&mut Decoder::new(&bytes));
+        let drain = |e: &mut Engine| {
+            let mut tail = Vec::new();
+            while let Some((t, w)) = e.next_wakeup() {
+                tail.push((t.as_nanos(), w.tag()));
+            }
+            tail
+        };
+        assert_eq!(drain(&mut restored), drain(&mut control));
+        assert_eq!(restored.now(), control.now());
+        assert_eq!(restored.wakeups_delivered(), control.wakeups_delivered());
+        assert_eq!(restored.tracer().to_chrome_json(), control.tracer().to_chrome_json());
+    }
+
+    #[test]
+    fn canonicalized_snapshots_of_equal_states_are_byte_identical() {
+        // One engine accumulates timer tombstones, the other never had
+        // them; after cancellation both describe the same state and must
+        // encode to the same bytes.
+        let (mut clean, _r) = engine1();
+        let (mut dirty, _r2) = engine1();
+        for i in 0..10u64 {
+            // Keep id allocation identical: both engines arm every timer,
+            // but `dirty` cancels the odd ones while `clean` never arms
+            // odd entries... ids would diverge, so instead both arm and
+            // both cancel — `dirty` simply carries extra *stale fluid*
+            // churn that canonicalization must erase.
+            let id = clean.set_timer_in(SimDuration::from_secs(100 + i), Tag::new(T, i as u32, 0));
+            let id2 = dirty.set_timer_in(SimDuration::from_secs(100 + i), Tag::new(T, i as u32, 0));
+            if i % 2 == 1 {
+                clean.cancel_timer(id);
+                dirty.cancel_timer(id2);
+            }
+        }
+        // Extra dead churn on `dirty` only: arm + cancel leaves a tombstone
+        // and bumps next_timer — so mirror the arms on `clean` too, but
+        // only `dirty` is left holding uncompacted garbage via a manual
+        // compaction on `clean`.
+        let a = clean.set_timer_in(SimDuration::from_secs(999), Tag::new(T, 77, 0));
+        let b = dirty.set_timer_in(SimDuration::from_secs(999), Tag::new(T, 77, 0));
+        clean.cancel_timer(a);
+        dirty.cancel_timer(b);
+        clean.canonicalize(); // clean pre-compacts; dirty still has tombstones
+        let enc = |e: &mut Engine| {
+            let mut enc = Encoder::new();
+            e.encode_state(&mut enc);
+            enc.finish()
+        };
+        assert_eq!(enc(&mut clean), enc(&mut dirty), "tombstones must not leak into bytes");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! of `O(flows)`.
 
 use crate::ids::{FlowId, ResourceId};
+use crate::persist::{Decoder, Encoder, Persist};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -693,6 +694,141 @@ impl FluidNet {
             .enumerate()
             .map(|(i, r)| (ResourceId(i as u32), r.kind, r.used, r.capacity))
             .collect()
+    }
+
+    // ----- persistence (DESIGN.md §16) ------------------------------------
+
+    /// Drops *every* stale completion-index entry (not just when the lazy
+    /// threshold trips). Part of the canonicalize-before-encode rule: two
+    /// byte-identical fluid states must produce byte-identical snapshots no
+    /// matter how much lazily-deferred garbage each carries. Removing stale
+    /// entries is unobservable — they are skipped on pop anyway.
+    pub fn canonicalize(&mut self) {
+        let mut entries = std::mem::take(&mut self.completions).into_vec();
+        entries.retain(|&Reverse((_, s, stamp))| {
+            let slot = &self.slots[s as usize];
+            slot.stamp == stamp && slot.state.is_some()
+        });
+        self.completions = BinaryHeap::from(entries);
+    }
+
+    /// Appends the complete network state to `e`, canonicalizing first.
+    /// The completion heap is written as a sorted vector; scratch buffers
+    /// and visit marks are invariantly empty between engine calls and are
+    /// rebuilt on decode rather than encoded.
+    pub(crate) fn encode_state(&mut self, e: &mut Encoder) {
+        self.canonicalize();
+        e.usize(self.resources.len());
+        for r in &self.resources {
+            e.str(&r.name);
+            r.kind.encode(e);
+            e.f64(r.capacity);
+            e.f64(r.used);
+            e.f64(r.cumulative);
+        }
+        e.usize(self.slots.len());
+        for s in &self.slots {
+            e.u32(s.gen);
+            e.u32(s.stamp);
+            match &s.state {
+                None => e.u8(0),
+                Some(f) => {
+                    e.u8(1);
+                    f.demands.encode(e);
+                    e.f64(f.total);
+                    e.f64(f.remaining);
+                    e.f64(f.rate);
+                }
+            }
+        }
+        self.free.encode(e);
+        e.usize(self.active);
+        self.last_update.encode(e);
+        e.bool(self.allocation_dirty);
+        self.res_flows.encode(e);
+        self.dirty.encode(e);
+        e.usize(self.near_done);
+        let mut entries: Vec<(u64, u32, u32)> =
+            self.completions.iter().map(|&Reverse(t)| t).collect();
+        entries.sort_unstable();
+        entries.encode(e);
+        e.bool(self.full_solve);
+        e.u64(self.stats.reallocations);
+        e.u64(self.stats.flows_touched);
+        e.u64(self.stats.resources_touched);
+    }
+
+    /// Rebuilds a network from bytes written by
+    /// [`FluidNet::encode_state`].
+    pub(crate) fn decode_state(d: &mut Decoder) -> FluidNet {
+        let nres = d.usize();
+        let mut resources = Vec::with_capacity(nres);
+        for _ in 0..nres {
+            let name = d.str();
+            let kind = ResourceKind::decode(d);
+            let capacity = d.f64();
+            let used = d.f64();
+            let cumulative = d.f64();
+            resources.push(Resource { name, kind, capacity, used, cumulative });
+        }
+        let nslots = d.usize();
+        let mut slots = Vec::with_capacity(nslots);
+        for _ in 0..nslots {
+            let gen = d.u32();
+            let stamp = d.u32();
+            let state = match d.u8() {
+                0 => None,
+                _ => {
+                    let demands = Vec::<Demand>::decode(d);
+                    let total = d.f64();
+                    let remaining = d.f64();
+                    let rate = d.f64();
+                    Some(FlowState { demands, total, remaining, rate })
+                }
+            };
+            slots.push(FlowSlot { gen, stamp, state });
+        }
+        let free = Vec::<u32>::decode(d);
+        let active = d.usize();
+        let last_update = SimTime::decode(d);
+        let allocation_dirty = d.bool();
+        let res_flows = Vec::<Vec<u32>>::decode(d);
+        let dirty = Vec::<u32>::decode(d);
+        let near_done = d.usize();
+        let completion_entries = Vec::<(u64, u32, u32)>::decode(d);
+        let full_solve = d.bool();
+        let reallocations = d.u64();
+        let flows_touched = d.u64();
+        let resources_touched = d.u64();
+        let mut res_mark = vec![false; resources.len()];
+        for &r in &dirty {
+            res_mark[r as usize] = true;
+        }
+        FluidNet {
+            scratch_residual: vec![0.0; resources.len()],
+            scratch_weight: vec![0.0; resources.len()],
+            scratch_count: vec![0; resources.len()],
+            scratch_saturated: vec![false; resources.len()],
+            flow_mark: vec![false; slots.len()],
+            completions: completion_entries.into_iter().map(Reverse).collect(),
+            resources,
+            slots,
+            free,
+            active,
+            last_update,
+            allocation_dirty,
+            res_flows,
+            dirty,
+            res_mark,
+            near_done,
+            full_solve,
+            stats: FluidStats {
+                reallocations,
+                flows_touched,
+                resources_touched,
+                completion_heap_len: 0,
+            },
+        }
     }
 }
 

@@ -28,7 +28,7 @@ impl fmt::Display for ResourceId {
 
 /// Generational handle to an active flow. Stale handles (flow already
 /// finished or cancelled) are detected and rejected by the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId {
     pub(crate) slot: u32,
     pub(crate) gen: u32,
@@ -41,7 +41,7 @@ impl fmt::Display for FlowId {
 }
 
 /// Handle to a scheduled timer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TimerId(pub(crate) u64);
 
 impl fmt::Display for TimerId {

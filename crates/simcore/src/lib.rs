@@ -42,6 +42,7 @@ pub mod faults;
 pub mod fluid;
 pub mod ids;
 pub mod owners;
+pub mod persist;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -53,6 +54,9 @@ pub mod prelude {
     pub use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
     pub use crate::fluid::{Demand, FluidNet, FluidStats, ResourceKind};
     pub use crate::ids::{ActivityId, BatchId, FlowId, ResourceId, Tag, TimerId};
+    pub use crate::persist::{
+        validate_header, Decoder, Encoder, Persist, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    };
     pub use crate::rng::RootSeed;
     pub use crate::stats::{OnlineStats, Summary};
     pub use crate::time::{SimDuration, SimTime};

@@ -86,6 +86,21 @@ impl EnergyMeter {
         EnergyMeter { model, start: (engine.now(), marks) }
     }
 
+    /// Encodes the meter's window start (the model is configuration).
+    pub fn encode_state(&self, e: &mut simcore::persist::Encoder) {
+        use simcore::persist::Persist;
+        self.start.0.encode(e);
+        self.start.1.encode(e);
+    }
+
+    /// Restores the window start from a snapshot.
+    pub fn restore_state(&mut self, d: &mut simcore::persist::Decoder) {
+        use simcore::persist::Persist;
+        let at = simcore::time::SimTime::decode(d);
+        let marks = Vec::<f64>::decode(d);
+        self.start = (at, marks);
+    }
+
     /// Energy consumed since the meter started.
     pub fn report(&self, engine: &Engine, cluster: &VirtualCluster) -> EnergyReport {
         let span_s = engine.now().saturating_since(self.start.0).as_secs_f64();

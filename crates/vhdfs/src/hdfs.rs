@@ -406,6 +406,64 @@ impl Hdfs {
     pub fn inflight(&self) -> usize {
         self.ops.len()
     }
+
+    // ----- persistence (DESIGN.md §16) ------------------------------------
+
+    /// Appends the dynamic HDFS state — live datanode set, namenode
+    /// tables, in-flight operations, and the placement RNG cursor — to
+    /// `e`. Config and the namenode identity are launch-derived and not
+    /// encoded.
+    pub fn encode_state(&self, e: &mut simcore::persist::Encoder) {
+        use simcore::persist::Persist;
+        self.datanodes.encode(e);
+        self.ns.encode(e);
+        let mut ops: Vec<(&u32, &PendingOp)> = self.ops.iter().collect();
+        ops.sort_by_key(|(k, _)| **k);
+        e.usize(ops.len());
+        for (k, op) in ops {
+            e.u32(*k);
+            op.client_tag.encode(e);
+            e.u64(op.bytes);
+            op.submitted.encode(e);
+            e.u8(match op.kind {
+                "write" => 0,
+                "read" => 1,
+                _ => 2,
+            });
+            op.vm.encode(e);
+        }
+        e.u32(self.next_op);
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+    }
+
+    /// Overwrites the dynamic state from bytes written by
+    /// [`Hdfs::encode_state`]. The receiver must have been formatted with
+    /// the same cluster + config (restore targets a fresh launch replica).
+    pub fn restore_state(&mut self, d: &mut simcore::persist::Decoder) {
+        use simcore::persist::Persist;
+        self.datanodes = Vec::<VmId>::decode(d);
+        self.ns = Namespace::decode(d);
+        let n = d.usize();
+        self.ops = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = d.u32();
+            let client_tag = Tag::decode(d);
+            let bytes = d.u64();
+            let submitted = SimTime::decode(d);
+            let kind = match d.u8() {
+                0 => "write",
+                1 => "read",
+                _ => "replicate",
+            };
+            let vm = VmId::decode(d);
+            self.ops.insert(k, PendingOp { client_tag, bytes, submitted, kind, vm });
+        }
+        self.next_op = d.u32();
+        let s = [d.u64(), d.u64(), d.u64(), d.u64()];
+        self.rng = StdRng::from_state(s);
+    }
 }
 
 #[cfg(test)]

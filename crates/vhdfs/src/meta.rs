@@ -1,6 +1,7 @@
 //! Namespace and block metadata (the namenode's tables).
 
 use serde::{Deserialize, Serialize};
+use simcore::persist::{Decoder, Encoder, Persist};
 use std::collections::HashMap;
 use vcluster::cluster::VmId;
 
@@ -11,6 +12,55 @@ pub struct BlockId(pub u64);
 impl std::fmt::Display for BlockId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "blk_{}", self.0)
+    }
+}
+
+impl Persist for BlockId {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.0);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        BlockId(d.u64())
+    }
+}
+
+impl Persist for FileMeta {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.len);
+        self.blocks.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        let len = d.u64();
+        let blocks = Vec::<BlockId>::decode(d);
+        FileMeta { len, blocks }
+    }
+}
+
+impl Persist for BlockMeta {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.len);
+        self.replicas.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        let len = d.u64();
+        let replicas = Vec::<VmId>::decode(d);
+        BlockMeta { len, replicas }
+    }
+}
+
+impl Persist for Namespace {
+    fn encode(&self, e: &mut Encoder) {
+        self.files.encode(e);
+        self.blocks.encode(e);
+        self.used.encode(e);
+        e.u64(self.next_block);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        let files = HashMap::<String, FileMeta>::decode(d);
+        let blocks = HashMap::<BlockId, BlockMeta>::decode(d);
+        let used = HashMap::<VmId, u64>::decode(d);
+        let next_block = d.u64();
+        Namespace { files, blocks, used, next_block }
     }
 }
 

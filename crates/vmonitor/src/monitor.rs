@@ -100,6 +100,30 @@ impl Monitor {
         }
     }
 
+    /// Encodes the dynamic monitor state: samples and the pending timer
+    /// id. Columns, counter names, and the interval are launch-derived —
+    /// a relaunch from the same config re-creates them identically.
+    pub fn encode_state(&self, e: &mut simcore::persist::Encoder) {
+        use simcore::persist::Persist;
+        self.samples.len().encode(e);
+        for s in &self.samples {
+            s.t.encode(e);
+            s.util.encode(e);
+        }
+        self.timer.encode(e);
+    }
+
+    /// Restores the dynamic monitor state. The pending timer must already
+    /// live in the restored engine's heap (it travels with the engine
+    /// snapshot); this only re-links its id.
+    pub fn restore_state(&mut self, d: &mut simcore::persist::Decoder) {
+        use simcore::persist::Persist;
+        let n = usize::decode(d);
+        self.samples =
+            (0..n).map(|_| Sample { t: SimTime::decode(d), util: Vec::decode(d) }).collect();
+        self.timer = Option::decode(d);
+    }
+
     /// Utilization time series of one column.
     pub fn series(&self, column: usize) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         self.samples.iter().map(move |s| (s.t, s.util[column]))

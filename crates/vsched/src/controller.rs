@@ -21,18 +21,18 @@
 //! (config, seed). Disabled (the default), it arms nothing and touches
 //! nothing — traces are byte-identical to a controller-free platform.
 
-use crate::placement::PlacementKind;
+use crate::placement::{estimate_makespan, PlacementKind, WorkloadHint};
 use crate::queue::{
     slo_report_json, AdmissionQueue, JobSlo, QueueConfig, QueuedJob, SloConfig, SloReport,
     SloTracker,
 };
-use crate::rebalance::{RebalanceConfig, Rebalancer};
+use crate::rebalance::{RebalanceConfig, RebalanceMode, Rebalancer};
 use mapreduce::job::JobEvent;
 use mapreduce::runtime::{MrRuntime, PendingJob};
 use simcore::owners;
 use simcore::prelude::*;
 use std::collections::HashMap;
-use vcluster::cluster::VirtualCluster;
+use vcluster::cluster::{HostId, VirtualCluster, VmId};
 use vcluster::energy::{EnergyMeter, EnergyReport, PowerModel};
 use vcluster::migration::{MigrationEvent, MigrationManager};
 
@@ -109,11 +109,98 @@ pub struct ControllerCounters {
     pub slo_violations: u64,
 }
 
+impl Persist for ControllerCounters {
+    fn encode(&self, e: &mut Encoder) {
+        self.jobs_offered.encode(e);
+        self.jobs_admitted.encode(e);
+        self.jobs_rejected.encode(e);
+        self.jobs_started.encode(e);
+        self.jobs_finished.encode(e);
+        self.queue_depth_hwm.encode(e);
+        self.migrations_planned.encode(e);
+        self.migrations_completed.encode(e);
+        self.migrations_aborted.encode(e);
+        self.rebalance_ticks.encode(e);
+        self.consolidations.encode(e);
+        self.slo_violations.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        ControllerCounters {
+            jobs_offered: u64::decode(d),
+            jobs_admitted: u64::decode(d),
+            jobs_rejected: u64::decode(d),
+            jobs_started: u64::decode(d),
+            jobs_finished: u64::decode(d),
+            queue_depth_hwm: u64::decode(d),
+            migrations_planned: u64::decode(d),
+            migrations_completed: u64::decode(d),
+            migrations_aborted: u64::decode(d),
+            rebalance_ticks: u64::decode(d),
+            consolidations: u64::decode(d),
+            slo_violations: u64::decode(d),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FutureArrival {
     tenant: u32,
     expected_s: f64,
     job: PendingJob,
+}
+
+/// One candidate migration plan priced by the estimator, awaiting
+/// fork-based measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfCandidate {
+    /// The move set under evaluation.
+    pub moves: Vec<(VmId, HostId)>,
+    /// [`estimate_makespan`] price of the post-move layout, seconds.
+    pub estimated_s: f64,
+}
+
+/// A deferred what-if evaluation. The controller never forks itself — it
+/// parks the candidates here and the owning platform forks the whole
+/// simulation per candidate, measures each fork's makespan, and commits
+/// the winner through [`Controller::resolve_whatif`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRequest {
+    /// Candidate plans, estimator-priced, coldest destination first.
+    pub candidates: Vec<WhatIfCandidate>,
+}
+
+/// The measured outcome of one what-if candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfOutcome {
+    /// When the evaluation ran.
+    pub at: SimTime,
+    /// The candidate move set.
+    pub moves: Vec<(VmId, HostId)>,
+    /// Estimator price of the post-move layout, seconds.
+    pub estimated_s: f64,
+    /// Fork-measured span until the fork drained, seconds.
+    pub measured_s: f64,
+    /// Whether this candidate was committed in the parent.
+    pub chosen: bool,
+}
+
+impl Persist for WhatIfOutcome {
+    fn encode(&self, e: &mut Encoder) {
+        self.at.encode(e);
+        self.moves.encode(e);
+        self.estimated_s.encode(e);
+        self.measured_s.encode(e);
+        self.chosen.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        WhatIfOutcome {
+            at: SimTime::decode(d),
+            moves: Vec::decode(d),
+            estimated_s: f64::decode(d),
+            measured_s: f64::decode(d),
+            chosen: bool::decode(d),
+        }
+    }
 }
 
 /// The closed-loop control plane (see module docs for the wiring).
@@ -133,6 +220,14 @@ pub struct Controller {
     energy: Option<EnergyMeter>,
     queue_depth_name: Option<Name>,
     active_jobs_name: Option<Name>,
+    /// A what-if evaluation waiting for the platform to fork and measure.
+    pending_whatif: Option<WhatIfRequest>,
+    /// Fork-measured what-if outcomes so far.
+    whatif_outcomes: Vec<WhatIfOutcome>,
+    /// Runtime-only: set inside a what-if fork so rebalance ticks keep
+    /// sampling but never plan (forks must not recurse). Never encoded —
+    /// a fork's own snapshot starts un-suppressed like any parent.
+    suppress_rebalance: bool,
 }
 
 impl Controller {
@@ -152,6 +247,9 @@ impl Controller {
             energy: None,
             queue_depth_name: None,
             active_jobs_name: None,
+            pending_whatif: None,
+            whatif_outcomes: Vec::new(),
+            suppress_rebalance: false,
             cfg,
         }
     }
@@ -323,22 +421,47 @@ impl Controller {
                 );
             }
             // Plan only while a migration session isn't already running —
-            // the session API is one-at-a-time.
-            if !migration.busy() {
+            // the session API is one-at-a-time. What-if forks never plan:
+            // they exist to measure one already-chosen candidate.
+            if !migration.busy() && !self.suppress_rebalance {
                 let plan = rb.plan(now, &rt.cluster, &loads);
                 if !plan.moves.is_empty() {
-                    self.counters.migrations_planned += plan.moves.len() as u64;
-                    if plan.consolidation {
-                        self.counters.consolidations += 1;
+                    if rb.config().mode == RebalanceMode::WhatIf && !plan.consolidation {
+                        // Defer: park every viable relief plan for the
+                        // platform to fork-and-measure.
+                        let src = rt.cluster.host_of(plan.moves[0].0);
+                        let hint = rb.config().hint;
+                        let cpu: Vec<f64> = loads.iter().map(|l| l.cpu).collect();
+                        let candidates: Vec<WhatIfCandidate> = rb
+                            .candidate_plans(&rt.cluster, src, &loads)
+                            .into_iter()
+                            .map(|p| WhatIfCandidate {
+                                estimated_s: estimate_plan(&rt.cluster, &p.moves, &hint, &cpu),
+                                moves: p.moves,
+                            })
+                            .collect();
+                        rt.engine.trace_span(
+                            "ctrl",
+                            "whatif_defer",
+                            0,
+                            now,
+                            &[("candidates", candidates.len() as f64)],
+                        );
+                        self.pending_whatif = Some(WhatIfRequest { candidates });
+                    } else {
+                        self.counters.migrations_planned += plan.moves.len() as u64;
+                        if plan.consolidation {
+                            self.counters.consolidations += 1;
+                        }
+                        rt.engine.trace_span(
+                            "ctrl",
+                            if plan.consolidation { "consolidate" } else { "plan_migration" },
+                            0,
+                            now,
+                            &[("moves", plan.moves.len() as f64)],
+                        );
+                        migration.start_moves(&mut rt.engine, &rt.cluster, &plan.moves);
                     }
-                    rt.engine.trace_span(
-                        "ctrl",
-                        if plan.consolidation { "consolidate" } else { "plan_migration" },
-                        0,
-                        now,
-                        &[("moves", plan.moves.len() as f64)],
-                    );
-                    migration.start_moves(&mut rt.engine, &rt.cluster, &plan.moves);
                 }
             }
         }
@@ -428,6 +551,142 @@ impl Controller {
     pub fn energy_report(&self, engine: &Engine, cluster: &VirtualCluster) -> Option<EnergyReport> {
         self.energy.as_ref().map(|m| m.report(engine, cluster))
     }
+
+    /// Takes the what-if evaluation deferred by the last tick, if any.
+    pub fn take_whatif_request(&mut self) -> Option<WhatIfRequest> {
+        self.pending_whatif.take()
+    }
+
+    /// Marks this controller as living inside a what-if fork: ticks keep
+    /// sampling loads but never plan, so forks cannot recurse.
+    pub fn set_suppress_rebalance(&mut self, on: bool) {
+        self.suppress_rebalance = on;
+    }
+
+    /// Records fork-measured outcomes and commits the chosen plan (the
+    /// one flagged `chosen`) through the migration manager.
+    pub fn resolve_whatif(
+        &mut self,
+        rt: &mut MrRuntime,
+        migration: &mut MigrationManager,
+        outcomes: Vec<WhatIfOutcome>,
+    ) {
+        let now = rt.engine.now();
+        let chosen = outcomes.iter().find(|o| o.chosen).cloned();
+        self.whatif_outcomes.extend(outcomes);
+        if let Some(c) = chosen {
+            self.counters.migrations_planned += c.moves.len() as u64;
+            rt.engine.trace_span(
+                "ctrl",
+                "whatif_commit",
+                0,
+                now,
+                &[("moves", c.moves.len() as f64), ("measured_s", c.measured_s)],
+            );
+            migration.start_moves(&mut rt.engine, &rt.cluster, &c.moves);
+        }
+        self.ensure_tick(&mut rt.engine, migration);
+    }
+
+    /// Every fork-measured what-if outcome so far, in evaluation order.
+    pub fn whatif_outcomes(&self) -> &[WhatIfOutcome] {
+        &self.whatif_outcomes
+    }
+
+    /// Clones of every deferred job the controller still holds (queued in
+    /// admission or scheduled for a future arrival), keyed by controller
+    /// id — the out-of-band half of a snapshot.
+    pub fn job_residue(&self) -> Vec<(u32, PendingJob)> {
+        let mut out = self.queue.job_residue();
+        out.extend(self.future.iter().map(|(&id, f)| (id, f.job.clone())));
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Encodes all dynamic controller state. Config, placement, and
+    /// interned counter names are not encoded: a restored controller is
+    /// rebuilt by a fresh launch from the same config, which re-derives
+    /// them identically.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        self.counters.encode(e);
+        self.queue.encode_state(e);
+        self.slo.encode_state(e);
+        match &self.rebalancer {
+            Some(rb) => {
+                true.encode(e);
+                rb.encode_state(e);
+            }
+            None => false.encode(e),
+        }
+        let mut future: Vec<(u32, u32, f64)> =
+            self.future.iter().map(|(&id, f)| (id, f.tenant, f.expected_s)).collect();
+        future.sort_by_key(|&(id, _, _)| id);
+        future.encode(e);
+        self.active.encode(e);
+        self.next_ctrl_id.encode(e);
+        self.tick_armed.encode(e);
+        match &self.energy {
+            Some(m) => {
+                true.encode(e);
+                m.encode_state(e);
+            }
+            None => false.encode(e),
+        }
+        self.whatif_outcomes.encode(e);
+    }
+
+    /// Restores dynamic controller state over a freshly attached
+    /// controller; `residue` supplies the deferred jobs by controller id.
+    /// Arrival and tick timers come back through the engine snapshot, so
+    /// nothing is re-armed here.
+    pub fn restore_state(&mut self, d: &mut Decoder, residue: &HashMap<u32, PendingJob>) {
+        self.counters = ControllerCounters::decode(d);
+        self.queue.restore_state(d, residue);
+        self.slo.restore_state(d);
+        if bool::decode(d) {
+            self.rebalancer
+                .as_mut()
+                .expect("snapshot has a rebalancer but the relaunched controller does not")
+                .restore_state(d);
+        }
+        let future = Vec::<(u32, u32, f64)>::decode(d);
+        self.future = future
+            .into_iter()
+            .map(|(id, tenant, expected_s)| {
+                let job = residue
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("snapshot residue missing scheduled job {id}"))
+                    .clone();
+                (id, FutureArrival { tenant, expected_s, job })
+            })
+            .collect();
+        self.active = HashMap::decode(d);
+        self.next_ctrl_id = u32::decode(d);
+        self.tick_armed = bool::decode(d);
+        if bool::decode(d) {
+            self.energy
+                .as_mut()
+                .expect("snapshot has an energy meter but the controller is not attached")
+                .restore_state(d);
+        }
+        self.whatif_outcomes = Vec::decode(d);
+        self.pending_whatif = None;
+    }
+}
+
+/// Prices the post-`moves` VM layout with the placement estimator, under
+/// the current per-host CPU background load.
+fn estimate_plan(
+    cluster: &VirtualCluster,
+    moves: &[(VmId, HostId)],
+    hint: &WorkloadHint,
+    host_load: &[f64],
+) -> f64 {
+    let mut map: Vec<u32> = cluster.vms().map(|v| cluster.host_of(v).0).collect();
+    for &(vm, dst) in moves {
+        map[vm.0 as usize] = dst.0;
+    }
+    estimate_makespan(cluster.spec(), &map, hint, host_load)
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ pub mod rebalance;
 
 /// Convenience imports.
 pub mod prelude {
-    pub use crate::controller::{Controller, ControllerConfig, ControllerCounters};
+    pub use crate::controller::{
+        Controller, ControllerConfig, ControllerCounters, WhatIfCandidate, WhatIfOutcome,
+        WhatIfRequest,
+    };
     pub use crate::placement::{
         apply_placement, estimate_makespan, AdaptivePlacement, PackPlacement, PlacementKind,
         PlacementPolicy, SpecPlacement, SpreadPlacement, WorkloadHint,
@@ -41,5 +44,7 @@ pub mod prelude {
         AdmissionQueue, JobSlo, QueueConfig, QueuePolicy, QueuedJob, SloConfig, SloReport,
         SloTracker,
     };
-    pub use crate::rebalance::{HostLoad, RebalanceConfig, RebalancePlan, Rebalancer};
+    pub use crate::rebalance::{
+        HostLoad, RebalanceConfig, RebalanceMode, RebalancePlan, Rebalancer,
+    };
 }

@@ -28,6 +28,14 @@ pub struct WorkloadHint {
     pub shuffle_bytes_per_task: u64,
 }
 
+impl Default for WorkloadHint {
+    fn default() -> Self {
+        // One modest map wave: what the paper's normal-vs-cross runs look
+        // like per job. Callers with real knowledge should override.
+        WorkloadHint { tasks: 8, cpu_secs_per_task: 2.0, shuffle_bytes_per_task: 16 << 20 }
+    }
+}
+
 /// Maps a cluster spec to an explicit VM→host assignment, or declines and
 /// keeps the spec's own placement.
 pub trait PlacementPolicy {

@@ -164,6 +164,48 @@ impl AdmissionQueue {
         *self.started_by_tenant.entry(job.tenant).or_insert(0) += 1;
         Some(job)
     }
+
+    /// Clones of the queued deferred jobs keyed by controller id — the
+    /// out-of-band half of a snapshot (submission closures cannot
+    /// serialize; they ride along as live `Rc` clones instead).
+    pub fn job_residue(&self) -> Vec<(u32, PendingJob)> {
+        self.pending.iter().map(|q| (q.ctrl_id, q.job.clone())).collect()
+    }
+
+    /// Encodes queue state. The `PendingJob`s travel separately via
+    /// [`AdmissionQueue::job_residue`].
+    pub fn encode_state(&self, e: &mut Encoder) {
+        self.pending.len().encode(e);
+        for q in &self.pending {
+            q.ctrl_id.encode(e);
+            q.tenant.encode(e);
+            q.arrival.encode(e);
+            q.expected_s.encode(e);
+        }
+        self.started_by_tenant.encode(e);
+        self.depth_hwm.encode(e);
+    }
+
+    /// Restores queue state, rejoining each entry with its deferred job
+    /// from `residue`.
+    pub fn restore_state(&mut self, d: &mut Decoder, residue: &HashMap<u32, PendingJob>) {
+        let n = usize::decode(d);
+        self.pending = (0..n)
+            .map(|_| {
+                let ctrl_id = u32::decode(d);
+                let tenant = u32::decode(d);
+                let arrival = SimTime::decode(d);
+                let expected_s = f64::decode(d);
+                let job = residue
+                    .get(&ctrl_id)
+                    .unwrap_or_else(|| panic!("snapshot residue missing queued job {ctrl_id}"))
+                    .clone();
+                QueuedJob { ctrl_id, tenant, arrival, expected_s, job }
+            })
+            .collect();
+        self.started_by_tenant = HashMap::decode(d);
+        self.depth_hwm = usize::decode(d);
+    }
 }
 
 /// SLO thresholds a run is judged against.
@@ -199,6 +241,29 @@ pub struct JobSlo {
     pub finished: Option<SimTime>,
     /// Expected solo service time, seconds.
     pub expected_s: f64,
+}
+
+impl Persist for JobSlo {
+    fn encode(&self, e: &mut Encoder) {
+        self.ctrl_id.encode(e);
+        self.tenant.encode(e);
+        self.arrival.encode(e);
+        self.admitted.encode(e);
+        self.started.encode(e);
+        self.finished.encode(e);
+        self.expected_s.encode(e);
+    }
+    fn decode(d: &mut Decoder) -> Self {
+        JobSlo {
+            ctrl_id: u32::decode(d),
+            tenant: u32::decode(d),
+            arrival: SimTime::decode(d),
+            admitted: bool::decode(d),
+            started: Option::<SimTime>::decode(d),
+            finished: Option::<SimTime>::decode(d),
+            expected_s: f64::decode(d),
+        }
+    }
 }
 
 impl JobSlo {
@@ -278,6 +343,17 @@ impl SloTracker {
     /// Every job seen so far.
     pub fn jobs(&self) -> &[JobSlo] {
         &self.jobs
+    }
+
+    /// Encodes the per-job lifecycle records (`by_id` is derived).
+    pub fn encode_state(&self, e: &mut Encoder) {
+        self.jobs.encode(e);
+    }
+
+    /// Restores the lifecycle records, rebuilding the id index.
+    pub fn restore_state(&mut self, d: &mut Decoder) {
+        self.jobs = Vec::decode(d);
+        self.by_id = self.jobs.iter().enumerate().map(|(i, j)| (j.ctrl_id, i)).collect();
     }
 
     /// Distills the recorded lifecycle into aggregate statistics.

@@ -10,8 +10,21 @@
 //! optionally plan a consolidation (pack onto the fullest host) to expose
 //! energy savings.
 
+use crate::placement::WorkloadHint;
 use simcore::prelude::*;
 use vcluster::cluster::{HostId, VirtualCluster, VmId};
+
+/// How the controller chooses among candidate migration plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebalanceMode {
+    /// Commit the heuristic plan directly (the seed behavior).
+    #[default]
+    Estimate,
+    /// Fork the simulation once per candidate plan, drive each fork to
+    /// completion, and commit the plan with the best *measured* makespan.
+    /// The forks also grade `estimate_makespan` against ground truth.
+    WhatIf,
+}
 
 /// Rebalancer tunables.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +46,11 @@ pub struct RebalanceConfig {
     pub cooldown: SimDuration,
     /// Plan pack-style consolidations when the whole cluster is cold.
     pub consolidate: bool,
+    /// How a fired plan is chosen: trust the heuristic, or fork-and-measure.
+    pub mode: RebalanceMode,
+    /// Workload description the estimator prices candidate layouts with
+    /// (read only in [`RebalanceMode::WhatIf`]).
+    pub hint: WorkloadHint,
 }
 
 impl Default for RebalanceConfig {
@@ -46,6 +64,8 @@ impl Default for RebalanceConfig {
             max_moves: 2,
             cooldown: SimDuration::from_secs(10),
             consolidate: false,
+            mode: RebalanceMode::Estimate,
+            hint: WorkloadHint::default(),
         }
     }
 }
@@ -186,6 +206,52 @@ impl Rebalancer {
             }
         }
         RebalancePlan::default()
+    }
+
+    /// Every viable single-destination relief plan off `src` — one per
+    /// destination host with CPU headroom — for what-if evaluation. The
+    /// heuristic plan's destination (the coldest host) is always among
+    /// them, so measuring can only match or beat the heuristic.
+    pub fn candidate_plans(
+        &self,
+        cluster: &VirtualCluster,
+        src: HostId,
+        loads: &[HostLoad],
+    ) -> Vec<RebalancePlan> {
+        (0..loads.len())
+            .filter(|&h| HostId(h as u32) != src && loads[h].cpu < loads[src.0 as usize].cpu)
+            .filter_map(|h| {
+                let moves = self.pick_moves(cluster, src, HostId(h as u32));
+                (!moves.is_empty()).then_some(RebalancePlan { moves, consolidation: false })
+            })
+            .collect()
+    }
+
+    /// Encodes the load-watcher state (the config is not encoded; a
+    /// restored controller is rebuilt from the same config).
+    pub fn encode_state(&self, e: &mut Encoder) {
+        self.marks.len().encode(e);
+        for m in &self.marks {
+            m.at.encode(e);
+            m.cpu_cum.encode(e);
+            m.nic_cum.encode(e);
+        }
+        self.hot_streak.encode(e);
+        self.last_plan.encode(e);
+    }
+
+    /// Restores the load-watcher state.
+    pub fn restore_state(&mut self, d: &mut Decoder) {
+        let n = usize::decode(d);
+        self.marks = (0..n)
+            .map(|_| Mark {
+                at: SimTime::decode(d),
+                cpu_cum: f64::decode(d),
+                nic_cum: f64::decode(d),
+            })
+            .collect();
+        self.hot_streak = Vec::decode(d);
+        self.last_plan = Option::decode(d);
     }
 
     /// Up to `max_moves` VMs off `src` onto `dst`, lowest VM ids first,

@@ -199,6 +199,39 @@ else
     grep -q '"touched_ratio"' "$perf"
 fi
 
+echo "==> snap: snapshot/restore/fork round-trips & what-if ablation"
+# The round-trip suite pins byte-identical replay after a mid-run
+# checkpoint (8 seeds x clean/faulted), fork divergence isolation, the
+# canonical-encoding fixed point, and the golden format hash tied to
+# SNAPSHOT_VERSION. Release profile: the suite replays ~50 full platform
+# runs.
+cargo test -q --release -p vhadoop-integration --test snapshot_roundtrip
+cargo run --release -q -p vhadoop-bench --bin ablations -- --case whatif > /dev/null
+wifcsv=results/whatif.csv
+test -s "$wifcsv" || { echo "missing or empty $wifcsv" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$wifcsv" <<'PY'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = list(csv.DictReader(f))
+by = lambda s: [r for r in rows if r["series"] == s]
+est, meas, chosen = by("estimated_s"), by("measured_s"), by("chosen")
+assert len(meas) >= 3, f"expected >= 3 what-if candidates, got {len(meas)}"
+assert len(est) == len(meas) == len(chosen), "candidate series misaligned"
+picked = [i for i, r in enumerate(chosen) if float(r["seconds"]) == 1.0]
+assert len(picked) == 1, f"exactly one candidate must be committed: {picked}"
+best = min(float(r["seconds"]) for r in meas)
+assert float(meas[picked[0]]["seconds"]) == best, "committed candidate not best-measured"
+mk = [float(r["seconds"]) for r in by("makespan")]
+assert len(mk) == 2 and mk[1] <= mk[0] * 1.05, f"what-if worse than estimator: {mk}"
+print(f"    {len(meas)} candidates, committed measured {best:.1f}s, "
+      f"makespan est {mk[0]:.1f}s vs what-if {mk[1]:.1f}s")
+PY
+else
+    grep -q "estimated_s" "$wifcsv"
+    grep -q "measured_s" "$wifcsv" || { echo "bad $wifcsv" >&2; exit 1; }
+fi
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
 # entropy anywhere in the simulation crates. The two offline bench

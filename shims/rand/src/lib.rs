@@ -214,6 +214,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state — a resumable cursor into the
+        /// stream. Pair with [`StdRng::from_state`] to checkpoint and
+        /// restore a generator mid-stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured by
+        /// [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ by Blackman & Vigna (public domain).

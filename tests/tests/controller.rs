@@ -177,6 +177,8 @@ fn rebalancer_migrates_vms_off_the_hot_host() {
         max_moves: 2,
         cooldown: SimDuration::from_secs(5),
         consolidate: false,
+        mode: RebalanceMode::Estimate,
+        hint: WorkloadHint::default(),
     });
     let mut p = VHadoop::launch(
         PlatformConfig::builder()
@@ -210,4 +212,69 @@ fn rebalancer_migrates_vms_off_the_hot_host() {
     // The moves really happened: host 0 no longer holds every VM.
     let on_host0 = (0..16).filter(|&v| p.rt.cluster.host_of(VmId(v)) == HostId(0)).count();
     assert!(on_host0 < 16, "no VM actually left the packed host");
+}
+
+/// The same hot-host scenario with the rebalancer in what-if mode: the
+/// decision is deferred, the platform forks per candidate destination,
+/// measures each, commits the best-measured move, and the estimator's
+/// error surfaces in `ControllerStats`.
+#[test]
+fn whatif_rebalancing_forks_measures_and_commits_best() {
+    let mut cfg = ControllerConfig::enabled_with(PlacementKind::Pack);
+    cfg.rebalance = Some(RebalanceConfig {
+        interval: SimDuration::from_secs(1),
+        hot_cpu: 0.5,
+        hot_nic: 0.9,
+        cold_cpu: 0.2,
+        hysteresis_ticks: 2,
+        max_moves: 2,
+        cooldown: SimDuration::from_secs(5),
+        consolidate: false,
+        mode: RebalanceMode::WhatIf,
+        hint: WorkloadHint::default(),
+    });
+    let mut p = VHadoop::launch(
+        PlatformConfig::builder()
+            .cluster(
+                ClusterSpec::builder().hosts(3).vms(12).placement(Placement::SingleDomain).build(),
+            )
+            .hdfs(HdfsConfig { block_size: MB, replication: 2 })
+            .no_monitor()
+            .tracing(true)
+            .seed(31)
+            .controller(cfg)
+            .build(),
+    );
+    for run in 0..2u32 {
+        p.schedule_job(SimTime::from_secs(u64::from(run)), run, 20.0, load_job(run, 10, 5.0, MB));
+    }
+    let done = p.drive_until_idle();
+    assert_eq!(done.len(), 2);
+
+    let outcomes = p.observe().whatif;
+    assert!(!outcomes.is_empty(), "hot host never triggered a what-if evaluation");
+    let first_at = outcomes[0].at;
+    let round: Vec<_> = outcomes.iter().filter(|o| o.at == first_at).collect();
+    assert!(round.len() >= 2, "pack on 3 hosts leaves >= 2 candidate destinations");
+    let chosen: Vec<_> = round.iter().filter(|o| o.chosen).collect();
+    assert_eq!(chosen.len(), 1, "exactly one candidate is committed per round");
+    assert!(
+        round.iter().all(|o| chosen[0].measured_s <= o.measured_s),
+        "committed candidate must have the best measured makespan"
+    );
+    assert!(round.iter().all(|o| o.measured_s > 0.0 && o.estimated_s > 0.0));
+
+    // The committed move really happened in the *parent*.
+    let c = p.controller().unwrap().counters();
+    assert!(c.migrations_planned > 0, "what-if never committed a move");
+    assert_eq!(c.migrations_completed, c.migrations_planned);
+    let trace = p.rt.engine.tracer().to_chrome_json();
+    assert!(trace.contains("whatif_defer"), "deferred decision not traced");
+    assert!(trace.contains("whatif_commit"), "commit not traced");
+
+    // Estimator error is distilled into ControllerStats.
+    let stats = p.metrics().ctrl.expect("controller stats");
+    assert_eq!(stats.whatif_evals, outcomes.len() as u64);
+    assert!(stats.whatif_estimator_err_max >= stats.whatif_estimator_err_mean);
+    assert!(stats.whatif_estimator_err_mean >= 0.0);
 }

@@ -1,0 +1,260 @@
+//! Snapshot/restore/fork determinism: a platform checkpointed at a random
+//! mid-run instant and restored must finish with **byte-identical** trace
+//! output — same spans, same order, same timestamps — and identical job
+//! outputs, across ≥8 seeds, clean and faulted. Forks diverge only through
+//! what happens to them afterwards; the parent never notices.
+
+mod common;
+
+use common::{fig2_hdfs, fig2_job, launch_fig2, sorted_outputs, MB};
+use vhadoop::persist::Snapshot;
+use vhadoop::prelude::*;
+use vhadoop::simcore::persist::{validate_header, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+
+const INPUT_BYTES: u64 = 4 * MB;
+
+/// Deterministic pseudo-random checkpoint step: a seed-mixed fraction of
+/// the run's total wakeup count, strictly mid-run (no RNG needed, and
+/// every seed checkpoints somewhere else).
+fn checkpoint_step(seed: u64, total_steps: usize) -> usize {
+    assert!(total_steps > 2, "run too short to checkpoint mid-way");
+    1 + (seed.wrapping_mul(2654435761) as usize) % (total_steps - 2)
+}
+
+/// The sweep's fault plan (same shape as seed_sweep's).
+fn faulted_plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(
+            SimTime::from_secs(1),
+            FaultKind::StragglerVm { vm: 2, factor: 0.2, duration: SimDuration::from_secs(2) },
+        )
+        .at(SimTime::from_secs(2), FaultKind::NodeCrash { vm: 7 })
+}
+
+/// Launches the Fig. 2 platform and submits the wordcount job without
+/// driving it — the caller steps the simulation explicitly.
+fn launch_and_submit(seed: u64, plan: FaultPlan) -> (VHadoop, JobId) {
+    let mut p = launch_fig2(INPUT_BYTES, seed, plan);
+    let (spec, app, input) = fig2_job(&mut p, INPUT_BYTES, seed);
+    let id = p.rt.submit(spec, app, input);
+    (p, id)
+}
+
+/// Steps `p` until the event queue drains; returns sorted outputs of the
+/// submitted job, the exported trace bytes, and how many wakeups it took.
+fn finish(mut p: VHadoop, id: JobId) -> (Vec<(String, i64)>, String, usize) {
+    let mut outputs = Vec::new();
+    let mut steps = 0;
+    while let Some((_, events)) = p.step() {
+        steps += 1;
+        for ev in events {
+            if let PlatformEvent::Job(JobEvent::JobDone(res)) = ev {
+                if res.id == id {
+                    outputs = sorted_outputs(&res);
+                }
+            }
+        }
+    }
+    assert!(!outputs.is_empty(), "job {id:?} never finished");
+    (outputs, p.rt.engine.tracer().to_chrome_json(), steps)
+}
+
+/// One seed of the round-trip check: reference run vs (checkpoint +
+/// restore) vs (checkpoint + parent keeps going).
+fn roundtrip_one(seed: u64, plan: FaultPlan) {
+    let (reference, ref_id) = launch_and_submit(seed, plan.clone());
+    let (ref_out, ref_trace, total) = finish(reference, ref_id);
+
+    let (mut parent, id) = launch_and_submit(seed, plan);
+    for _ in 0..checkpoint_step(seed, total) {
+        assert!(parent.step().is_some(), "seed {seed}: drained before the checkpoint step");
+    }
+    let snap = parent.snapshot();
+    assert_eq!(snap.version(), SNAPSHOT_VERSION);
+
+    // The restored platform finishes byte-identically to the reference.
+    let (out_r, trace_r, _) = finish(VHadoop::restore(&snap), id);
+    assert_eq!(out_r, ref_out, "seed {seed}: restored outputs diverged");
+    assert_eq!(trace_r, ref_trace, "seed {seed}: restored trace diverged");
+
+    // Taking the snapshot did not perturb the parent.
+    let (out_p, trace_p, _) = finish(parent, id);
+    assert_eq!(out_p, ref_out, "seed {seed}: parent outputs diverged after snapshot");
+    assert_eq!(trace_p, ref_trace, "seed {seed}: parent trace diverged after snapshot");
+}
+
+#[test]
+fn clean_checkpoint_restore_replays_byte_identically() {
+    for seed in 3000..3008u64 {
+        roundtrip_one(seed, FaultPlan::new());
+    }
+}
+
+#[test]
+fn faulted_checkpoint_restore_replays_byte_identically() {
+    for seed in 3000..3008u64 {
+        roundtrip_one(seed, faulted_plan());
+    }
+}
+
+#[test]
+fn fork_divergence_leaves_parent_untouched() {
+    let seed = 77u64;
+    let (reference, ref_id) = launch_and_submit(seed, FaultPlan::new());
+    let (ref_out, ref_trace, total) = finish(reference, ref_id);
+
+    let (mut parent, id) = launch_and_submit(seed, FaultPlan::new());
+    for _ in 0..total / 2 {
+        parent.step().expect("still mid-run");
+    }
+    let mut child = parent.fork();
+
+    // Hit the child — and only the child — with a straggler fault.
+    let at = child.now() + SimDuration::from_millis(10);
+    child.install_fault_plan(&FaultPlan::new().at(
+        at,
+        FaultKind::StragglerVm { vm: 3, factor: 0.1, duration: SimDuration::from_secs(5) },
+    ));
+    let (child_out, child_trace, _) = finish(child, id);
+    assert_eq!(child_out, ref_out, "wordcount output is fault-independent");
+    assert_ne!(child_trace, ref_trace, "the child's timeline must show the fault");
+    assert!(child_trace.contains("straggler_vm"), "child trace records the injected fault");
+
+    // The parent replays as if the fork never happened.
+    let (parent_out, parent_trace, _) = finish(parent, id);
+    assert_eq!(parent_out, ref_out);
+    assert_eq!(parent_trace, ref_trace, "forking perturbed the parent");
+}
+
+#[test]
+fn monitored_platform_round_trips() {
+    let seed = 9u64;
+    let launch = || {
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2)
+                        .vms(8)
+                        .placement(Placement::SingleDomain)
+                        .build(),
+                )
+                .hdfs(fig2_hdfs(INPUT_BYTES))
+                .monitor_interval(SimDuration::from_millis(200))
+                .tracing(true)
+                .seed(seed)
+                .build(),
+        );
+        let (spec, app, input) = fig2_job(&mut p, INPUT_BYTES, seed);
+        let id = p.rt.submit(spec, app, input);
+        (p, id)
+    };
+
+    let (mut reference, ref_id) = launch();
+    let mut done = false;
+    let mut steps_to_done = 0usize;
+    while let Some((_, evs)) = reference.step() {
+        steps_to_done += 1;
+        done |= evs
+            .iter()
+            .any(|e| matches!(e, PlatformEvent::Job(JobEvent::JobDone(r)) if r.id == ref_id));
+        if done && !reference.migration_busy() {
+            break;
+        }
+    }
+    assert!(done);
+    let ref_csv = reference.monitor().expect("monitored").to_csv();
+
+    let (mut parent, id) = launch();
+    for _ in 0..steps_to_done / 2 {
+        parent.step().expect("still mid-run");
+    }
+    let mut restored = VHadoop::restore(&parent.snapshot());
+    let mut done = false;
+    while let Some((_, evs)) = restored.step() {
+        done |=
+            evs.iter().any(|e| matches!(e, PlatformEvent::Job(JobEvent::JobDone(r)) if r.id == id));
+        if done && !restored.migration_busy() {
+            break;
+        }
+    }
+    assert!(done);
+    assert_eq!(
+        restored.monitor().expect("monitored").to_csv(),
+        ref_csv,
+        "restored monitor samples diverged"
+    );
+}
+
+#[test]
+fn snapshot_header_is_versioned_and_validated() {
+    let (mut p, _) = launch_and_submit(5, FaultPlan::new());
+    for _ in 0..50 {
+        p.step();
+    }
+    let snap: Snapshot = p.snapshot();
+    assert_eq!(&snap.bytes[..SNAPSHOT_MAGIC.len()], &SNAPSHOT_MAGIC);
+    assert_eq!(validate_header(&snap.bytes), Ok(SNAPSHOT_VERSION));
+
+    let mut corrupt = snap.bytes.clone();
+    corrupt[0] ^= 0xFF;
+    assert!(validate_header(&corrupt).is_err(), "corrupted magic must be rejected");
+
+    let mut skewed = snap.bytes.clone();
+    skewed[SNAPSHOT_MAGIC.len()] = 0xFF; // version LE low byte
+    assert!(validate_header(&skewed).is_err(), "future versions must be rejected");
+}
+
+#[test]
+fn snapshot_bytes_are_canonical_and_repeatable() {
+    // Two platforms driven identically to the same instant — including
+    // cancelled timers and completed flows along the way — must encode to
+    // the *same bytes*, and snapshotting twice must be idempotent.
+    let (reference, ref_id) = launch_and_submit(11, FaultPlan::new());
+    let (_, _, total) = finish(reference, ref_id);
+    let mk = || {
+        let (mut p, id) = launch_and_submit(11, FaultPlan::new());
+        for _ in 0..checkpoint_step(11, total) {
+            p.step();
+        }
+        (p, id)
+    };
+    let (mut a, _) = mk();
+    let (mut b, _) = mk();
+    let snap_a = a.snapshot();
+    assert_eq!(snap_a.bytes, b.snapshot().bytes, "equal states encoded to different bytes");
+    assert_eq!(snap_a.bytes, a.snapshot().bytes, "snapshot is not idempotent");
+    // A restored replica checkpoints to the very same bytes too.
+    let mut r = VHadoop::restore(&snap_a);
+    assert_eq!(r.snapshot().bytes, snap_a.bytes, "restore→snapshot is not a fixed point");
+}
+
+/// FNV-1a over the snapshot bytes of one pinned configuration. If this
+/// hash moves, the on-disk format changed: bump
+/// `simcore::persist::SNAPSHOT_VERSION` and re-pin.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn golden_snapshot_hash_pins_the_format() {
+    let (mut p, _) = launch_and_submit(1, FaultPlan::new());
+    for _ in 0..100 {
+        p.step();
+    }
+    let snap = p.snapshot();
+    assert_eq!(snap.version(), SNAPSHOT_VERSION);
+    let hash = fnv1a(&snap.bytes);
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "snapshot encoding changed (got {hash:#018x}); bump SNAPSHOT_VERSION and re-pin"
+    );
+}
+
+/// Pinned against SNAPSHOT_VERSION = 1.
+const GOLDEN_HASH: u64 = 0x5d85_20ea_bb58_88f3;
