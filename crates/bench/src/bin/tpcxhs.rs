@@ -1,0 +1,177 @@
+//! TPCx-HS — HSGen → HSSort → HSValidate with the HSph@SF figure of
+//! merit, swept over scale factors and cluster shapes (DESIGN.md §17):
+//!
+//! * `colocated` — every worker VM runs datanode + TaskTracker (the
+//!   paper's layout);
+//! * `disaggregated` — datanode VMs and TaskTracker VMs on disjoint
+//!   host sets (the Frankfurt virtualized-Hadoop "separated"
+//!   configuration): every map read and output write crosses the wire;
+//! * `hetero` — colocated on heterogeneous hosts (hosts 2-3 at half
+//!   CPU and quarter disk speed via [`HostClass`] multipliers).
+//!
+//! ```sh
+//! cargo run --release -p vhadoop-bench --bin tpcxhs [--quick]
+//! ```
+//!
+//! Writes `results/tpcxhs.{json,csv}` plus the repo-root
+//! `BENCH_tpcxhs.json` conformance record (one HSph@SF per SF ×
+//! configuration, each with its HSValidate verdict).
+
+use mapreduce::prelude::MrRuntime;
+use mapreduce::runtime::NodeRoles;
+use simcore::rng::RootSeed;
+use vcluster::cluster::VmId;
+use vcluster::spec::{ClusterSpec, HostClass, Placement};
+use vhadoop_bench::{non_decreasing, ResultSink};
+use workloads::tpcxhs::{run_tpcxhs, HsPlan, HsReport};
+
+const REPLICATION: u32 = 2;
+const BLOCK: u64 = 250_000;
+const REDUCES: u32 = 4;
+
+struct Config {
+    name: &'static str,
+    spec: ClusterSpec,
+    roles: NodeRoles,
+}
+
+fn configs() -> Vec<Config> {
+    // 1 master + 8 workers over 4 hosts in every shape, so the three
+    // configurations differ only in daemon placement and host speed.
+    let colocated =
+        ClusterSpec::builder().hosts(4).vms(9).placement(Placement::CrossDomain).build();
+    // Frankfurt "separated": storage VMs pinned to hosts 0-1, compute
+    // VMs to hosts 2-3 (master with the data) — every read, shuffle
+    // hop, and output write crosses host NICs.
+    let split = ClusterSpec::builder()
+        .hosts(4)
+        .vms(9)
+        .placement(Placement::Custom(vec![0, 0, 0, 1, 1, 2, 2, 3, 3]))
+        .build();
+    let hetero = ClusterSpec::builder()
+        .hosts(4)
+        .vms(9)
+        .placement(Placement::CrossDomain)
+        .host_classes(vec![
+            HostClass::default(),
+            HostClass::default(),
+            HostClass { cpu_mult: 0.5, disk_mult: 0.25 },
+            HostClass { cpu_mult: 0.5, disk_mult: 0.25 },
+        ])
+        .build();
+    vec![
+        Config { name: "colocated", spec: colocated, roles: NodeRoles::colocated() },
+        Config {
+            name: "disaggregated",
+            spec: split,
+            roles: NodeRoles::separated((1..=4).map(VmId).collect(), (5..=8).map(VmId).collect()),
+        },
+        Config { name: "hetero", spec: hetero, roles: NodeRoles::colocated() },
+    ]
+}
+
+fn run(cfg: &Config, sf_bytes: u64, seed: u64) -> HsReport {
+    let plan = HsPlan::new(sf_bytes, REDUCES, RootSeed(seed)).with_block_size(BLOCK);
+    let mut rt = MrRuntime::with_roles(
+        cfg.spec.clone(),
+        plan.hdfs_config(REPLICATION),
+        cfg.roles.clone(),
+        plan.seed,
+    );
+    run_tpcxhs(&mut rt, &plan)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sfs: Vec<u64> =
+        if quick { vec![1_000_000, 2_000_000] } else { vec![2_000_000, 4_000_000, 8_000_000] };
+    println!("tpcxhs: SFs {sfs:?} bytes, {REDUCES} reduces, block {BLOCK} (quick={quick})");
+
+    let mut sink = ResultSink::new("tpcxhs", "scale factor MB", "HSph@SF (GB/h)");
+    let mut bench = String::from("{\n  \"benchmark\": \"tpcxhs\",\n  \"runs\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    for cfg in configs() {
+        for &sf in &sfs {
+            let rep = run(&cfg, sf, 4242);
+            assert!(
+                rep.validate.passed,
+                "{}@{sf}: clean run must validate, got {:?}",
+                cfg.name, rep.validate.violations
+            );
+            println!(
+                "  {:<13} SF {:>9} B -> gen {:>7.1}s sort {:>7.1}s validate {:>7.1}s  HSph@SF {:>8.4}  [{}]",
+                cfg.name,
+                sf,
+                rep.gen_s,
+                rep.sort_s,
+                rep.validate_s,
+                rep.hsph,
+                if rep.validate.passed { "pass" } else { "FAIL" },
+            );
+            let sf_mb = sf as f64 / 1e6;
+            sink.push(cfg.name, sf_mb, rep.hsph);
+            sink.push(&format!("{}/total_s", cfg.name), sf_mb, rep.total_s);
+            rows.push(format!(
+                "    {{ \"config\": \"{}\", \"sf_bytes\": {}, \"hsph\": {:.6}, \"total_s\": {:.3}, \"gen_s\": {:.3}, \"sort_s\": {:.3}, \"validate_s\": {:.3}, \"records\": {}, \"validated\": {} }}",
+                cfg.name,
+                sf,
+                rep.hsph,
+                rep.total_s,
+                rep.gen_s,
+                rep.sort_s,
+                rep.validate_s,
+                rep.records,
+                rep.validate.passed,
+            ));
+        }
+    }
+    bench.push_str(&rows.join(",\n"));
+    bench.push_str("\n  ]\n}\n");
+    sink.finish();
+    match std::fs::write("BENCH_tpcxhs.json", &bench) {
+        Ok(()) => println!("wrote BENCH_tpcxhs.json"),
+        Err(e) => eprintln!("could not write BENCH_tpcxhs.json: {e}"),
+    }
+
+    // Shapes. The figure of merit amortizes startup with scale, so
+    // HSph@SF grows with SF for every configuration. Between layouts
+    // there is a crossover: with NFS-backed shared storage (the vHadoop
+    // architecture) every HDFS byte already crosses the storage path,
+    // so at small SF the Frankfurt "separated" layout's smaller compute
+    // tier (4 trackers vs 8) shrinks the shuffle fan-out and wins — but
+    // at larger SF colocation's doubled map slots dominate.
+    // Heterogeneous hosts can only drag the figure of merit down.
+    let at = |series: &str, sf: u64| {
+        let sf_mb = sf as f64 / 1e6;
+        sink.series_points(series)
+            .iter()
+            .find(|(x, _)| (*x - sf_mb).abs() < 1e-9)
+            .expect("measured")
+            .1
+    };
+    for name in ["colocated", "disaggregated", "hetero"] {
+        assert!(
+            non_decreasing(&sink.series_points(name), 0.02),
+            "{name}: HSph@SF must grow with the scale factor"
+        );
+    }
+    for &sf in &sfs {
+        assert!(
+            at("hetero", sf) <= at("colocated", sf) * 1.001,
+            "SF {sf}: hetero HSph must not beat homogeneous colocated"
+        );
+    }
+    let small = sfs[0];
+    assert!(
+        at("disaggregated", small) >= at("colocated", small) * 0.999,
+        "SF {small}: separation's smaller shuffle fan-out must win at small scale"
+    );
+    if !quick {
+        let big = *sfs.last().expect("sfs");
+        assert!(
+            at("colocated", big) >= at("disaggregated", big) * 0.999,
+            "SF {big}: colocation's extra map slots must win at large scale"
+        );
+    }
+    println!("tpcxhs: all shape assertions hold");
+}

@@ -127,6 +127,19 @@ impl MetricsSnapshot {
     }
 }
 
+/// HDFS data-integrity counters — the fail-fast inputs of the TPCx-HS
+/// HSValidate oracle (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegrityStats {
+    /// Blocks carrying a recorded content checksum.
+    pub checksummed_blocks: usize,
+    /// Blocks below the configured replication factor (self-healing
+    /// backlog).
+    pub under_replicated_blocks: usize,
+    /// Blocks with zero live replicas — acknowledged data lost.
+    pub lost_blocks: usize,
+}
+
 /// One-call observability facade over a running platform: run metrics,
 /// kernel counters, the fault log, the monitor's analysis, and any what-if
 /// evaluations — everything the ablation and figure binaries previously
@@ -143,6 +156,8 @@ pub struct Observation {
     pub monitor: Option<MonitorReport>,
     /// Fork-and-measure rebalance evaluations, in evaluation order.
     pub whatif: Vec<WhatIfOutcome>,
+    /// HDFS data-integrity counters at observation time.
+    pub integrity: IntegrityStats,
 }
 
 impl VHadoop {
@@ -169,6 +184,11 @@ impl VHadoop {
             faults: self.fault_log().to_vec(),
             monitor: self.monitor_report(),
             whatif: self.controller().map(|c| c.whatif_outcomes().to_vec()).unwrap_or_default(),
+            integrity: IntegrityStats {
+                checksummed_blocks: self.rt.hdfs.checksummed_blocks(),
+                under_replicated_blocks: self.rt.hdfs.under_replicated_blocks(),
+                lost_blocks: self.rt.hdfs.lost_blocks(),
+            },
         }
     }
 

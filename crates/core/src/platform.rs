@@ -22,7 +22,7 @@ use mapreduce::app::MapReduceApp;
 use mapreduce::config::JobConfig;
 use mapreduce::input::InputFormat;
 use mapreduce::job::{JobEvent, JobResult, JobSpec};
-use mapreduce::runtime::MrRuntime;
+use mapreduce::runtime::{MrRuntime, NodeRoles};
 use mapreduce::scheduler::SchedulerPolicy;
 use simcore::owners;
 use simcore::prelude::*;
@@ -51,6 +51,11 @@ pub struct PlatformConfig {
     pub cluster: ClusterSpec,
     /// HDFS parameters.
     pub hdfs: HdfsConfig,
+    /// Daemon placement: which VMs run datanodes and which run
+    /// TaskTrackers. Colocated by default (the paper's layout);
+    /// disaggregated data/compute layouts name disjoint sets
+    /// (DESIGN.md §17).
+    pub roles: NodeRoles,
     /// Live-migration parameters.
     pub migration: MigrationConfig,
     /// nmon sampling interval; `None` disables monitoring.
@@ -95,6 +100,7 @@ impl Default for PlatformConfig {
         PlatformConfig {
             cluster: ClusterSpec::paper_normal(),
             hdfs: HdfsConfig::default(),
+            roles: NodeRoles::colocated(),
             migration: MigrationConfig::default(),
             monitor_interval: Some(SimDuration::from_secs(1)),
             scheduler: SchedulerPolicy::default(),
@@ -130,6 +136,12 @@ impl PlatformConfigBuilder {
     /// Sets HDFS parameters.
     pub fn hdfs(mut self, hdfs: HdfsConfig) -> Self {
         self.cfg.hdfs = hdfs;
+        self
+    }
+
+    /// Sets daemon placement (datanode / TaskTracker VM sets).
+    pub fn roles(mut self, roles: NodeRoles) -> Self {
+        self.cfg.roles = roles;
         self
     }
 
@@ -246,7 +258,7 @@ impl VHadoop {
             let map = c.placement_map(&cluster);
             apply_placement(&mut cluster, map);
         }
-        let mut rt = MrRuntime::new(cluster, config.hdfs, seed);
+        let mut rt = MrRuntime::with_roles(cluster, config.hdfs, config.roles, seed);
         rt.mr.set_policy(config.scheduler);
         // Enable tracing before the monitor attaches, so the monitor's
         // column names are interned into a live tracer.

@@ -74,8 +74,19 @@ impl MrEngine {
 
     /// Like [`MrEngine::new`] with an explicit scheduling policy.
     pub fn with_policy(hdfs: &Hdfs, policy: SchedulerPolicy) -> Self {
+        Self::with_trackers(hdfs.datanodes().to_vec(), policy)
+    }
+
+    /// A JobTracker over an explicit TaskTracker set — disaggregated
+    /// layouts run TaskTrackers on VMs that are *not* datanodes
+    /// (DESIGN.md §17); the colocated default keeps trackers == datanodes.
+    ///
+    /// # Panics
+    /// If `trackers` is empty.
+    pub fn with_trackers(trackers: Vec<VmId>, policy: SchedulerPolicy) -> Self {
+        assert!(!trackers.is_empty(), "cluster too small: no TaskTrackers");
         MrEngine {
-            trackers: hdfs.datanodes().to_vec(),
+            trackers,
             jobs: HashMap::new(),
             next_job: 0,
             used_map_slots: HashMap::new(),
@@ -171,8 +182,11 @@ impl MrEngine {
         }
         let splits: Vec<SplitInfo> = match &spec.input_path {
             Some(path) => {
+                // An exact path is a single file; otherwise treat it as a
+                // directory of parts (a previous job's `part-r-*` output).
                 let locs = hdfs
                     .block_locations(path)
+                    .or_else(|| hdfs.dir_block_locations(path))
                     .unwrap_or_else(|| panic!("job input not in HDFS: {path}"));
                 assert_eq!(
                     locs.len(),

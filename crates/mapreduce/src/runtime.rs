@@ -7,11 +7,47 @@ use crate::app::MapReduceApp;
 use crate::engine::MrEngine;
 use crate::input::InputFormat;
 use crate::job::{JobEvent, JobId, JobResult, JobSpec};
+use crate::scheduler::SchedulerPolicy;
 use simcore::owners;
 use simcore::prelude::*;
 use vcluster::cluster::{VirtualCluster, VmId};
 use vcluster::spec::ClusterSpec;
 use vhdfs::hdfs::{Hdfs, HdfsConfig};
+
+/// Which VMs run which Hadoop daemons. The default (`None`/`None`) is the
+/// paper's colocated layout: every non-master VM runs both a datanode and
+/// a TaskTracker. Disaggregated data/compute layouts (the Frankfurt
+/// virtualized-Hadoop evaluation's "separated" configuration, DESIGN.md
+/// §17) name disjoint VM sets instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeRoles {
+    /// Datanode VMs; `None` = every VM except the master (VM 0).
+    pub datanodes: Option<Vec<VmId>>,
+    /// TaskTracker VMs; `None` = same set as the datanodes.
+    pub trackers: Option<Vec<VmId>>,
+}
+
+impl NodeRoles {
+    /// The colocated default (datanode + TaskTracker on every worker VM).
+    pub fn colocated() -> Self {
+        Self::default()
+    }
+
+    /// Fully separated daemons: `datanodes` store, `trackers` compute.
+    pub fn separated(datanodes: Vec<VmId>, trackers: Vec<VmId>) -> Self {
+        NodeRoles { datanodes: Some(datanodes), trackers: Some(trackers) }
+    }
+
+    /// True when some TaskTracker is not also a datanode (every map read
+    /// and output write crosses the network).
+    pub fn is_disaggregated(&self) -> bool {
+        match (&self.datanodes, &self.trackers) {
+            (_, None) => false,
+            (None, Some(_)) => true, // trackers restricted, datanodes everywhere
+            (Some(d), Some(t)) => t.iter().any(|vm| !d.contains(vm)),
+        }
+    }
+}
 
 /// Everything needed to run MapReduce jobs on a simulated virtual cluster.
 #[derive(Debug)]
@@ -29,10 +65,27 @@ pub struct MrRuntime {
 impl MrRuntime {
     /// Boots a cluster, formats HDFS, and starts the JobTracker.
     pub fn new(spec: ClusterSpec, hdfs_cfg: HdfsConfig, seed: RootSeed) -> Self {
+        Self::with_roles(spec, hdfs_cfg, NodeRoles::colocated(), seed)
+    }
+
+    /// Like [`MrRuntime::new`] with explicit daemon placement: `roles`
+    /// picks the datanode and TaskTracker VM sets (colocated by default).
+    pub fn with_roles(
+        spec: ClusterSpec,
+        hdfs_cfg: HdfsConfig,
+        roles: NodeRoles,
+        seed: RootSeed,
+    ) -> Self {
         let mut engine = Engine::new();
         let cluster = VirtualCluster::new(&mut engine, spec);
-        let hdfs = Hdfs::format(&cluster, hdfs_cfg, seed);
-        let mr = MrEngine::new(&hdfs);
+        let hdfs = match &roles.datanodes {
+            Some(dns) => Hdfs::format_with(&cluster, hdfs_cfg, seed, dns),
+            None => Hdfs::format(&cluster, hdfs_cfg, seed),
+        };
+        let mr = match &roles.trackers {
+            Some(tts) => MrEngine::with_trackers(tts.clone(), SchedulerPolicy::default()),
+            None => MrEngine::new(&hdfs),
+        };
         MrRuntime { engine, cluster, hdfs, mr }
     }
 

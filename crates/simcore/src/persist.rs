@@ -25,7 +25,8 @@ use std::collections::{HashMap, VecDeque};
 pub const SNAPSHOT_MAGIC: [u8; 6] = *b"VHSNAP";
 
 /// Format version written after the magic. Bump on **any** encoding change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// (v2: HDFS namespace gained the block-checksum side table.)
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Checks the header of a snapshot byte string without constructing a
 /// decoder; returns the embedded format version.

@@ -111,6 +111,25 @@ impl Default for XenParams {
     }
 }
 
+/// Per-host hardware class: multipliers applied on top of the shared
+/// [`HostSpec`] baseline. Heterogeneous clusters (the Frankfurt
+/// virtualized-Hadoop evaluation's mixed-generation hosts) assign one
+/// class per host; an empty class list means every host is the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostClass {
+    /// Multiplier on the host's aggregate CPU capacity (1.0 = baseline).
+    pub cpu_mult: f64,
+    /// Multiplier on the host's storage-lane bandwidth to the shared NFS
+    /// server (1.0 = baseline; models older HBAs/NICs on old hosts).
+    pub disk_mult: f64,
+}
+
+impl Default for HostClass {
+    fn default() -> Self {
+        HostClass { cpu_mult: 1.0, disk_mult: 1.0 }
+    }
+}
+
 /// Where the VMs of a cluster land on the physical machines.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Placement {
@@ -165,6 +184,9 @@ pub struct ClusterSpec {
     /// Network-tier geometry: racks, host→rack map, per-tier bandwidths
     /// and latencies. Defaults to one rack — the legacy flat wire.
     pub topology: TopologySpec,
+    /// Per-host hardware classes (one entry per host when non-empty;
+    /// empty = homogeneous baseline, the legacy layout byte-for-byte).
+    pub host_classes: Vec<HostClass>,
 }
 
 impl Default for ClusterSpec {
@@ -179,6 +201,7 @@ impl Default for ClusterSpec {
             xen: XenParams::default(),
             switch_bw: 8.0 * GBIT_PER_SEC,
             topology: TopologySpec::default(),
+            host_classes: Vec::new(),
         }
     }
 }
@@ -216,6 +239,12 @@ impl ClusterSpec {
         self.rack_of_host(self.host_of(vm))
     }
 
+    /// Hardware class of physical host `host` (baseline when no classes
+    /// are configured).
+    pub fn class_of(&self, host: u32) -> HostClass {
+        self.host_classes.get(host as usize).copied().unwrap_or_default()
+    }
+
     /// Validates internal consistency, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -241,6 +270,25 @@ impl ClusterSpec {
             }
         }
         self.topology.validate(self.hosts)?;
+        if !self.host_classes.is_empty() {
+            if self.host_classes.len() as u32 != self.hosts {
+                return Err(format!(
+                    "host_classes covers {} hosts but cluster has {}",
+                    self.host_classes.len(),
+                    self.hosts
+                ));
+            }
+            for (h, c) in self.host_classes.iter().enumerate() {
+                // NaN-safe positivity: NaN compares Greater to nothing.
+                let positive = |m: f64| m.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+                if !positive(c.cpu_mult) || !positive(c.disk_mult) {
+                    return Err(format!(
+                        "host {h} class multipliers must be positive (cpu {}, disk {})",
+                        c.cpu_mult, c.disk_mult
+                    ));
+                }
+            }
+        }
         // Memory oversubscription check per host.
         for h in 0..self.hosts {
             let packed: u64 =
@@ -331,6 +379,12 @@ impl ClusterSpecBuilder {
         self
     }
 
+    /// Per-host hardware classes (one per host; empty = homogeneous).
+    pub fn host_classes(mut self, classes: Vec<HostClass>) -> Self {
+        self.spec.host_classes = classes;
+        self
+    }
+
     /// Finalizes the spec.
     ///
     /// # Panics
@@ -405,5 +459,35 @@ mod tests {
     fn host_cpu_capacity() {
         let h = HostSpec::default();
         assert_eq!(h.cpu_capacity(), 8.0 * 2.4e9);
+    }
+
+    #[test]
+    fn host_classes_default_to_baseline() {
+        let s = ClusterSpec::default();
+        assert!(s.host_classes.is_empty());
+        assert_eq!(s.class_of(0), HostClass::default());
+        let s = ClusterSpec::builder()
+            .hosts(2)
+            .vms(4)
+            .host_classes(vec![HostClass::default(), HostClass { cpu_mult: 0.5, disk_mult: 0.5 }])
+            .build();
+        assert_eq!(s.class_of(1).cpu_mult, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "host_classes covers")]
+    fn builder_rejects_mismatched_host_classes() {
+        let _ =
+            ClusterSpec::builder().hosts(2).vms(4).host_classes(vec![HostClass::default()]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn builder_rejects_nonpositive_class_multipliers() {
+        let _ = ClusterSpec::builder()
+            .hosts(1)
+            .vms(4)
+            .host_classes(vec![HostClass { cpu_mult: 0.0, disk_mult: 1.0 }])
+            .build();
     }
 }

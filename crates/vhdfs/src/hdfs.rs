@@ -88,11 +88,34 @@ impl Hdfs {
     pub fn format(cluster: &VirtualCluster, cfg: HdfsConfig, seed: RootSeed) -> Self {
         let namenode = VmId(0);
         let datanodes: Vec<VmId> = cluster.vms().filter(|v| *v != namenode).collect();
+        Self::format_with(cluster, cfg, seed, &datanodes)
+    }
+
+    /// Formats a file system with an explicit datanode set — disaggregated
+    /// data/compute layouts run datanode daemons on a subset of the VMs
+    /// only (DESIGN.md §17).
+    ///
+    /// # Panics
+    /// If `datanodes` is empty, contains VM 0 (the namenode), duplicates,
+    /// or a VM the cluster does not have.
+    pub fn format_with(
+        cluster: &VirtualCluster,
+        cfg: HdfsConfig,
+        seed: RootSeed,
+        datanodes: &[VmId],
+    ) -> Self {
+        let namenode = VmId(0);
         assert!(!datanodes.is_empty(), "cluster too small: no datanodes");
+        let all: Vec<VmId> = cluster.vms().collect();
+        for (i, &d) in datanodes.iter().enumerate() {
+            assert_ne!(d, namenode, "the namenode cannot also be a datanode");
+            assert!(all.contains(&d), "{d} is not a VM of this cluster");
+            assert!(!datanodes[..i].contains(&d), "duplicate datanode {d}");
+        }
         Hdfs {
             cfg,
             namenode,
-            datanodes,
+            datanodes: datanodes.to_vec(),
             ns: Namespace::new(),
             ops: HashMap::new(),
             next_op: 0,
@@ -130,9 +153,78 @@ impl Hdfs {
             .collect()
     }
 
+    /// Replica locations per block of every file under directory
+    /// `prefix`, files in sorted path order, blocks in file order —
+    /// lets a job consume a multi-part output directory (`part-r-*`)
+    /// as one input. `None` if the directory is empty.
+    pub fn dir_block_locations(&self, prefix: &str) -> Option<Vec<(BlockId, u64, Vec<VmId>)>> {
+        let paths: Vec<String> =
+            self.ns.files_under(prefix).into_iter().map(str::to_string).collect();
+        if paths.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for p in paths {
+            out.extend(self.block_locations(&p).expect("listed file exists"));
+        }
+        Some(out)
+    }
+
     /// File metadata.
     pub fn stat(&self, path: &str) -> Option<&FileMeta> {
         self.ns.file(path)
+    }
+
+    // ----- checksum provenance (TPCx-HS, DESIGN.md §17) --------------------
+
+    /// Records per-block content checksums for `path`, one per block in
+    /// file order — data generators call this so validators can later
+    /// prove the bytes that came out are the bytes that went in.
+    ///
+    /// # Panics
+    /// If `path` does not exist or `sums.len()` differs from the file's
+    /// block count.
+    pub fn record_checksums(&mut self, path: &str, sums: &[u64]) {
+        let blocks = self
+            .ns
+            .file(path)
+            .unwrap_or_else(|| panic!("HDFS file not found: {path}"))
+            .blocks
+            .clone();
+        assert_eq!(blocks.len(), sums.len(), "checksum count must match block count for {path}");
+        for (b, &s) in blocks.iter().zip(sums) {
+            self.ns.set_checksum(*b, s);
+        }
+    }
+
+    /// Recorded checksums of `path`'s blocks in file order (`None` per
+    /// block when never recorded); `None` if the path does not exist.
+    pub fn block_checksums(&self, path: &str) -> Option<Vec<Option<u64>>> {
+        let f = self.ns.file(path)?;
+        Some(f.blocks.iter().map(|&b| self.ns.checksum(b)).collect())
+    }
+
+    /// Deterministically corrupts the recorded checksum of block
+    /// `block_idx` of `path` (bit-flip), simulating namenode metadata
+    /// corruption — conformance tests use this to prove the validator
+    /// actually checks provenance.
+    ///
+    /// # Panics
+    /// If the path, block index, or recorded checksum does not exist.
+    pub fn corrupt_checksum(&mut self, path: &str, block_idx: usize) {
+        let block =
+            self.ns.file(path).unwrap_or_else(|| panic!("HDFS file not found: {path}")).blocks
+                [block_idx];
+        let old = self
+            .ns
+            .checksum(block)
+            .unwrap_or_else(|| panic!("{path} block {block_idx} has no recorded checksum"));
+        self.ns.set_checksum(block, old ^ 0x8000_0000_0000_0001);
+    }
+
+    /// Number of blocks in the namespace carrying a recorded checksum.
+    pub fn checksummed_blocks(&self) -> usize {
+        self.ns.checksum_count()
     }
 
     /// Block metadata.
@@ -634,6 +726,67 @@ mod tests {
     fn namenode_rejoin_is_rejected() {
         let (_e, _c, mut h) = setup(Placement::SingleDomain);
         h.rejoin_datanode(VmId(0));
+    }
+
+    #[test]
+    fn format_with_restricts_the_datanode_set() {
+        let mut e = Engine::new();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(8).placement(Placement::SingleDomain).build();
+        let c = VirtualCluster::new(&mut e, spec);
+        let dns = [VmId(1), VmId(2), VmId(3)];
+        let mut h =
+            Hdfs::format_with(&c, HdfsConfig { block_size: MB, replication: 2 }, RootSeed(7), &dns);
+        assert_eq!(h.datanodes(), &dns);
+        // Even a non-datanode writer's blocks land only on datanodes.
+        h.register_file(&c, "/f", 10 * MB, VmId(6));
+        for (_, _, replicas) in h.block_locations("/f").unwrap() {
+            for r in replicas {
+                assert!(dns.contains(&r), "{r} is not a datanode");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot also be a datanode")]
+    fn format_with_rejects_the_namenode() {
+        let mut e = Engine::new();
+        let spec =
+            ClusterSpec::builder().hosts(2).vms(4).placement(Placement::SingleDomain).build();
+        let c = VirtualCluster::new(&mut e, spec);
+        Hdfs::format_with(&c, HdfsConfig::default(), RootSeed(7), &[VmId(0), VmId(1)]);
+    }
+
+    #[test]
+    fn dir_block_locations_concatenates_parts_in_path_order() {
+        let (e, c, mut h) = setup(Placement::SingleDomain);
+        let _ = e;
+        h.register_file(&c, "/out/part-r-00001", 70 * MB, VmId(1));
+        h.register_file(&c, "/out/part-r-00000", 100 * MB, VmId(2));
+        let locs = h.dir_block_locations("/out").expect("two parts");
+        // part-r-00000 first (2 blocks of 64+36 MB), then part-r-00001.
+        let f0 = h.stat("/out/part-r-00000").unwrap().blocks.clone();
+        let f1 = h.stat("/out/part-r-00001").unwrap().blocks.clone();
+        let got: Vec<BlockId> = locs.iter().map(|(b, _, _)| *b).collect();
+        let want: Vec<BlockId> = f0.into_iter().chain(f1).collect();
+        assert_eq!(got, want);
+        assert!(h.dir_block_locations("/empty").is_none());
+    }
+
+    #[test]
+    fn checksum_provenance_round_trips_and_corrupts() {
+        let (e, c, mut h) = setup(Placement::SingleDomain);
+        let _ = e;
+        h.register_file(&c, "/in", 130 * MB, VmId(1));
+        assert_eq!(h.block_checksums("/in").unwrap(), vec![None, None, None]);
+        h.record_checksums("/in", &[1, 2, 3]);
+        assert_eq!(h.block_checksums("/in").unwrap(), vec![Some(1), Some(2), Some(3)]);
+        assert_eq!(h.checksummed_blocks(), 3);
+        h.corrupt_checksum("/in", 1);
+        let sums = h.block_checksums("/in").unwrap();
+        assert_eq!(sums[0], Some(1));
+        assert_ne!(sums[1], Some(2));
+        assert_eq!(sums[2], Some(3));
     }
 
     #[test]

@@ -54,13 +54,15 @@ impl Persist for Namespace {
         self.blocks.encode(e);
         self.used.encode(e);
         e.u64(self.next_block);
+        self.checksums.encode(e);
     }
     fn decode(d: &mut Decoder) -> Self {
         let files = HashMap::<String, FileMeta>::decode(d);
         let blocks = HashMap::<BlockId, BlockMeta>::decode(d);
         let used = HashMap::<VmId, u64>::decode(d);
         let next_block = d.u64();
-        Namespace { files, blocks, used, next_block }
+        let checksums = HashMap::<BlockId, u64>::decode(d);
+        Namespace { files, blocks, used, next_block, checksums }
     }
 }
 
@@ -89,6 +91,9 @@ pub struct Namespace {
     blocks: HashMap<BlockId, BlockMeta>,
     used: HashMap<VmId, u64>,
     next_block: u64,
+    /// Sparse content-checksum side table (TPCx-HS provenance, DESIGN.md
+    /// §17). Blocks without a recorded checksum simply have no entry.
+    checksums: HashMap<BlockId, u64>,
 }
 
 impl Namespace {
@@ -169,6 +174,7 @@ impl Namespace {
             return false;
         };
         for b in meta.blocks {
+            self.checksums.remove(&b);
             if let Some(bm) = self.blocks.remove(&b) {
                 for vm in bm.replicas {
                     if let Some(u) = self.used.get_mut(&vm) {
@@ -227,6 +233,36 @@ impl Namespace {
         bm.replicas.push(vm);
         *self.used.entry(vm).or_insert(0) += bm.len;
     }
+
+    /// Records (or overwrites) the content checksum of `block`.
+    ///
+    /// # Panics
+    /// If the block is unknown.
+    pub fn set_checksum(&mut self, block: BlockId, sum: u64) {
+        assert!(self.blocks.contains_key(&block), "unknown block id {block}");
+        self.checksums.insert(block, sum);
+    }
+
+    /// The recorded content checksum of `block`, if any.
+    pub fn checksum(&self, block: BlockId) -> Option<u64> {
+        self.checksums.get(&block).copied()
+    }
+
+    /// Number of blocks carrying a recorded checksum.
+    pub fn checksum_count(&self) -> usize {
+        self.checksums.len()
+    }
+
+    /// Paths directly or transitively under directory `prefix`
+    /// (`prefix + "/..."`), sorted — HDFS has no directory inodes, so
+    /// a listing is a prefix scan of the file table.
+    pub fn files_under(&self, prefix: &str) -> Vec<&str> {
+        let want = format!("{}/", prefix.trim_end_matches('/'));
+        let mut v: Vec<&str> =
+            self.files.keys().map(String::as_str).filter(|p| p.starts_with(&want)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 #[cfg(test)]
@@ -274,5 +310,29 @@ mod tests {
         let mut ns = Namespace::new();
         ns.create_file("/a", 1, 64, |_| vec![VmId(1)]);
         ns.create_file("/a", 1, 64, |_| vec![VmId(1)]);
+    }
+
+    #[test]
+    fn checksums_are_sparse_and_deleted_with_the_file() {
+        let mut ns = Namespace::new();
+        let blocks = ns.create_file("/a", 150, 64, |_| vec![VmId(1)]).blocks.clone();
+        assert_eq!(ns.checksum(blocks[0]), None);
+        ns.set_checksum(blocks[0], 0xfeed);
+        ns.set_checksum(blocks[1], 0xbeef);
+        assert_eq!(ns.checksum(blocks[0]), Some(0xfeed));
+        assert_eq!(ns.checksum_count(), 2);
+        assert!(ns.delete_file("/a"));
+        assert_eq!(ns.checksum_count(), 0);
+    }
+
+    #[test]
+    fn files_under_lists_the_directory_sorted() {
+        let mut ns = Namespace::new();
+        for p in ["/out/part-r-00001", "/out/part-r-00000", "/outlier", "/in/x"] {
+            ns.create_file(p, 10, 64, |_| vec![VmId(1)]);
+        }
+        assert_eq!(ns.files_under("/out"), vec!["/out/part-r-00000", "/out/part-r-00001"]);
+        assert_eq!(ns.files_under("/out/"), vec!["/out/part-r-00000", "/out/part-r-00001"]);
+        assert!(ns.files_under("/none").is_empty());
     }
 }

@@ -6,6 +6,7 @@
 //! | MRBench     | MapReduce          | [`mrbench`] |
 //! | TeraSort    | MapReduce & HDFS   | [`terasort`] |
 //! | TestDFSIO   | HDFS               | [`dfsio`] |
+//! | TPCx-HS     | MapReduce & HDFS   | [`tpcxhs`] |
 //!
 //! Plus [`textgen`], the TOEFL-reading-material stand-in (Zipf-distributed
 //! English-like corpus). Every driver builds a fresh simulated cluster per
@@ -19,6 +20,7 @@ pub mod loadgen;
 pub mod mrbench;
 pub mod terasort;
 pub mod textgen;
+pub mod tpcxhs;
 pub mod wordcount;
 
 /// Convenience imports.
@@ -30,5 +32,10 @@ pub mod prelude {
     pub use crate::mrbench::{run_mrbench, MrBenchApp, MrBenchReport};
     pub use crate::terasort::{run_terasort, validate, TeraSortReport};
     pub use crate::textgen::TextCorpus;
+    pub use crate::tpcxhs::{
+        hsgen_job, hssort_job, hsvalidate_job, hsvalidate_verdict, integrity_prescan,
+        record_sort_checksums, register_hsgen, run_tpcxhs, HsCorruption, HsPlan, HsReport,
+        HsValidateReport, HsViolation,
+    };
     pub use crate::wordcount::{run_wordcount, WordCountApp, WordcountReport};
 }

@@ -232,6 +232,52 @@ else
     grep -q "measured_s" "$wifcsv" || { echo "bad $wifcsv" >&2; exit 1; }
 fi
 
+echo "==> hs: TPCx-HS conformance suite & benchmark sweep"
+# The integration suite pins trace determinism across seeds, corruption
+# and replica-loss diagnosis, the disaggregated-vs-colocated ordering,
+# and the mid-HSSort snapshot round-trip; the quick sweep then runs all
+# three cluster shapes at two scale factors and must validate cleanly
+# with the figure of merit growing with SF in every configuration.
+cargo test -q -p vhadoop-integration --test tpcxhs
+cargo run --release -q -p vhadoop-bench --bin tpcxhs -- --quick > /dev/null
+hs=BENCH_tpcxhs.json
+test -s "$hs" || { echo "missing or empty $hs" >&2; exit 1; }
+test -s results/tpcxhs.json || { echo "missing results/tpcxhs.json" >&2; exit 1; }
+test -s results/tpcxhs.csv || { echo "missing results/tpcxhs.csv" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$hs" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["benchmark"] == "tpcxhs", "bad bench schema"
+runs = d["runs"]
+for r in runs:
+    for k in ("config", "sf_bytes", "hsph", "total_s", "gen_s", "sort_s",
+              "validate_s", "records", "validated"):
+        assert k in r, f"run missing key {k}"
+    assert r["validated"] is True, f"HSValidate failed on a clean run: {r}"
+    assert r["records"] * 100 == r["sf_bytes"], f"record accounting drifted: {r}"
+configs = sorted({r["config"] for r in runs})
+assert configs == ["colocated", "disaggregated", "hetero"], configs
+for c in configs:
+    pts = sorted((r["sf_bytes"], r["hsph"]) for r in runs if r["config"] == c)
+    assert len(pts) >= 2, f"{c}: expected a scale-factor sweep"
+    foms = [y for _, y in pts]
+    assert all(b >= a * 0.98 for a, b in zip(foms, foms[1:])), \
+        f"{c}: HSph@SF must grow with the scale factor: {foms}"
+print(f"    {len(runs)} runs over {len(configs)} shapes, all validated; "
+      f"HSph@SF monotone per shape")
+PY
+else
+    grep -q '"benchmark": "tpcxhs"' "$hs"
+    if grep -q '"validated": false' "$hs"; then
+        echo "HSValidate failed on a clean run" >&2; exit 1
+    fi
+    for c in colocated disaggregated hetero; do
+        grep -q "\"config\": \"$c\"" "$hs" || { echo "missing shape $c" >&2; exit 1; }
+    done
+fi
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
 # entropy anywhere in the simulation crates. The two offline bench

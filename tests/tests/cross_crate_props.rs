@@ -130,6 +130,73 @@ fn random_fault_plans_preserve_results_and_data() {
     });
 }
 
+/// HSSort under random `FaultPlan`s never yields a silently wrong
+/// validated run: either HSValidate passes AND the output really is
+/// globally sorted and record-count-preserving, or the run reports an
+/// explicit failure (a violation, or a panic on drain — termination is
+/// part of the property).
+#[test]
+fn random_fault_plans_never_validate_a_wrong_hssort() {
+    use vhadoop::prelude::*;
+    use workloads::tpcxhs::{
+        hsgen_job, hssort_job, hsvalidate_job, hsvalidate_verdict, integrity_prescan,
+        record_sort_checksums, register_hsgen, HsPlan,
+    };
+
+    proptest::check("hssort-under-faults", proptest::Config::with_cases(4), |g| {
+        let vms = g.u32_in(6, 9);
+        let seed = g.u64_in(0, 10_000);
+        let plan = HsPlan::new(400_000, 2, RootSeed(seed)).with_block_size(100_000);
+        let mut profile = FaultProfile::new(vms, 2);
+        profile.max_events = g.u32_in(1, 4);
+        let fault_plan = FaultPlan::random(&profile, RootSeed(g.u64_in(0, u64::MAX - 1)));
+
+        let mut p = VHadoop::launch(
+            PlatformConfig::builder()
+                .cluster(
+                    ClusterSpec::builder()
+                        .hosts(2)
+                        .vms(vms)
+                        .placement(Placement::CrossDomain)
+                        .build(),
+                )
+                .hdfs(plan.hdfs_config(3))
+                .no_monitor()
+                .faults(fault_plan)
+                .seed(seed)
+                .build(),
+        );
+        let (spec, app, input) = hsgen_job(&plan);
+        p.run_job(spec, app, input);
+        register_hsgen(&mut p.rt, &plan);
+        let (spec, app, input) = hssort_job(&plan);
+        let sort = p.run_job(spec, app, input);
+        while p.step().is_some() {}
+        record_sort_checksums(&mut p.rt, &sort);
+
+        let pre = integrity_prescan(&p.rt);
+        if !pre.is_empty() {
+            return; // explicit failure — diagnosed, not silent
+        }
+        let (spec, app, input) = hsvalidate_job(&p.rt, &plan, &sort);
+        let vres = p.run_job(spec, app, input);
+        let verdict = hsvalidate_verdict(&p.rt, &plan, &vres);
+        if verdict.passed {
+            // A passing verdict must be *true*: re-check the claimed
+            // invariants directly against the output.
+            assert!(
+                sort.outputs.windows(2).all(|w| w[0].0 <= w[1].0),
+                "verdict passed but the output is not globally sorted"
+            );
+            assert_eq!(
+                sort.outputs.len() as u64,
+                plan.total_records(),
+                "verdict passed but records were lost or duplicated"
+            );
+        }
+    });
+}
+
 /// Rack-aware placement: on a two-rack fabric with the default
 /// replication factor, every chosen replica set spans at least two racks
 /// whenever both racks hold datanodes — the invariant that makes a block

@@ -256,5 +256,6 @@ fn golden_snapshot_hash_pins_the_format() {
     );
 }
 
-/// Pinned against SNAPSHOT_VERSION = 1.
-const GOLDEN_HASH: u64 = 0x5d85_20ea_bb58_88f3;
+/// Pinned against SNAPSHOT_VERSION = 2 (the HDFS namespace gained the
+/// block-checksum side table).
+const GOLDEN_HASH: u64 = 0x44b5_bd5a_2180_05fc;
