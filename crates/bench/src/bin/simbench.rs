@@ -1,22 +1,34 @@
-//! Kernel micro-bench: incremental component-partitioned fluid solver vs.
-//! the former global re-solve, on synthetic churn shaped like the paper's
-//! worst cases (shuffle storms, migration under load, fault-plan churn) at
-//! 16→256 VMs.
+//! Kernel micro-bench: the arena/SoA + batched + parallel fluid kernel vs.
+//! the frozen PR-4 kernel (`vhadoop_bench::legacy`), on synthetic churn
+//! shaped like the paper's worst cases — shuffle storms, migration under
+//! load, fault-plan churn, and BSP-style iterative compute waves — from 16
+//! up to 16384 VMs.
 //!
-//! Offline and criterion-free: each scenario runs twice — once with
-//! [`Engine::set_full_reallocate`] forcing the old global pass, once
-//! incrementally — asserts the two wakeup sequences are **identical**
-//! (the optimization is output-invariant), and reports wall-clock
-//! (`std::time::Instant`, the one sanctioned use outside the determinism
-//! lint) plus the machine-independent kernel counters
-//! (`reallocations`, `flows_touched`, `resources_touched`).
+//! Offline and criterion-free. Every case drives the *identical* scenario
+//! script through up to four kernels and asserts all wakeup sequences are
+//! **identical** (every optimization is output-invariant):
+//!
+//! - `legacy` — the frozen PR-4 engine (one re-solve per mutation,
+//!   AoS flow storage, HashMap timers): the honest wall-clock baseline.
+//! - `seq` — the rewritten kernel, worker pool forced to 1 thread.
+//! - `par` — the rewritten kernel at `--threads N` (default:
+//!   `min(8, available_parallelism)`).
+//! - `full` — the rewritten kernel with [`Engine::set_full_reallocate`]
+//!   (the pre-incremental global pass); only run at ≤ 256 VMs where it is
+//!   affordable, preserving the PR-4-era touched-ratio trajectory.
+//!
+//! Wall-clock uses `std::time::Instant` (a sanctioned use under the
+//! determinism lint); everything gate-worthy is pinned on the
+//! machine-independent kernel counters (`reallocations`, `flows_touched`,
+//! `batch_applied`, ...).
 //!
 //! ```sh
-//! cargo run --release -p vhadoop-bench --bin simbench             # full sweep
-//! cargo run --release -p vhadoop-bench --bin simbench -- --quick  # CI scenario
+//! cargo run --release -p vhadoop-bench --bin simbench                # full sweep
+//! cargo run --release -p vhadoop-bench --bin simbench -- --quick     # CI case
+//! cargo run --release -p vhadoop-bench --bin simbench -- --threads 4
 //! ```
 //!
-//! Emits `results/bench_simcore.json` (all scenarios) and refreshes the
+//! Emits `results/bench_simcore.json` (all cases) and refreshes the
 //! repo-root `BENCH_simcore.json` trajectory point consumed by the
 //! check.sh `perf` stage.
 
@@ -24,52 +36,241 @@ use rand::Rng;
 use simcore::prelude::*;
 use std::fmt::Write as _;
 use std::time::Instant;
+use vhadoop_bench::legacy::LegacyEngine;
 use vhadoop_bench::write_artifact;
 
+/// Machine-independent work counters unified across both kernels (the
+/// legacy kernel reports zero for statistics it predates).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Counters {
+    reallocations: u64,
+    flows_touched: u64,
+    resources_touched: u64,
+    batch_applied: u64,
+    components_solved_parallel: u64,
+    comp_size_p99: u64,
+    comp_size_max: u64,
+    wakeups: u64,
+}
+
+/// The minimal driving surface shared by the rewritten kernel and the
+/// frozen PR-4 baseline, so one scenario script produces both wakeup
+/// streams being compared. Resources are dense `u32` indices (allocation
+/// order is identical on both sides by construction).
+trait Kernel {
+    /// Timer handle type (generation-stamped on the new kernel, a bare
+    /// counter on the legacy one).
+    type Timer: Copy;
+    fn add_resource(&mut self, name: String, kind: ResourceKind, capacity: f64) -> u32;
+    fn capacity(&self, r: u32) -> f64;
+    fn set_capacity(&mut self, r: u32, capacity: f64);
+    fn start_flow(&mut self, demands: &[(u32, f64)], work: f64, tag: Tag);
+    fn set_timer_at(&mut self, at: SimTime, tag: Tag) -> Self::Timer;
+    fn set_timer_in(&mut self, d: SimDuration, tag: Tag) -> Self::Timer;
+    fn cancel_timer(&mut self, t: Self::Timer) -> bool;
+    fn next_wakeup(&mut self) -> Option<(SimTime, Tag)>;
+    fn counters(&self) -> Counters;
+    /// Export kernel counters into the trace (new kernel only).
+    fn sample_trace(&mut self) {}
+}
+
+/// The rewritten kernel under a configurable worker pool.
+struct NewKernel {
+    e: Engine,
+}
+
+impl NewKernel {
+    fn new(threads: usize, full: bool, trace: bool) -> Self {
+        let mut e = Engine::new();
+        e.set_solver_threads(threads);
+        e.set_full_reallocate(full);
+        if trace {
+            e.tracer_mut().set_enabled(true);
+        }
+        NewKernel { e }
+    }
+}
+
+impl Kernel for NewKernel {
+    type Timer = TimerId;
+
+    fn add_resource(&mut self, name: String, kind: ResourceKind, capacity: f64) -> u32 {
+        self.e.add_resource(name, kind, capacity).index() as u32
+    }
+
+    fn capacity(&self, r: u32) -> f64 {
+        self.e.fluid().capacity(ResourceId::from_index(r as usize))
+    }
+
+    fn set_capacity(&mut self, r: u32, capacity: f64) {
+        self.e.set_capacity(ResourceId::from_index(r as usize), capacity);
+    }
+
+    fn start_flow(&mut self, demands: &[(u32, f64)], work: f64, tag: Tag) {
+        let demands = demands
+            .iter()
+            .map(|&(r, w)| Demand::weighted(ResourceId::from_index(r as usize), w))
+            .collect();
+        self.e.start_flow(demands, work, tag);
+    }
+
+    fn set_timer_at(&mut self, at: SimTime, tag: Tag) -> TimerId {
+        self.e.set_timer_at(at, tag)
+    }
+
+    fn set_timer_in(&mut self, d: SimDuration, tag: Tag) -> TimerId {
+        self.e.set_timer_in(d, tag)
+    }
+
+    fn cancel_timer(&mut self, t: TimerId) -> bool {
+        self.e.cancel_timer(t)
+    }
+
+    fn next_wakeup(&mut self) -> Option<(SimTime, Tag)> {
+        self.e.next_wakeup().map(|(t, w)| (t, w.tag()))
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.e.kernel_stats();
+        Counters {
+            reallocations: s.reallocations,
+            flows_touched: s.flows_touched,
+            resources_touched: s.resources_touched,
+            batch_applied: s.batch_applied,
+            components_solved_parallel: s.components_solved_parallel,
+            comp_size_p99: s.comp_size_p99,
+            comp_size_max: s.comp_size_max,
+            wakeups: s.wakeups,
+        }
+    }
+
+    fn sample_trace(&mut self) {
+        self.e.trace_kernel_counters();
+    }
+}
+
+/// The frozen PR-4 baseline.
+struct LegacyKernel {
+    e: LegacyEngine,
+}
+
+impl Kernel for LegacyKernel {
+    type Timer = u64;
+
+    fn add_resource(&mut self, _name: String, _kind: ResourceKind, capacity: f64) -> u32 {
+        self.e.add_resource(capacity)
+    }
+
+    fn capacity(&self, r: u32) -> f64 {
+        self.e.capacity(r)
+    }
+
+    fn set_capacity(&mut self, r: u32, capacity: f64) {
+        self.e.set_capacity(r, capacity);
+    }
+
+    fn start_flow(&mut self, demands: &[(u32, f64)], work: f64, tag: Tag) {
+        self.e.start_flow(demands.to_vec(), work, tag);
+    }
+
+    fn set_timer_at(&mut self, at: SimTime, tag: Tag) -> u64 {
+        self.e.set_timer_at(at, tag)
+    }
+
+    fn set_timer_in(&mut self, d: SimDuration, tag: Tag) -> u64 {
+        self.e.set_timer_in(d, tag)
+    }
+
+    fn cancel_timer(&mut self, t: u64) -> bool {
+        self.e.cancel_timer(t)
+    }
+
+    fn next_wakeup(&mut self) -> Option<(SimTime, Tag)> {
+        self.e.next_wakeup()
+    }
+
+    fn counters(&self) -> Counters {
+        let s = self.e.stats();
+        Counters {
+            reallocations: s.reallocations,
+            flows_touched: s.flows_touched,
+            resources_touched: s.resources_touched,
+            wakeups: s.wakeups,
+            ..Counters::default()
+        }
+    }
+}
+
+/// VMs per rack-level aggregation resource (32 hosts a rack). The wave
+/// scenario joins every task to its rack aggregator, merging a rack's
+/// flows into one connected component without ever binding their rates.
+const RACK_VMS: u32 = 256;
+
 /// Synthetic cluster shape: `vms` VMs packed 8 per host, one vCPU resource
-/// per VM, one CPU + NIC per host, one shared switch. Compute flows stay
-/// inside their host (per-host components); transfers cross the switch and
-/// transiently merge components — the honest adversary for the
-/// component-partitioned solver.
+/// per VM, one CPU + NIC per host, one shared switch, plus one rack-level
+/// aggregation resource per [`RACK_VMS`] VMs. Compute flows stay inside
+/// their host; transfers cross the switch and transiently merge
+/// components — the honest adversary for the component-partitioned solver.
 struct Topo {
-    vcpu: Vec<ResourceId>,
-    host_cpu: Vec<ResourceId>,
-    nic: Vec<ResourceId>,
-    switch: ResourceId,
+    vcpu: Vec<u32>,
+    host_cpu: Vec<u32>,
+    nic: Vec<u32>,
+    switch: u32,
+    rack_agg: Vec<u32>,
     hosts: u32,
 }
 
 impl Topo {
-    fn build(e: &mut Engine, vms: u32) -> Topo {
+    fn build<K: Kernel>(k: &mut K, vms: u32) -> Topo {
         let hosts = vms.div_ceil(8).max(1);
+        let racks = vms.div_ceil(RACK_VMS).max(1);
         let host_cpu = (0..hosts)
-            .map(|h| e.add_resource(format!("host{h}.cpu"), ResourceKind::Cpu, 32e9))
+            .map(|h| k.add_resource(format!("host{h}.cpu"), ResourceKind::Cpu, 32e9))
             .collect();
         let nic = (0..hosts)
-            .map(|h| e.add_resource(format!("host{h}.nic"), ResourceKind::Net, 1.25e9))
+            .map(|h| k.add_resource(format!("host{h}.nic"), ResourceKind::Net, 1.25e9))
             .collect();
         let vcpu = (0..vms)
-            .map(|v| e.add_resource(format!("vm{v}.vcpu"), ResourceKind::Cpu, 4e9))
+            .map(|v| k.add_resource(format!("vm{v}.vcpu"), ResourceKind::Cpu, 4e9))
             .collect();
-        let switch = e.add_resource("switch", ResourceKind::Net, 10e9);
-        Topo { vcpu, host_cpu, nic, switch, hosts }
+        let switch = k.add_resource("switch".into(), ResourceKind::Net, 10e9);
+        let rack_agg = (0..racks)
+            .map(|r| k.add_resource(format!("rack{r}.agg"), ResourceKind::Net, 1e12))
+            .collect();
+        Topo { vcpu, host_cpu, nic, switch, rack_agg, hosts }
     }
 
     fn host_of(&self, vm: u32) -> u32 {
         (vm / 8).min(self.hosts - 1)
     }
 
-    fn compute(&self, vm: u32, work: f64) -> (Vec<Demand>, f64) {
+    fn compute(&self, vm: u32, work: f64) -> (Vec<(u32, f64)>, f64) {
         let h = self.host_of(vm) as usize;
-        (vec![Demand::unit(self.vcpu[vm as usize]), Demand::unit(self.host_cpu[h])], work)
+        (vec![(self.vcpu[vm as usize], 1.0), (self.host_cpu[h], 1.0)], work)
     }
 
-    fn transfer(&self, src_vm: u32, dst_vm: u32, bytes: f64) -> (Vec<Demand>, f64) {
+    /// One BSP wave task: host-local compute joined to the (non-binding)
+    /// rack aggregation resource, so a whole rack re-solves as one
+    /// component while every task still runs at its vCPU rate.
+    fn wave_task(&self, vm: u32, work: f64) -> (Vec<(u32, f64)>, f64) {
+        let h = self.host_of(vm) as usize;
+        let rack = (vm / RACK_VMS).min(self.rack_agg.len() as u32 - 1) as usize;
+        (
+            vec![
+                (self.vcpu[vm as usize], 1.0),
+                (self.host_cpu[h], 1.0),
+                (self.rack_agg[rack], 1.0),
+            ],
+            work,
+        )
+    }
+
+    fn transfer(&self, src_vm: u32, dst_vm: u32, bytes: f64) -> (Vec<(u32, f64)>, f64) {
         let s = self.host_of(src_vm) as usize;
         let d = self.host_of(dst_vm) as usize;
-        let mut demands = vec![Demand::unit(self.nic[s]), Demand::unit(self.switch)];
+        let mut demands = vec![(self.nic[s], 1.0), (self.switch, 1.0)];
         if d != s {
-            demands.push(Demand::unit(self.nic[d]));
+            demands.push((self.nic[d], 1.0));
         }
         (demands, bytes)
     }
@@ -86,6 +287,12 @@ enum Scenario {
     /// Compute churn plus a random [`FaultPlan`] translated into capacity
     /// degrade/restore cycles and mass timer arm/cancel churn.
     FaultChurn,
+    /// BSP-style iterative ML: synchronized waves of equal-work tasks, one
+    /// per VM. Every wave completes at a single instant and respawns in
+    /// one burst — the showcase for batched event application (one
+    /// reallocation per wave instead of one per task) and the parallel
+    /// component re-solve (one component per rack).
+    IterativeWaves,
 }
 
 impl Scenario {
@@ -94,6 +301,7 @@ impl Scenario {
             Scenario::ShuffleStorm => "shuffle_storm",
             Scenario::MigrationUnderLoad => "migration_under_load",
             Scenario::FaultChurn => "fault_churn",
+            Scenario::IterativeWaves => "iterative_waves",
         }
     }
 }
@@ -103,80 +311,101 @@ const OWNER_COMPUTE: u32 = 1;
 const OWNER_TRANSFER: u32 = 2;
 const OWNER_CHAFF: u32 = 3;
 const OWNER_FAULT: u32 = 4;
+const OWNER_WAVE: u32 = 5;
+
+/// Per-wave task sizes (equal *within* a wave — exact completion ties are
+/// the point — varied across waves so successive waves are distinct).
+const WAVE_WORK: [f64; 4] = [4e9, 6e9, 3e9, 8e9];
 
 struct RunOutcome {
     wall_s: f64,
-    stats: KernelStats,
-    /// Exact wakeup sequence `(t_ns, owner, a)` — compared between the
-    /// baseline and incremental runs to prove output identity.
-    wakeups: Vec<(u64, u32, u32)>,
+    counters: Counters,
+    /// Exact wakeup sequence `(t_ns, owner, a, b)` — compared across every
+    /// kernel/thread configuration to prove output identity.
+    wakeups: Vec<(u64, u32, u32, u64)>,
 }
 
 #[allow(clippy::too_many_lines)]
-fn run(scenario: Scenario, vms: u32, events: usize, full: bool, trace: bool) -> RunOutcome {
-    let mut e = Engine::new();
-    e.set_full_reallocate(full);
-    if trace {
-        e.tracer_mut().set_enabled(true);
-    }
-    let topo = Topo::build(&mut e, vms);
+fn run<K: Kernel>(
+    k: &mut K,
+    scenario: Scenario,
+    vms: u32,
+    events: usize,
+    trace: bool,
+) -> RunOutcome {
+    let topo = Topo::build(k, vms);
     let mut rng = RootSeed(2012).stream(scenario.name());
-
-    // Warm pool: two compute flows per VM.
-    for vm in 0..vms {
-        for _ in 0..2 {
-            let (d, w) = topo.compute(vm, rng.gen_range(1e9..8e9));
-            e.start_flow(d, w, Tag::new(OWNER_COMPUTE, vm, 0));
-        }
-    }
 
     let mut plan_for_faults: Option<FaultPlan> = None;
     match scenario {
-        Scenario::ShuffleStorm => {}
-        Scenario::MigrationUnderLoad => {
-            // One long transfer per host pair, refreshed on completion.
-            for h in 0..topo.hosts {
-                let src = h * 8;
-                let dst = ((h + 1) % topo.hosts) * 8;
-                let (d, w) = topo.transfer(src, dst, 2e9);
-                e.start_flow(d, w, Tag::new(OWNER_TRANSFER, src, 0));
+        Scenario::IterativeWaves => {
+            // Wave 0: one equal-work task per VM, no randomness anywhere.
+            for vm in 0..vms {
+                let (d, w) = topo.wave_task(vm, WAVE_WORK[0]);
+                k.start_flow(&d, w, Tag::new(OWNER_WAVE, vm, 0));
             }
         }
-        Scenario::FaultChurn => {
-            // Random fault plan (pre-sorted at insertion): throttles become
-            // capacity scalings armed as timers below.
-            let plan = FaultPlan::random(
-                &FaultProfile {
-                    vms,
-                    hosts: topo.hosts,
-                    horizon: SimDuration::from_secs(30),
-                    max_events: 24,
-                    max_crashes: 0,
-                    allow_migration_abort: false,
-                },
-                RootSeed(2012),
-            );
-            for (i, ev) in plan.events().iter().enumerate() {
-                e.set_timer_at(ev.at, Tag::new(OWNER_FAULT, i as u32, 0));
+        other => {
+            // Warm pool: two compute flows per VM.
+            for vm in 0..vms {
+                for _ in 0..2 {
+                    let (d, w) = topo.compute(vm, rng.gen_range(1e9..8e9));
+                    k.start_flow(&d, w, Tag::new(OWNER_COMPUTE, vm, 0));
+                }
             }
-            plan_for_faults = Some(plan);
+            match other {
+                Scenario::MigrationUnderLoad => {
+                    // One long transfer per host pair, refreshed on completion.
+                    for h in 0..topo.hosts {
+                        let src = h * 8;
+                        let dst = ((h + 1) % topo.hosts) * 8;
+                        let (d, w) = topo.transfer(src, dst, 2e9);
+                        k.start_flow(&d, w, Tag::new(OWNER_TRANSFER, src, 0));
+                    }
+                }
+                Scenario::FaultChurn => {
+                    // Random fault plan (pre-sorted at insertion): throttles
+                    // become capacity scalings armed as timers below.
+                    let plan = FaultPlan::random(
+                        &FaultProfile {
+                            vms,
+                            hosts: topo.hosts,
+                            horizon: SimDuration::from_secs(30),
+                            max_events: 24,
+                            max_crashes: 0,
+                            allow_migration_abort: false,
+                        },
+                        RootSeed(2012),
+                    );
+                    for (i, ev) in plan.events().iter().enumerate() {
+                        k.set_timer_at(ev.at, Tag::new(OWNER_FAULT, i as u32, 0));
+                    }
+                    plan_for_faults = Some(plan);
+                }
+                _ => {}
+            }
         }
     }
 
     let started = Instant::now();
     let mut wakeups = Vec::with_capacity(events);
-    let mut chaff: Vec<TimerId> = Vec::new();
-    let mut degraded: Vec<(ResourceId, f64)> = Vec::new();
+    let mut chaff: Vec<K::Timer> = Vec::new();
+    let mut degraded: Vec<(u32, f64)> = Vec::new();
     while wakeups.len() < events {
-        let Some((t, w)) = e.next_wakeup() else {
+        let Some((t, tag)) = k.next_wakeup() else {
             break;
         };
-        let tag = w.tag();
-        wakeups.push((t.as_nanos(), tag.owner, tag.a));
+        wakeups.push((t.as_nanos(), tag.owner, tag.a, tag.b));
         if trace && wakeups.len() % 256 == 0 {
-            e.trace_kernel_counters();
+            k.sample_trace();
         }
         match tag.owner {
+            OWNER_WAVE => {
+                // Task done: respawn this VM's task for the next wave.
+                let wave = tag.b + 1;
+                let (d, w) = topo.wave_task(tag.a, WAVE_WORK[wave as usize % WAVE_WORK.len()]);
+                k.start_flow(&d, w, Tag::new(OWNER_WAVE, tag.a, wave));
+            }
             OWNER_COMPUTE => {
                 // Respawn on the same VM: 90% compute (intra-host
                 // component), 10% cross-host shuffle transfer.
@@ -184,25 +413,25 @@ fn run(scenario: Scenario, vms: u32, events: usize, full: bool, trace: bool) -> 
                 if rng.gen_bool(0.1) {
                     let dst = rng.gen_range(0..vms);
                     let (d, work) = topo.transfer(vm, dst, rng.gen_range(1e8..1e9));
-                    e.start_flow(d, work, Tag::new(OWNER_TRANSFER, vm, 0));
+                    k.start_flow(&d, work, Tag::new(OWNER_TRANSFER, vm, 0));
                 } else {
                     let (d, work) = topo.compute(vm, rng.gen_range(1e9..8e9));
-                    e.start_flow(d, work, Tag::new(OWNER_COMPUTE, vm, 0));
+                    k.start_flow(&d, work, Tag::new(OWNER_COMPUTE, vm, 0));
                 }
                 // Fault churn also hammers the timer heap: arm a batch of
                 // timeout guards and cancel most of them immediately —
                 // the tombstone-compaction path under load.
                 if scenario == Scenario::FaultChurn {
-                    for k in 0..4u32 {
-                        let id = e.set_timer_in(
-                            SimDuration::from_secs(3600 + u64::from(k)),
-                            Tag::new(OWNER_CHAFF, k, 0),
+                    for j in 0..4u32 {
+                        let id = k.set_timer_in(
+                            SimDuration::from_secs(3600 + u64::from(j)),
+                            Tag::new(OWNER_CHAFF, j, 0),
                         );
                         chaff.push(id);
                     }
                     while chaff.len() > 2 {
                         let id = chaff.remove(0);
-                        e.cancel_timer(id);
+                        k.cancel_timer(id);
                     }
                 }
             }
@@ -210,13 +439,13 @@ fn run(scenario: Scenario, vms: u32, events: usize, full: bool, trace: bool) -> 
                 // Transfer done: replace with compute on the source VM.
                 let vm = tag.a;
                 let (d, work) = topo.compute(vm, rng.gen_range(1e9..8e9));
-                e.start_flow(d, work, Tag::new(OWNER_COMPUTE, vm, 0));
+                k.start_flow(&d, work, Tag::new(OWNER_COMPUTE, vm, 0));
                 if scenario == Scenario::MigrationUnderLoad {
                     // Next migration leg from the following VM on the host.
                     let src = (vm + 1) % vms;
                     let dst = (src + 8) % vms;
                     let (d, work) = topo.transfer(src, dst, 2e9);
-                    e.start_flow(d, work, Tag::new(OWNER_TRANSFER, src, 0));
+                    k.start_flow(&d, work, Tag::new(OWNER_TRANSFER, src, 0));
                 }
             }
             OWNER_FAULT => {
@@ -231,39 +460,75 @@ fn run(scenario: Scenario, vms: u32, events: usize, full: bool, trace: bool) -> 
                     _ => continue,
                 };
                 let factor = factor.clamp(0.01, 1.0);
-                let cap = e.fluid().capacity(resource);
-                e.set_capacity(resource, cap * factor);
+                let cap = k.capacity(resource);
+                k.set_capacity(resource, cap * factor);
                 degraded.push((resource, factor));
                 // Restore half the outstanding degradations a little later.
                 if degraded.len() > 1 {
                     let (r, f) = degraded.remove(0);
-                    let cap = e.fluid().capacity(r);
-                    e.set_capacity(r, cap / f);
+                    let cap = k.capacity(r);
+                    k.set_capacity(r, cap / f);
                 }
             }
             _ => {}
         }
     }
     let wall_s = started.elapsed().as_secs_f64();
-    RunOutcome { wall_s, stats: e.kernel_stats(), wakeups }
+    RunOutcome { wall_s, counters: k.counters(), wakeups }
+}
+
+struct Case {
+    scenario: Scenario,
+    vms: u32,
+    events: usize,
+    /// Also run the global full-solve baseline (affordable ≤ 256 VMs only).
+    with_full: bool,
 }
 
 struct Row {
     scenario: &'static str,
     vms: u32,
     events: usize,
-    base: RunOutcome,
-    incr: RunOutcome,
+    threads: usize,
+    legacy: RunOutcome,
+    seq: RunOutcome,
+    par: RunOutcome,
+    full: Option<RunOutcome>,
 }
 
 impl Row {
-    fn touched_ratio(&self) -> f64 {
-        self.base.stats.flows_touched as f64 / self.incr.stats.flows_touched.max(1) as f64
+    fn wall_speedup(&self) -> f64 {
+        self.legacy.wall_s / self.par.wall_s.max(1e-12)
+    }
+
+    fn touched_ratio_vs_legacy(&self) -> f64 {
+        self.legacy.counters.flows_touched as f64 / self.seq.counters.flows_touched.max(1) as f64
     }
 }
 
-fn per_realloc(stats: &KernelStats) -> f64 {
-    stats.flows_touched as f64 / stats.reallocations.max(1) as f64
+fn counters_json(o: &mut String, key: &str, out: &RunOutcome, new_kernel: bool) {
+    let c = &out.counters;
+    let _ = writeln!(o, "      \"{key}\": {{");
+    let _ = writeln!(o, "        \"wall_s\": {:.6},", out.wall_s);
+    let _ = writeln!(o, "        \"reallocations\": {},", c.reallocations);
+    let _ = writeln!(o, "        \"flows_touched\": {},", c.flows_touched);
+    let _ = writeln!(o, "        \"resources_touched\": {},", c.resources_touched);
+    if new_kernel {
+        let _ = writeln!(o, "        \"batch_applied\": {},", c.batch_applied);
+        let _ = writeln!(
+            o,
+            "        \"components_solved_parallel\": {},",
+            c.components_solved_parallel
+        );
+        let _ = writeln!(o, "        \"comp_size_p99\": {},", c.comp_size_p99);
+        let _ = writeln!(o, "        \"comp_size_max\": {},", c.comp_size_max);
+    }
+    let _ = writeln!(
+        o,
+        "        \"flows_per_realloc\": {:.3}",
+        c.flows_touched as f64 / c.reallocations.max(1) as f64
+    );
+    let _ = writeln!(o, "      }},");
 }
 
 fn row_json(r: &Row) -> String {
@@ -272,70 +537,121 @@ fn row_json(r: &Row) -> String {
     let _ = writeln!(o, "      \"scenario\": \"{}\",", r.scenario);
     let _ = writeln!(o, "      \"vms\": {},", r.vms);
     let _ = writeln!(o, "      \"events\": {},", r.events);
-    for (key, out) in [("baseline", &r.base), ("incremental", &r.incr)] {
-        let s = &out.stats;
-        let _ = writeln!(o, "      \"{key}\": {{");
-        let _ = writeln!(o, "        \"wall_s\": {:.6},", out.wall_s);
-        let _ = writeln!(o, "        \"reallocations\": {},", s.reallocations);
-        let _ = writeln!(o, "        \"flows_touched\": {},", s.flows_touched);
-        let _ = writeln!(o, "        \"resources_touched\": {},", s.resources_touched);
-        let _ = writeln!(o, "        \"flows_per_realloc\": {:.3}", per_realloc(s));
-        let _ = writeln!(o, "      }},");
+    let _ = writeln!(o, "      \"threads\": {},", r.threads);
+    counters_json(&mut o, "legacy", &r.legacy, false);
+    counters_json(&mut o, "seq", &r.seq, true);
+    counters_json(&mut o, "par", &r.par, true);
+    if let Some(full) = &r.full {
+        counters_json(&mut o, "full", full, true);
     }
-    let _ = writeln!(o, "      \"touched_ratio\": {:.3},", r.touched_ratio());
-    let _ = writeln!(o, "      \"wall_speedup\": {:.3},", r.base.wall_s / r.incr.wall_s.max(1e-12));
+    let _ = writeln!(o, "      \"wall_speedup_vs_legacy\": {:.3},", r.wall_speedup());
+    let _ = writeln!(o, "      \"touched_ratio_vs_legacy\": {:.3},", r.touched_ratio_vs_legacy());
     let _ = writeln!(o, "      \"identical_wakeups\": true");
     let _ = write!(o, "    }}");
     o
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cases: Vec<(Scenario, u32, usize)> = if quick {
-        // The deterministic CI scenario: 256-VM shuffle storm. Counter
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(8, |n| n.get().min(8)));
+
+    let cases: Vec<Case> = if quick {
+        // The deterministic CI case: 1024-VM iterative waves. Counter
         // ceilings on exactly this case are pinned in scripts/check.sh.
-        vec![(Scenario::ShuffleStorm, 256, 2000)]
+        vec![Case {
+            scenario: Scenario::IterativeWaves,
+            vms: 1024,
+            events: 3 * 1024,
+            with_full: false,
+        }]
     } else {
         let mut v = Vec::new();
         for scenario in [Scenario::ShuffleStorm, Scenario::MigrationUnderLoad, Scenario::FaultChurn]
         {
             for vms in [16u32, 64, 256] {
-                v.push((scenario, vms, 2000));
+                v.push(Case { scenario, vms, events: 2000, with_full: true });
             }
+        }
+        for vms in [1024u32, 4096, 16384] {
+            v.push(Case { scenario: Scenario::ShuffleStorm, vms, events: 2000, with_full: false });
+            v.push(Case {
+                scenario: Scenario::IterativeWaves,
+                vms,
+                events: 3 * vms as usize,
+                with_full: false,
+            });
         }
         v
     };
 
     let mut rows = Vec::new();
-    for (scenario, vms, events) in cases {
-        let base = run(scenario, vms, events, true, false);
-        // The incremental run also samples the kernel trace counters
-        // (engine.reallocations / flows_touched / heap_len) through the
-        // explicit export path.
-        let incr = run(scenario, vms, events, false, true);
+    for Case { scenario, vms, events, with_full } in cases {
+        let mut lk = LegacyKernel { e: LegacyEngine::new() };
+        let legacy = run(&mut lk, scenario, vms, events, false);
+        // The sequential run also samples the kernel trace counters
+        // through the explicit export path.
+        let mut sk = NewKernel::new(1, false, true);
+        let seq = run(&mut sk, scenario, vms, events, true);
+        let mut pk = NewKernel::new(threads, false, false);
+        let par = run(&mut pk, scenario, vms, events, false);
+        let full = with_full.then(|| {
+            let mut fk = NewKernel::new(1, true, false);
+            run(&mut fk, scenario, vms, events, false)
+        });
+
         assert_eq!(
-            base.wakeups,
-            incr.wakeups,
-            "{} @ {vms} VMs: incremental solver diverged from global baseline",
+            legacy.wakeups,
+            seq.wakeups,
+            "{} @ {vms} VMs: rewritten kernel diverged from the frozen PR-4 baseline",
             scenario.name()
         );
+        assert_eq!(
+            seq.wakeups,
+            par.wakeups,
+            "{} @ {vms} VMs: threads={threads} diverged from sequential",
+            scenario.name()
+        );
+        if let Some(full) = &full {
+            assert_eq!(
+                seq.wakeups,
+                full.wakeups,
+                "{} @ {vms} VMs: incremental solver diverged from global baseline",
+                scenario.name()
+            );
+        }
+        // Thread count must not leak into any counter except the one that
+        // reports pool usage itself.
+        let mut scrubbed = par.counters;
+        scrubbed.components_solved_parallel = seq.counters.components_solved_parallel;
+        assert_eq!(seq.counters, scrubbed, "{}: thread-dependent counters", scenario.name());
+
         println!(
-            "{:<22} {:>4} VMs  {:>6} ev  wall {:>8.4}s -> {:>8.4}s  flows/realloc {:>9.1} -> {:>7.1}  ({:.1}x fewer touched)",
+            "{:<20} {:>5} VMs  {:>6} ev  wall {:>8.4}s (legacy) -> {:>8.4}s (seq) -> {:>8.4}s (par x{})  speedup {:>5.1}x  batch {:>7}  par_comps {:>7}",
             scenario.name(),
             vms,
             events,
-            base.wall_s,
-            incr.wall_s,
-            per_realloc(&base.stats),
-            per_realloc(&incr.stats),
-            base.stats.flows_touched as f64 / incr.stats.flows_touched.max(1) as f64,
+            legacy.wall_s,
+            seq.wall_s,
+            par.wall_s,
+            threads,
+            legacy.wall_s / par.wall_s.max(1e-12),
+            seq.counters.batch_applied,
+            par.counters.components_solved_parallel,
         );
-        rows.push(Row { scenario: scenario.name(), vms, events, base, incr });
+        rows.push(Row { scenario: scenario.name(), vms, events, threads, legacy, seq, par, full });
     }
 
     let mut json = String::from("{\n  \"bench\": \"simcore\",\n  \"seed\": 2012,\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str("  \"scenarios\": [\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"cases\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&row_json(r));
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -356,26 +672,68 @@ fn main() {
         }
     }
 
-    // Self-checks mirrored by the check.sh perf stage: the incremental
-    // solver must touch ≥ 5× fewer flows on every 256-VM scenario, with
-    // identical reallocation counts (same decision sequence).
+    // Self-checks mirrored by the check.sh perf stage.
     for r in &rows {
-        assert_eq!(
-            r.base.stats.reallocations, r.incr.stats.reallocations,
-            "{}: reallocation count must not depend on solver mode",
+        assert!(
+            r.legacy.counters.reallocations >= r.seq.counters.reallocations,
+            "{}: batching must never *increase* reallocation passes",
             r.scenario
         );
-        if r.vms >= 256 {
+        if r.scenario == "iterative_waves" {
             assert!(
-                r.touched_ratio() >= 5.0,
-                "{} @ {} VMs: touched ratio {:.2} < 5x",
+                r.seq.counters.batch_applied > r.seq.counters.reallocations,
+                "{} @ {} VMs: waves must coalesce (batch_applied {} <= reallocations {})",
                 r.scenario,
                 r.vms,
-                r.touched_ratio()
+                r.seq.counters.batch_applied,
+                r.seq.counters.reallocations
             );
+            if r.threads > 1 && r.vms >= 1024 {
+                assert!(
+                    r.par.counters.components_solved_parallel > 0,
+                    "{} @ {} VMs: wave closures must engage the worker pool",
+                    r.scenario,
+                    r.vms
+                );
+            }
+            if r.vms >= 4096 {
+                assert!(
+                    r.wall_speedup() >= 5.0,
+                    "{} @ {} VMs: wall speedup {:.2}x < 5x over the PR-4 kernel",
+                    r.scenario,
+                    r.vms,
+                    r.wall_speedup()
+                );
+            }
+        }
+        if let Some(full) = &r.full {
+            assert_eq!(
+                full.counters.reallocations,
+                r.full_realloc_expect(),
+                "{}: full-solve reallocation count drifted",
+                r.scenario
+            );
+            if r.vms >= 256 {
+                let ratio =
+                    full.counters.flows_touched as f64 / r.seq.counters.flows_touched.max(1) as f64;
+                assert!(
+                    ratio >= 5.0,
+                    "{} @ {} VMs: touched ratio vs full solve {ratio:.2} < 5x",
+                    r.scenario,
+                    r.vms
+                );
+            }
         }
     }
     println!(
-        "simbench OK: incremental solver output-identical, >=5x fewer flows touched at 256 VMs"
+        "simbench OK: output-identical across legacy/seq/par/full, >=5x wall at 4096+ VM waves"
     );
+}
+
+impl Row {
+    /// The full-solve run must make exactly as many reallocation decisions
+    /// as the sequential incremental run (same dirty-check sequence).
+    fn full_realloc_expect(&self) -> u64 {
+        self.seq.counters.reallocations
+    }
 }

@@ -1,0 +1,677 @@
+//! Frozen PR-4 simulation kernel, kept as the `simbench` wall-clock
+//! baseline.
+//!
+//! This is a self-contained transcription of `simcore::fluid` +
+//! `simcore::engine` exactly as they stood before the arena/SoA + parallel
+//! re-solve rewrite (DESIGN.md §18): HashMap-backed timers and activities,
+//! `Option<FlowState>` array-of-structs flow storage with one heap-allocated
+//! demand `Vec` per flow, a single union-closure incremental re-solve, and
+//! one reallocation attempt per mutation. Persistence and tracing are
+//! stripped (the bench never snapshots the baseline); every piece of
+//! arithmetic, iteration order, and event ordering is verbatim, so the
+//! baseline produces the **exact same wakeup sequence** as the rewritten
+//! kernel — `simbench` asserts that identity at every scale.
+//!
+//! Do not "improve" this module: its value is being frozen.
+
+use simcore::ids::Tag;
+use simcore::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+const RATE_CAP: f64 = 1e18;
+const DONE_EPS: f64 = 1e-6;
+const HEAP_COMPACT_MIN: usize = 64;
+const HEAP_SLACK: usize = 4;
+const DEAD_TIMER_COMPACT_MIN: usize = 64;
+
+/// Work counters mirroring the PR-4 `KernelStats` fields the bench reports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LegacyStats {
+    /// Reallocation passes that found dirty state.
+    pub reallocations: u64,
+    /// Flows re-solved, summed over all reallocations.
+    pub flows_touched: u64,
+    /// Resources visited, summed over all reallocations.
+    pub resources_touched: u64,
+    /// Wakeups delivered.
+    pub wakeups: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct FlowId {
+    slot: u32,
+    gen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    capacity: f64,
+    used: f64,
+    cumulative: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    demands: Vec<(u32, f64)>,
+    total: f64,
+    remaining: f64,
+    rate: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FlowSlot {
+    gen: u32,
+    stamp: u32,
+    state: Option<FlowState>,
+}
+
+struct FluidNet {
+    resources: Vec<Resource>,
+    slots: Vec<FlowSlot>,
+    free: Vec<u32>,
+    active: usize,
+    last_update: SimTime,
+    allocation_dirty: bool,
+    res_flows: Vec<Vec<u32>>,
+    dirty: Vec<u32>,
+    res_mark: Vec<bool>,
+    flow_mark: Vec<bool>,
+    near_done: usize,
+    completions: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    scratch_residual: Vec<f64>,
+    scratch_weight: Vec<f64>,
+    scratch_count: Vec<u32>,
+    scratch_saturated: Vec<bool>,
+    stats: LegacyStats,
+}
+
+impl FluidNet {
+    fn new() -> Self {
+        FluidNet {
+            resources: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            last_update: SimTime::ZERO,
+            allocation_dirty: false,
+            res_flows: Vec::new(),
+            dirty: Vec::new(),
+            res_mark: Vec::new(),
+            flow_mark: Vec::new(),
+            near_done: 0,
+            completions: BinaryHeap::new(),
+            scratch_residual: Vec::new(),
+            scratch_weight: Vec::new(),
+            scratch_count: Vec::new(),
+            scratch_saturated: Vec::new(),
+            stats: LegacyStats::default(),
+        }
+    }
+
+    fn add_resource(&mut self, capacity: f64) -> u32 {
+        let id = self.resources.len() as u32;
+        self.resources.push(Resource { capacity, used: 0.0, cumulative: 0.0 });
+        self.res_flows.push(Vec::new());
+        self.res_mark.push(false);
+        self.scratch_residual.push(0.0);
+        self.scratch_weight.push(0.0);
+        self.scratch_count.push(0);
+        self.scratch_saturated.push(false);
+        id
+    }
+
+    fn capacity(&self, r: u32) -> f64 {
+        self.resources[r as usize].capacity
+    }
+
+    fn set_capacity(&mut self, r: u32, capacity: f64) {
+        self.resources[r as usize].capacity = capacity;
+        self.mark_dirty(r as usize);
+        self.allocation_dirty = true;
+    }
+
+    fn add_flow(&mut self, demands: Vec<(u32, f64)>, work: f64) -> FlowId {
+        let state = FlowState { demands, total: work, remaining: work, rate: 0.0 };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].state = Some(state);
+                s
+            }
+            None => {
+                self.slots.push(FlowSlot { gen: 0, stamp: 0, state: Some(state) });
+                self.flow_mark.push(false);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let f = self.slots[slot as usize].state.as_ref().expect("just stored");
+        if f.remaining <= DONE_EPS {
+            self.near_done += 1;
+        }
+        for i in 0..self.slots[slot as usize].state.as_ref().expect("just stored").demands.len() {
+            let r = self.slots[slot as usize].state.as_ref().expect("just stored").demands[i].0;
+            self.res_flows[r as usize].push(slot);
+            self.mark_dirty(r as usize);
+        }
+        self.active += 1;
+        self.allocation_dirty = true;
+        FlowId { slot, gen: self.slots[slot as usize].gen }
+    }
+
+    #[allow(dead_code)] // kept so the frozen kernel mirrors PR-4 verbatim
+    fn remove_flow(&mut self, id: FlowId) -> Option<f64> {
+        let slot = self.slots.get_mut(id.slot as usize)?;
+        if slot.gen != id.gen || slot.state.is_none() {
+            return None;
+        }
+        let state = slot.state.take().expect("checked above");
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.stamp = slot.stamp.wrapping_add(1);
+        if state.remaining <= DONE_EPS {
+            self.near_done -= 1;
+        }
+        self.detach(id.slot, &state.demands);
+        self.free.push(id.slot);
+        self.active -= 1;
+        self.allocation_dirty = true;
+        Some(state.remaining)
+    }
+
+    fn detach(&mut self, slot: u32, demands: &[(u32, f64)]) {
+        for &(r, _) in demands {
+            let list = &mut self.res_flows[r as usize];
+            let pos = list.iter().position(|&s| s == slot).expect("flow indexed on its resource");
+            list.swap_remove(pos);
+            self.mark_dirty(r as usize);
+        }
+    }
+
+    fn mark_dirty(&mut self, r: usize) {
+        if !self.res_mark[r] {
+            self.res_mark[r] = true;
+            self.dirty.push(r as u32);
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "fluid time ran backwards");
+        if now == self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        let mut crossed = 0usize;
+        for slot in &mut self.slots {
+            if let Some(f) = slot.state.as_mut() {
+                if f.rate > 0.0 {
+                    let before = f.remaining;
+                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                    if before > DONE_EPS && f.remaining <= DONE_EPS {
+                        crossed += 1;
+                    }
+                    for &(r, w) in &f.demands {
+                        self.resources[r as usize].cumulative += f.rate * w * dt;
+                    }
+                }
+            }
+        }
+        self.near_done += crossed;
+        self.last_update = now;
+    }
+
+    fn reallocate(&mut self) {
+        self.allocation_dirty = false;
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.stats.reallocations += 1;
+
+        let mut aff_res = std::mem::take(&mut self.dirty);
+        let mut aff_flows: Vec<u32> = Vec::new();
+        let mut qi = 0;
+        while qi < aff_res.len() {
+            let r = aff_res[qi] as usize;
+            qi += 1;
+            for k in 0..self.res_flows[r].len() {
+                let s = self.res_flows[r][k] as usize;
+                if !self.flow_mark[s] {
+                    self.flow_mark[s] = true;
+                    aff_flows.push(s as u32);
+                    let f = self.slots[s].state.as_ref().expect("indexed flows are live");
+                    for i in 0..f.demands.len() {
+                        let ri = self.slots[s].state.as_ref().expect("live").demands[i].0 as usize;
+                        if !self.res_mark[ri] {
+                            self.res_mark[ri] = true;
+                            aff_res.push(ri as u32);
+                        }
+                    }
+                }
+            }
+        }
+        aff_flows.sort_unstable();
+        self.stats.flows_touched += aff_flows.len() as u64;
+        self.stats.resources_touched += aff_res.len() as u64;
+
+        for &r in &aff_res {
+            let ri = r as usize;
+            self.res_mark[ri] = false;
+            self.resources[ri].used = 0.0;
+            self.scratch_residual[ri] = self.resources[ri].capacity;
+            self.scratch_weight[ri] = 0.0;
+            self.scratch_count[ri] = 0;
+        }
+        for &s in &aff_flows {
+            self.flow_mark[s as usize] = false;
+            let f = self.slots[s as usize].state.as_ref().expect("live");
+            for &(r, w) in &f.demands {
+                self.scratch_weight[r as usize] += w;
+                self.scratch_count[r as usize] += 1;
+            }
+        }
+
+        let mut unfrozen = aff_flows.clone();
+        while !unfrozen.is_empty() {
+            let mut share = f64::INFINITY;
+            for &r in &aff_res {
+                let ri = r as usize;
+                if self.scratch_count[ri] > 0 && self.scratch_weight[ri] > 0.0 {
+                    let s = self.scratch_residual[ri] / self.scratch_weight[ri];
+                    if s < share {
+                        share = s;
+                    }
+                }
+            }
+            let share = share.clamp(0.0, RATE_CAP);
+
+            let tol = share * 1e-12 + 1e-30;
+            let mut any_saturated = false;
+            for &r in &aff_res {
+                let ri = r as usize;
+                self.scratch_saturated[ri] = false;
+                if share < RATE_CAP
+                    && self.scratch_count[ri] > 0
+                    && self.scratch_weight[ri] > 0.0
+                    && self.scratch_residual[ri] / self.scratch_weight[ri] <= share + tol
+                {
+                    self.scratch_saturated[ri] = true;
+                    any_saturated = true;
+                }
+            }
+
+            let mut still: Vec<u32> = Vec::new();
+            for &slot_idx in &unfrozen {
+                let f =
+                    self.slots[slot_idx as usize].state.as_mut().expect("unfrozen flows are live");
+                let frozen_now = !any_saturated
+                    || f.demands.iter().any(|&(r, _)| self.scratch_saturated[r as usize]);
+                if frozen_now {
+                    f.rate = share;
+                    for &(r, w) in &f.demands {
+                        let ri = r as usize;
+                        self.scratch_residual[ri] =
+                            (self.scratch_residual[ri] - share * w).max(0.0);
+                        self.scratch_weight[ri] -= w;
+                        self.scratch_count[ri] -= 1;
+                        if self.scratch_count[ri] == 0 {
+                            self.scratch_weight[ri] = 0.0;
+                        }
+                        self.resources[ri].used += share * w;
+                    }
+                } else {
+                    still.push(slot_idx);
+                }
+            }
+            unfrozen = still;
+        }
+
+        for &s in &aff_flows {
+            let slot = &mut self.slots[s as usize];
+            slot.stamp = slot.stamp.wrapping_add(1);
+            let f = slot.state.as_ref().expect("live");
+            if f.rate > 0.0 {
+                let d = SimDuration::from_secs_f64(f.remaining / f.rate);
+                let key = self.last_update.as_nanos().saturating_add(d.as_nanos());
+                self.completions.push(Reverse((key, s, slot.stamp)));
+            }
+        }
+        self.compact_completions();
+
+        aff_res.clear();
+        self.dirty = aff_res;
+    }
+
+    fn compact_completions(&mut self) {
+        if self.completions.len() <= HEAP_COMPACT_MIN
+            || self.completions.len() <= HEAP_SLACK * self.active
+        {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.completions).into_vec();
+        entries.retain(|&Reverse((_, s, stamp))| {
+            let slot = &self.slots[s as usize];
+            slot.stamp == stamp && slot.state.is_some()
+        });
+        self.completions = BinaryHeap::from(entries);
+    }
+
+    fn earliest_completion(&mut self) -> Option<SimTime> {
+        if self.near_done > 0 {
+            return Some(self.last_update);
+        }
+        while let Some(&Reverse((_, s, stamp))) = self.completions.peek() {
+            let slot = &self.slots[s as usize];
+            if slot.stamp == stamp && slot.state.as_ref().is_some_and(|f| f.rate > 0.0) {
+                break;
+            }
+            self.completions.pop();
+        }
+        let &Reverse((_, s, _)) = self.completions.peek()?;
+        let f = self.slots[s as usize].state.as_ref().expect("validated above");
+        let secs = f.remaining / f.rate;
+        let d = SimDuration::from_secs_f64(secs).saturating_add(SimDuration::from_nanos(1));
+        Some(self.last_update + d)
+    }
+
+    fn take_finished(&mut self) -> Vec<FlowId> {
+        let mut done = Vec::new();
+        for i in 0..self.slots.len() {
+            let finished = match &self.slots[i].state {
+                Some(f) => f.remaining <= DONE_EPS.max(f.total * 1e-12),
+                None => false,
+            };
+            if finished {
+                let slot = &mut self.slots[i];
+                let state = slot.state.take().expect("checked above");
+                let id = FlowId { slot: i as u32, gen: slot.gen };
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.stamp = slot.stamp.wrapping_add(1);
+                if state.remaining <= DONE_EPS {
+                    self.near_done -= 1;
+                }
+                self.detach(i as u32, &state.demands);
+                self.free.push(i as u32);
+                self.active -= 1;
+                self.allocation_dirty = true;
+                done.push(id);
+            }
+        }
+        done
+    }
+
+    fn now(&self) -> SimTime {
+        self.last_update
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.allocation_dirty
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct TimerId(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct ActivityId(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    FluidWake { epoch: u64 },
+    Timer { id: TimerId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+enum Current {
+    Idle,
+    #[allow(dead_code)] // id retained to mirror PR-4's engine shape
+    Flow(FlowId),
+}
+
+#[derive(Debug)]
+struct Activity {
+    remaining: VecDeque<(Vec<(u32, f64)>, f64)>,
+    current: Current,
+    tag: Tag,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    User { tag: Tag },
+}
+
+/// The frozen PR-4 engine: HashMap timer/activity tables over the
+/// union-closure incremental fluid solver above, re-solving once per
+/// mutation exactly as the pre-rewrite kernel did.
+pub struct LegacyEngine {
+    now: SimTime,
+    fluid: FluidNet,
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    epoch: u64,
+    flow_owner: HashMap<FlowId, ActivityId>,
+    activities: HashMap<ActivityId, Activity>,
+    next_activity: u64,
+    timers: HashMap<TimerId, TimerKind>,
+    next_timer: u64,
+    out: VecDeque<(SimTime, Tag)>,
+    wakeups_delivered: u64,
+    dead_timers: usize,
+}
+
+impl Default for LegacyEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyEngine {
+    /// Fresh baseline engine at t = 0.
+    pub fn new() -> Self {
+        LegacyEngine {
+            now: SimTime::ZERO,
+            fluid: FluidNet::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            epoch: 0,
+            flow_owner: HashMap::new(),
+            activities: HashMap::new(),
+            next_activity: 0,
+            timers: HashMap::new(),
+            next_timer: 0,
+            out: VecDeque::new(),
+            wakeups_delivered: 0,
+            dead_timers: 0,
+        }
+    }
+
+    /// Registers a resource; returns its dense index.
+    pub fn add_resource(&mut self, capacity: f64) -> u32 {
+        self.fluid.add_resource(capacity)
+    }
+
+    /// Configured capacity of `r`.
+    pub fn capacity(&self, r: u32) -> f64 {
+        self.fluid.capacity(r)
+    }
+
+    /// Changes a resource's capacity from this instant on.
+    pub fn set_capacity(&mut self, r: u32, capacity: f64) {
+        self.sync_fluid_clock();
+        self.fluid.set_capacity(r, capacity);
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> LegacyStats {
+        LegacyStats { wakeups: self.wakeups_delivered, ..self.fluid.stats }
+    }
+
+    /// Arms a timer at the absolute instant `at`.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: Tag) -> u64 {
+        let at = at.max(self.now);
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.timers.insert(id, TimerKind::User { tag });
+        self.push_entry(at, Ev::Timer { id });
+        id.0
+    }
+
+    /// Arms a timer `d` from now.
+    pub fn set_timer_in(&mut self, d: SimDuration, tag: Tag) -> u64 {
+        self.set_timer_at(self.now + d, tag)
+    }
+
+    /// Cancels a pending timer (tombstoned in the heap, PR-4 threshold).
+    pub fn cancel_timer(&mut self, id: u64) -> bool {
+        let cancelled = self.timers.remove(&TimerId(id)).is_some();
+        if cancelled {
+            self.note_dead_timer();
+        }
+        cancelled
+    }
+
+    fn note_dead_timer(&mut self) {
+        self.dead_timers += 1;
+        if self.dead_timers < DEAD_TIMER_COMPACT_MIN || self.dead_timers <= self.timers.len() {
+            return;
+        }
+        let epoch = self.epoch;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|&Reverse(e)| match e.ev {
+            Ev::Timer { id } => self.timers.contains_key(&id),
+            Ev::FluidWake { epoch: e } => e == epoch,
+        });
+        self.heap = BinaryHeap::from(entries);
+        self.dead_timers = 0;
+    }
+
+    /// Starts a single-flow activity (the only shape `simbench` uses).
+    pub fn start_flow(&mut self, demands: Vec<(u32, f64)>, work: f64, tag: Tag) {
+        let id = ActivityId(self.next_activity);
+        self.next_activity += 1;
+        let mut remaining = VecDeque::with_capacity(1);
+        remaining.push_back((demands, work));
+        self.activities.insert(id, Activity { remaining, current: Current::Idle, tag });
+        self.advance_activity(id);
+    }
+
+    /// Advances to the next completion; `None` when nothing remains.
+    pub fn next_wakeup(&mut self) -> Option<(SimTime, Tag)> {
+        loop {
+            if let Some((t, tag)) = self.out.pop_front() {
+                self.wakeups_delivered += 1;
+                return Some((t, tag));
+            }
+            self.refresh_fluid();
+
+            let Reverse(entry) = self.heap.pop()?;
+            match entry.ev {
+                Ev::Timer { id } => {
+                    let Some(kind) = self.timers.remove(&id) else {
+                        self.dead_timers = self.dead_timers.saturating_sub(1);
+                        continue;
+                    };
+                    self.now = entry.time;
+                    match kind {
+                        TimerKind::User { tag } => {
+                            self.out.push_back((self.now, tag));
+                        }
+                    }
+                }
+                Ev::FluidWake { epoch } => {
+                    if epoch != self.epoch {
+                        continue;
+                    }
+                    self.now = entry.time;
+                    self.fluid.advance_to(self.now);
+                    let finished = self.fluid.take_finished();
+                    if finished.is_empty() {
+                        self.epoch += 1;
+                        if let Some(t) = self.fluid.earliest_completion() {
+                            let epoch = self.epoch;
+                            let t = t.max(self.now + SimDuration::from_nanos(1));
+                            self.push_entry(t, Ev::FluidWake { epoch });
+                        }
+                        continue;
+                    }
+                    for fin in finished {
+                        let act = self
+                            .flow_owner
+                            .remove(&fin)
+                            .expect("finished flow must belong to an activity");
+                        self.step_done(act);
+                    }
+                    self.refresh_fluid();
+                }
+            }
+        }
+    }
+
+    fn push_entry(&mut self, time: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, ev }));
+    }
+
+    fn sync_fluid_clock(&mut self) {
+        if self.fluid.now() < self.now {
+            self.fluid.advance_to(self.now);
+        }
+    }
+
+    fn refresh_fluid(&mut self) {
+        if !self.fluid.is_dirty() {
+            return;
+        }
+        self.sync_fluid_clock();
+        self.fluid.reallocate();
+        self.epoch += 1;
+        if let Some(t) = self.fluid.earliest_completion() {
+            let epoch = self.epoch;
+            self.push_entry(t.max(self.now), Ev::FluidWake { epoch });
+        }
+    }
+
+    fn step_done(&mut self, id: ActivityId) {
+        if let Some(act) = self.activities.get_mut(&id) {
+            act.current = Current::Idle;
+        }
+        self.advance_activity(id);
+    }
+
+    fn advance_activity(&mut self, id: ActivityId) {
+        let step = match self.activities.get_mut(&id) {
+            Some(act) => act.remaining.pop_front(),
+            None => return,
+        };
+        match step {
+            Some((demands, work)) => {
+                self.sync_fluid_clock();
+                let f = self.fluid.add_flow(demands, work);
+                self.activities.get_mut(&id).expect("just checked").current = Current::Flow(f);
+                self.flow_owner.insert(f, id);
+                self.refresh_fluid();
+            }
+            None => {
+                let act = self.activities.remove(&id).expect("just checked");
+                self.out.push_back((self.now, act.tag));
+                let _ = act.current;
+            }
+        }
+    }
+}

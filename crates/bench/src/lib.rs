@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod legacy;
+
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::PathBuf;

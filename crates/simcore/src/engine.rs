@@ -176,19 +176,45 @@ pub struct KernelStats {
     pub flows_touched: u64,
     /// Resources visited, summed over all reallocations.
     pub resources_touched: u64,
+    /// Mutations absorbed by coalesced reallocation passes (batched event
+    /// application; see [`FluidStats::batch_applied`]).
+    pub batch_applied: u64,
+    /// Components solved on the fluid worker pool (thread-dependent).
+    pub components_solved_parallel: u64,
+    /// p50 of re-solved component flow counts (lifetime histogram).
+    pub comp_size_p50: u64,
+    /// p99 of re-solved component flow counts.
+    pub comp_size_p99: u64,
+    /// Largest component ever re-solved (the parallel speedup ceiling).
+    pub comp_size_max: u64,
     /// Current completion-index heap length (live + stale).
     pub completion_heap_len: usize,
     /// Current event heap length (live + tombstoned entries).
     pub event_heap_len: usize,
     /// Cancelled-timer tombstones currently in the event heap.
     pub dead_timers: usize,
+    /// Flow-arena slot count (live + free — occupancy is
+    /// `flows_touched`-independent arena footprint).
+    pub flow_arena_slots: usize,
+    /// Timer-arena slot count (live + free).
+    pub timer_arena_slots: usize,
     /// Total wakeups delivered so far.
     pub wakeups: u64,
 }
 
 /// Tombstone compaction floor: never rebuild the event heap for fewer dead
 /// entries than this (rebuilds are O(heap) — only worth it at scale).
+/// Compaction triggers at `dead > max(MIN, live/4)`: proportional to the
+/// live population, so a 16k-VM heap is not rebuilt every 64 cancellations.
 const DEAD_TIMER_COMPACT_MIN: usize = 64;
+
+/// One slot of the timer arena: the current generation plus the armed
+/// timer, if any. `kind == None` means the slot is on the free list.
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    gen: u32,
+    kind: Option<TimerKind>,
+}
 
 /// The simulation engine. See the module docs for the programming model.
 #[derive(Debug)]
@@ -201,8 +227,12 @@ pub struct Engine {
     flow_owner: HashMap<FlowId, ActivityId>,
     activities: HashMap<ActivityId, Activity>,
     next_activity: u64,
-    timers: HashMap<TimerId, TimerKind>,
-    next_timer: u64,
+    /// Timer arena: dense slots with generation-stamped handles and a free
+    /// list, replacing the former `HashMap<TimerId, TimerKind>` + counter
+    /// (no hashing on the hot arm/fire path, stable memory at scale).
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<u32>,
+    timer_live: usize,
     batches: HashMap<BatchId, Batch>,
     next_batch: u64,
     out: VecDeque<(SimTime, Wakeup)>,
@@ -213,7 +243,7 @@ pub struct Engine {
     dead_timers: usize,
     /// Interned counter names for [`Engine::trace_kernel_counters`],
     /// created on first use.
-    kernel_counter_names: Option<[Name; 3]>,
+    kernel_counter_names: Option<[Name; 5]>,
     tracer: Tracer,
 }
 
@@ -235,8 +265,9 @@ impl Engine {
             flow_owner: HashMap::new(),
             activities: HashMap::new(),
             next_activity: 0,
-            timers: HashMap::new(),
-            next_timer: 0,
+            timer_slots: Vec::new(),
+            timer_free: Vec::new(),
+            timer_live: 0,
             batches: HashMap::new(),
             next_batch: 0,
             out: VecDeque::new(),
@@ -291,17 +322,45 @@ impl Engine {
 
     /// Snapshot of the kernel work counters (see [`KernelStats`]).
     pub fn kernel_stats(&self) -> KernelStats {
-        let FluidStats { reallocations, flows_touched, resources_touched, completion_heap_len } =
-            self.fluid.stats();
+        let FluidStats {
+            reallocations,
+            flows_touched,
+            resources_touched,
+            batch_applied,
+            components_solved_parallel,
+            comp_size_p50,
+            comp_size_p99,
+            comp_size_max,
+            completion_heap_len,
+        } = self.fluid.stats();
         KernelStats {
             reallocations,
             flows_touched,
             resources_touched,
+            batch_applied,
+            components_solved_parallel,
+            comp_size_p50,
+            comp_size_p99,
+            comp_size_max,
             completion_heap_len,
             event_heap_len: self.heap.len(),
             dead_timers: self.dead_timers,
+            flow_arena_slots: self.fluid.flow_arena_slots(),
+            timer_arena_slots: self.timer_slots.len(),
             wakeups: self.wakeups_delivered,
         }
+    }
+
+    /// Sets the fluid solver's worker-pool width (see
+    /// [`FluidNet::set_threads`]); 1 = sequential. Rates and wakeups are
+    /// bit-identical at any width.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.fluid.set_threads(threads);
+    }
+
+    /// Current fluid solver worker-pool width.
+    pub fn solver_threads(&self) -> usize {
+        self.fluid.threads()
     }
 
     /// Forces every fluid reallocation to re-solve the whole network (the
@@ -343,23 +402,28 @@ impl Engine {
     }
 
     /// Emits the kernel work counters (`engine.reallocations`,
-    /// `engine.flows_touched`, `engine.heap_len`) as trace counter samples
-    /// at the current instant. Deliberately *not* called by the engine
-    /// itself — monitored runs pin exact counter counts — so harnesses that
-    /// want the kernel trajectory (e.g. `simbench`) call this explicitly at
-    /// their own sampling points. No-op while tracing is disabled.
+    /// `engine.flows_touched`, `engine.heap_len`, `engine.batch_applied`,
+    /// `engine.comp_p99`) as trace counter samples at the current instant.
+    /// Deliberately *not* called by the engine itself — monitored runs pin
+    /// exact counter counts — so harnesses that want the kernel trajectory
+    /// (e.g. `simbench`) call this explicitly at their own sampling points.
+    /// No-op while tracing is disabled.
     pub fn trace_kernel_counters(&mut self) {
         let names = *self.kernel_counter_names.get_or_insert_with(|| {
             [
                 self.tracer.intern("engine.reallocations"),
                 self.tracer.intern("engine.flows_touched"),
                 self.tracer.intern("engine.heap_len"),
+                self.tracer.intern("engine.batch_applied"),
+                self.tracer.intern("engine.comp_p99"),
             ]
         });
         let stats = self.kernel_stats();
         self.tracer.counter(names[0], self.now, stats.reallocations as f64);
         self.tracer.counter(names[1], self.now, stats.flows_touched as f64);
         self.tracer.counter(names[2], self.now, stats.event_heap_len as f64);
+        self.tracer.counter(names[3], self.now, stats.batch_applied as f64);
+        self.tracer.counter(names[4], self.now, stats.comp_size_p99 as f64);
     }
 
     // ----- timers ---------------------------------------------------------
@@ -368,9 +432,7 @@ impl Engine {
     /// "now" if already past).
     pub fn set_timer_at(&mut self, at: SimTime, tag: Tag) -> TimerId {
         let at = at.max(self.now);
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
-        self.timers.insert(id, TimerKind::User { tag });
+        let id = self.alloc_timer(TimerKind::User { tag });
         self.push_entry(at, Ev::Timer { id });
         id
     }
@@ -387,24 +449,63 @@ impl Engine {
     /// timers (fault/timeout churn), the heap is rebuilt without them, so
     /// mass cancellation cannot grow the event queue without bound.
     pub fn cancel_timer(&mut self, id: TimerId) -> bool {
-        let cancelled = self.timers.remove(&id).is_some();
+        let cancelled = self.free_timer(id).is_some();
         if cancelled {
             self.note_dead_timer();
         }
         cancelled
     }
 
+    /// Allocates a timer-arena slot holding `kind` and returns its
+    /// generation-stamped handle.
+    fn alloc_timer(&mut self, kind: TimerKind) -> TimerId {
+        self.timer_live += 1;
+        if let Some(slot) = self.timer_free.pop() {
+            let s = &mut self.timer_slots[slot as usize];
+            debug_assert!(s.kind.is_none(), "free list held a live slot");
+            s.kind = Some(kind);
+            TimerId { slot, gen: s.gen }
+        } else {
+            let slot = self.timer_slots.len() as u32;
+            self.timer_slots.push(TimerSlot { gen: 0, kind: Some(kind) });
+            TimerId { slot, gen: 0 }
+        }
+    }
+
+    /// Frees the slot behind `id` if the handle is still current, returning
+    /// the armed kind. The generation bump makes every outstanding copy of
+    /// the handle — including the not-yet-popped heap entry — stale, so a
+    /// recycled slot can never be reached through an old id (ABA safety).
+    fn free_timer(&mut self, id: TimerId) -> Option<TimerKind> {
+        let s = self.timer_slots.get_mut(id.slot as usize)?;
+        if s.gen != id.gen || s.kind.is_none() {
+            return None;
+        }
+        let kind = s.kind.take();
+        s.gen = s.gen.wrapping_add(1);
+        self.timer_free.push(id.slot);
+        self.timer_live -= 1;
+        kind
+    }
+
+    /// True while the timer behind `id` is still armed.
+    fn timer_is_live(&self, id: TimerId) -> bool {
+        self.timer_slots.get(id.slot as usize).is_some_and(|s| s.gen == id.gen && s.kind.is_some())
+    }
+
     /// Accounts one new tombstone and compacts the event heap when dead
-    /// entries dominate live ones.
+    /// entries outgrow `max(DEAD_TIMER_COMPACT_MIN, live/4)` — proportional
+    /// to the live population so large heaps are not rebuilt constantly,
+    /// floored so small ones are not rebuilt pointlessly.
     fn note_dead_timer(&mut self) {
         self.dead_timers += 1;
-        if self.dead_timers < DEAD_TIMER_COMPACT_MIN || self.dead_timers <= self.timers.len() {
+        if self.dead_timers <= DEAD_TIMER_COMPACT_MIN.max(self.timer_live / 4) {
             return;
         }
         let epoch = self.epoch;
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.retain(|&Reverse(e)| match e.ev {
-            Ev::Timer { id } => self.timers.contains_key(&id),
+            Ev::Timer { id } => self.timer_is_live(id),
             Ev::FluidWake { epoch: e } => e == epoch,
         });
         self.heap = BinaryHeap::from(entries);
@@ -450,13 +551,15 @@ impl Engine {
         };
         match act.current {
             Current::Flow(f) => {
+                // Only mark dirty: the reallocation is coalesced with any
+                // other pending mutations at the next `next_wakeup` pass
+                // (batched event application).
                 self.sync_fluid_clock();
                 self.fluid.remove_flow(f);
                 self.flow_owner.remove(&f);
-                self.refresh_fluid();
             }
             Current::Delay(t) => {
-                if self.timers.remove(&t).is_some() {
+                if self.free_timer(t).is_some() {
                     self.note_dead_timer();
                 }
             }
@@ -491,7 +594,7 @@ impl Engine {
             debug_assert!(entry.time >= self.now, "event heap went backwards");
             match entry.ev {
                 Ev::Timer { id } => {
-                    let Some(kind) = self.timers.remove(&id) else {
+                    let Some(kind) = self.free_timer(id) else {
                         // Tombstone of a cancelled timer drained naturally.
                         self.dead_timers = self.dead_timers.saturating_sub(1);
                         continue;
@@ -532,7 +635,9 @@ impl Engine {
                             .expect("finished flow must belong to an activity");
                         self.step_done(act);
                     }
-                    self.refresh_fluid();
+                    // No refresh here: every mutation the completions above
+                    // caused (chains advancing into new flows, removals) is
+                    // applied in one coalesced pass at the top of the loop.
                 }
             }
         }
@@ -560,7 +665,7 @@ impl Engine {
         let epoch = self.epoch;
         let mut entries = std::mem::take(&mut self.heap).into_vec();
         entries.retain(|&Reverse(en)| match en.ev {
-            Ev::Timer { id } => self.timers.contains_key(&id),
+            Ev::Timer { id } => self.timer_is_live(id),
             Ev::FluidWake { epoch: e } => e == epoch,
         });
         self.heap = BinaryHeap::from(entries);
@@ -633,23 +738,25 @@ impl Engine {
         }
         e.u64(self.next_activity);
 
-        let mut ts: Vec<(&TimerId, &TimerKind)> = self.timers.iter().collect();
-        ts.sort_by_key(|(id, _)| **id);
-        e.usize(ts.len());
-        for (id, k) in ts {
-            id.encode(e);
-            match k {
-                TimerKind::User { tag } => {
-                    e.u8(0);
+        e.usize(self.timer_slots.len());
+        for s in &self.timer_slots {
+            e.u32(s.gen);
+            match s.kind {
+                None => e.u8(0),
+                Some(TimerKind::User { tag }) => {
+                    e.u8(1);
                     tag.encode(e);
                 }
-                TimerKind::ChainDelay { activity } => {
-                    e.u8(1);
+                Some(TimerKind::ChainDelay { activity }) => {
+                    e.u8(2);
                     activity.encode(e);
                 }
             }
         }
-        e.u64(self.next_timer);
+        e.usize(self.timer_free.len());
+        for &f in &self.timer_free {
+            e.u32(f);
+        }
 
         let mut bs: Vec<(&BatchId, &Batch)> = self.batches.iter().collect();
         bs.sort_by_key(|(id, _)| **id);
@@ -686,11 +793,11 @@ impl Engine {
         e.u64(self.wakeups_delivered);
         match self.kernel_counter_names {
             None => e.u8(0),
-            Some([a, b, c]) => {
+            Some(names) => {
                 e.u8(1);
-                a.encode(e);
-                b.encode(e);
-                c.encode(e);
+                for n in names {
+                    n.encode(e);
+                }
             }
         }
         self.tracer.encode_state(e);
@@ -747,17 +854,23 @@ impl Engine {
         }
         let next_activity = d.u64();
 
-        let n_timers = d.usize();
-        let mut timers = HashMap::with_capacity(n_timers);
-        for _ in 0..n_timers {
-            let id = TimerId::decode(d);
+        let n_slots = d.usize();
+        let mut timer_slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let gen = d.u32();
             let kind = match d.u8() {
-                0 => TimerKind::User { tag: Tag::decode(d) },
-                _ => TimerKind::ChainDelay { activity: ActivityId::decode(d) },
+                0 => None,
+                1 => Some(TimerKind::User { tag: Tag::decode(d) }),
+                _ => Some(TimerKind::ChainDelay { activity: ActivityId::decode(d) }),
             };
-            timers.insert(id, kind);
+            timer_slots.push(TimerSlot { gen, kind });
         }
-        let next_timer = d.u64();
+        let n_free = d.usize();
+        let mut timer_free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            timer_free.push(d.u32());
+        }
+        let timer_live = timer_slots.iter().filter(|s| s.kind.is_some()).count();
 
         let n_batches = d.usize();
         let mut batches = HashMap::with_capacity(n_batches);
@@ -796,12 +909,13 @@ impl Engine {
         let wakeups_delivered = d.u64();
         let kernel_counter_names = match d.u8() {
             0 => None,
-            _ => {
-                let a = Name::decode(d);
-                let b = Name::decode(d);
-                let c = Name::decode(d);
-                Some([a, b, c])
-            }
+            _ => Some([
+                Name::decode(d),
+                Name::decode(d),
+                Name::decode(d),
+                Name::decode(d),
+                Name::decode(d),
+            ]),
         };
         let tracer = Tracer::decode_state(d);
 
@@ -814,8 +928,9 @@ impl Engine {
             flow_owner,
             activities,
             next_activity,
-            timers,
-            next_timer,
+            timer_slots,
+            timer_free,
+            timer_live,
             batches,
             next_batch,
             out,
@@ -885,16 +1000,15 @@ impl Engine {
         };
         match step {
             Some(Step::Flow { demands, work }) => {
+                // Dirty-mark only; the solve is coalesced into the next
+                // `next_wakeup` refresh with any sibling mutations.
                 self.sync_fluid_clock();
                 let f = self.fluid.add_flow(demands, work);
                 self.activities.get_mut(&id).expect("just checked").current = Current::Flow(f);
                 self.flow_owner.insert(f, id);
-                self.refresh_fluid();
             }
             Some(Step::Delay(d)) => {
-                let tid = TimerId(self.next_timer);
-                self.next_timer += 1;
-                self.timers.insert(tid, TimerKind::ChainDelay { activity: id });
+                let tid = self.alloc_timer(TimerKind::ChainDelay { activity: id });
                 self.activities.get_mut(&id).expect("just checked").current = Current::Delay(tid);
                 let at = self.now + d;
                 self.push_entry(at, Ev::Timer { id: tid });
@@ -1128,6 +1242,43 @@ mod tests {
         assert!(after < full / 10, "heap compacted: {after} entries left of {full}");
         assert_eq!(e.kernel_stats().dead_timers, after);
         assert!(e.next_wakeup().is_none(), "no cancelled timer ever fires");
+    }
+
+    #[test]
+    fn timer_compaction_threshold_scales_with_live_population() {
+        let (mut e, _r) = engine1();
+        let ids: Vec<_> = (0..10_000u64)
+            .map(|i| e.set_timer_in(SimDuration::from_secs(1_000 + i), Tag::new(T, i as u32, 0)))
+            .collect();
+        // Below the proportional threshold (live/4) nothing is rebuilt even
+        // though the absolute floor (64) is long past.
+        for id in &ids[..2_000] {
+            assert!(e.cancel_timer(*id));
+        }
+        assert_eq!(e.event_heap_len(), 10_000, "dead=2000 <= live/4=2000: no rebuild");
+        assert_eq!(e.kernel_stats().dead_timers, 2_000);
+        // One more cancellation tips dead over live/4 and compacts.
+        assert!(e.cancel_timer(ids[2_000]));
+        assert_eq!(e.event_heap_len(), 7_999);
+        assert_eq!(e.kernel_stats().dead_timers, 0);
+    }
+
+    #[test]
+    fn timer_arena_reuse_rejects_stale_handles() {
+        let (mut e, _r) = engine1();
+        let a = e.set_timer_in(SimDuration::from_secs(1), Tag::new(T, 1, 0));
+        assert!(e.cancel_timer(a));
+        // The slot is recycled under a bumped generation: the stale handle
+        // must not be able to cancel the newborn timer (ABA).
+        let b = e.set_timer_in(SimDuration::from_secs(2), Tag::new(T, 2, 0));
+        assert_eq!(a.slot, b.slot, "slot recycled through the free list");
+        assert_ne!(a.gen, b.gen, "generation advanced on free");
+        assert!(!e.cancel_timer(a), "stale handle rejected");
+        let (at, w) = e.next_wakeup().unwrap();
+        assert_eq!(at, SimTime::from_secs(2));
+        assert_eq!(w, Wakeup::Timer { id: b, tag: Tag::new(T, 2, 0) });
+        assert!(e.next_wakeup().is_none());
+        assert_eq!(e.kernel_stats().timer_arena_slots, 1, "one slot serves both timers");
     }
 
     #[test]

@@ -27,9 +27,27 @@
 //! instants ([`FluidNet::earliest_completion`]) replaces the former
 //! full-flow scan, so scheduling the next wake costs `O(log flows)` instead
 //! of `O(flows)`.
+//!
+//! ## Arena/SoA storage and parallel re-solve (DESIGN.md §18)
+//!
+//! Flow state lives in structure-of-arrays arenas: parallel `Vec`s for
+//! generation, stamp, rate, remaining, total, plus a flat demand arena
+//! (`dem_res`/`dem_w` with per-flow `(start, len)` ranges) so the solver's
+//! inner loops are linear scans over dense scalar arrays rather than
+//! pointer chases through per-flow heap allocations. Reallocation runs in
+//! three phases: **split** the dirty closure into its connected components
+//! (serial, deterministic discovery order), **solve** each component
+//! independently — on a fixed-size `std::thread::scope` worker pool when
+//! the closure is large enough (components are assigned to workers by
+//! canonical component index, and each worker writes into its components'
+//! pre-carved disjoint output slices) — then **apply** results serially in
+//! component order. Because components share no state and outputs land in
+//! positions fixed before any thread runs, rates are `f64::to_bits`
+//! identical to the sequential pass and thread count is unobservable.
 
 use crate::ids::{FlowId, ResourceId};
 use crate::persist::{Decoder, Encoder, Persist};
+use crate::stats::SizeHist;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -46,6 +64,12 @@ const DONE_EPS: f64 = 1e-6;
 const HEAP_COMPACT_MIN: usize = 64;
 /// See [`HEAP_COMPACT_MIN`].
 const HEAP_SLACK: usize = 4;
+/// Demand-arena compaction: rebuild once the arena holds at least this many
+/// rows *and* more than half of them are garbage (freed flows).
+const DEM_COMPACT_MIN: usize = 4096;
+/// Minimum dirty-closure flow count before the parallel solve path engages;
+/// below this, spawning a worker pool costs more than it saves.
+const PAR_MIN_CLOSURE_FLOWS: usize = 1024;
 
 /// What a resource meters; used by monitors to group utilization report rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,37 +106,6 @@ impl Demand {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Resource {
-    name: String,
-    kind: ResourceKind,
-    capacity: f64,
-    /// Capacity currently consumed by the allocation (refreshed on each
-    /// reallocation); kept for cheap utilization queries.
-    used: f64,
-    /// Total work served since t = 0 (integrated `used · dt`); lets
-    /// clients compute exact time-averaged utilization over any window.
-    cumulative: f64,
-}
-
-#[derive(Debug, Clone)]
-struct FlowState {
-    demands: Vec<Demand>,
-    total: f64,
-    remaining: f64,
-    rate: f64,
-}
-
-#[derive(Debug, Default, Clone)]
-struct FlowSlot {
-    gen: u32,
-    /// Estimate stamp: bumped whenever this slot's rate is re-assigned or
-    /// the flow leaves; completion-heap entries with an older stamp are
-    /// stale and dropped lazily.
-    stamp: u32,
-    state: Option<FlowState>,
-}
-
 /// A finished flow popped from [`FluidNet::take_finished`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FinishedFlow {
@@ -120,7 +113,7 @@ pub struct FinishedFlow {
     pub id: FlowId,
 }
 
-/// Cumulative kernel work counters (monotonic; see DESIGN.md §13). The
+/// Cumulative kernel work counters (monotonic; see DESIGN.md §13/§18). The
 /// perf harness and the check.sh `perf` stage pin ceilings on these, so a
 /// regression in incremental behavior fails CI machine-independently.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,24 +126,120 @@ pub struct FluidStats {
     pub flows_touched: u64,
     /// Total resources visited across all reallocations.
     pub resources_touched: u64,
+    /// Total mutations (flow add/remove/finish, capacity change) absorbed
+    /// by coalesced reallocation passes. `batch_applied / reallocations`
+    /// is the mean batch size — how much event application amortizes.
+    pub batch_applied: u64,
+    /// Components solved on the scoped worker pool (thread-dependent by
+    /// nature: excluded from snapshots and cross-thread equality checks).
+    pub components_solved_parallel: u64,
+    /// p50 of per-reallocation component flow counts (lifetime histogram).
+    pub comp_size_p50: u64,
+    /// p99 of per-reallocation component flow counts.
+    pub comp_size_p99: u64,
+    /// Largest component (in flows) ever re-solved — the parallel speedup
+    /// ceiling: one component is always solved by one worker.
+    pub comp_size_max: u64,
     /// Current completion-heap length (live + stale entries).
     pub completion_heap_len: usize,
 }
 
+/// One connected component of the dirty closure: ranges into the
+/// `comp_flows` / `comp_res` pools.
+#[derive(Debug, Clone, Copy, Default)]
+struct Comp {
+    flow_start: usize,
+    flow_len: usize,
+    res_start: usize,
+    res_len: usize,
+}
+
+/// Per-worker scratch for `solve_component`, indexed by component-local
+/// resource position (so each worker touches a dense, cache-resident
+/// window regardless of network size).
+#[derive(Debug, Default, Clone)]
+struct SolveScratch {
+    residual: Vec<f64>,
+    weight: Vec<f64>,
+    count: Vec<u32>,
+    saturated: Vec<bool>,
+    /// Component-local indices of flows not yet frozen this solve.
+    unfrozen: Vec<u32>,
+    still: Vec<u32>,
+}
+
+impl SolveScratch {
+    fn ensure(&mut self, res_len: usize) {
+        if self.residual.len() < res_len {
+            self.residual.resize(res_len, 0.0);
+            self.weight.resize(res_len, 0.0);
+            self.count.resize(res_len, 0);
+            self.saturated.resize(res_len, false);
+        }
+    }
+}
+
+/// Read-only view of everything `solve_component` needs, so component
+/// solves can run on scoped worker threads while output slices are carved
+/// out of the (separately owned) result pools.
+struct SolveView<'a> {
+    res_capacity: &'a [f64],
+    dem_res: &'a [u32],
+    dem_w: &'a [f64],
+    f_dem_start: &'a [u32],
+    f_dem_len: &'a [u32],
+    comp_flows: &'a [u32],
+    comp_res: &'a [u32],
+    comps: &'a [Comp],
+    /// Component-local index of each resource (valid only for resources of
+    /// the current closure; written during the split phase).
+    res_local: &'a [u32],
+}
+
 /// The fluid network: resources plus active flows plus the current max-min
-/// allocation. Time only passes through [`FluidNet::advance_to`]; the
-/// [`crate::engine::Engine`] owns the clock and drives this structure.
+/// allocation, stored as index-based SoA arenas. Time only passes through
+/// [`FluidNet::advance_to`]; the [`crate::engine::Engine`] owns the clock
+/// and drives this structure.
 #[derive(Debug, Clone)]
 pub struct FluidNet {
-    resources: Vec<Resource>,
-    slots: Vec<FlowSlot>,
-    free: Vec<u32>,
-    active: usize,
-    last_update: SimTime,
-    allocation_dirty: bool,
+    // ----- resources (SoA) ------------------------------------------------
+    res_name: Vec<String>,
+    res_kind: Vec<ResourceKind>,
+    res_capacity: Vec<f64>,
+    /// Capacity currently consumed by the allocation (refreshed on each
+    /// reallocation); kept for cheap utilization queries.
+    res_used: Vec<f64>,
+    /// Total work served since t = 0 (integrated `used · dt`); lets
+    /// clients compute exact time-averaged utilization over any window.
+    res_cumulative: Vec<f64>,
     /// Live flow slots crossing each resource (one entry per demand row,
     /// so duplicate demands stay balanced with [`FluidNet::detach`]).
     res_flows: Vec<Vec<u32>>,
+
+    // ----- flows (SoA arena, parallel by slot) ----------------------------
+    f_gen: Vec<u32>,
+    /// Estimate stamp: bumped whenever this slot's rate is re-assigned or
+    /// the flow leaves; completion-heap entries with an older stamp are
+    /// stale and dropped lazily.
+    f_stamp: Vec<u32>,
+    f_live: Vec<bool>,
+    f_total: Vec<f64>,
+    f_remaining: Vec<f64>,
+    f_rate: Vec<f64>,
+    /// Range of this flow's rows in the flat demand arena.
+    f_dem_start: Vec<u32>,
+    f_dem_len: Vec<u32>,
+    free: Vec<u32>,
+    active: usize,
+
+    // ----- flat demand arena ----------------------------------------------
+    dem_res: Vec<u32>,
+    dem_w: Vec<f64>,
+    /// Arena rows owned by freed slots; triggers deterministic compaction.
+    dem_garbage: usize,
+
+    last_update: SimTime,
+    allocation_dirty: bool,
     /// Seed resources touched since the last reallocate, deduplicated via
     /// `res_mark`.
     dirty: Vec<u32>,
@@ -165,18 +254,32 @@ pub struct FluidNet {
     /// Lazy min-heap of projected completions: `(finish_ns, slot, stamp)`.
     /// Entries whose stamp no longer matches the slot are stale.
     completions: BinaryHeap<Reverse<(u64, u32, u32)>>,
-    /// Scratch buffers for the restricted progressive filling, persisted
-    /// across calls so a re-solve allocates nothing proportional to the
-    /// whole network. Entries are only meaningful for resources of the
-    /// current closure.
-    scratch_residual: Vec<f64>,
-    scratch_weight: Vec<f64>,
-    scratch_count: Vec<u32>,
-    scratch_saturated: Vec<bool>,
+
+    // ----- component split pools (recycled across reallocations) ---------
+    comp_flows: Vec<u32>,
+    comp_res: Vec<u32>,
+    comps: Vec<Comp>,
+    comp_rates: Vec<f64>,
+    comp_used: Vec<f64>,
+    /// Component-local resource index, full network size; only entries for
+    /// the current closure are meaningful.
+    res_local: Vec<u32>,
+    /// Sequential-path solver scratch.
+    scratch: SolveScratch,
+    /// Worker-pool scratches (lazily grown to the thread count).
+    par_scratch: Vec<SolveScratch>,
+
+    /// Worker-pool width for the parallel solve path; 1 = sequential.
+    /// Execution strategy, not simulation state: never snapshotted.
+    threads: usize,
     /// When true, every reallocation seeds all resources — the former
     /// global solve. Bench baseline knob; output-identical by construction.
     full_solve: bool,
+    /// Mutations since the last reallocation that found dirty state.
+    pending_mutations: u64,
     stats: FluidStats,
+    /// Flow count of every component re-solved, over the net's lifetime.
+    comp_hist: SizeHist,
 }
 
 impl Default for FluidNet {
@@ -189,24 +292,45 @@ impl FluidNet {
     /// Empty network at t = 0.
     pub fn new() -> Self {
         FluidNet {
-            resources: Vec::new(),
-            slots: Vec::new(),
+            res_name: Vec::new(),
+            res_kind: Vec::new(),
+            res_capacity: Vec::new(),
+            res_used: Vec::new(),
+            res_cumulative: Vec::new(),
+            res_flows: Vec::new(),
+            f_gen: Vec::new(),
+            f_stamp: Vec::new(),
+            f_live: Vec::new(),
+            f_total: Vec::new(),
+            f_remaining: Vec::new(),
+            f_rate: Vec::new(),
+            f_dem_start: Vec::new(),
+            f_dem_len: Vec::new(),
             free: Vec::new(),
             active: 0,
+            dem_res: Vec::new(),
+            dem_w: Vec::new(),
+            dem_garbage: 0,
             last_update: SimTime::ZERO,
             allocation_dirty: false,
-            res_flows: Vec::new(),
             dirty: Vec::new(),
             res_mark: Vec::new(),
             flow_mark: Vec::new(),
             near_done: 0,
             completions: BinaryHeap::new(),
-            scratch_residual: Vec::new(),
-            scratch_weight: Vec::new(),
-            scratch_count: Vec::new(),
-            scratch_saturated: Vec::new(),
+            comp_flows: Vec::new(),
+            comp_res: Vec::new(),
+            comps: Vec::new(),
+            comp_rates: Vec::new(),
+            comp_used: Vec::new(),
+            res_local: Vec::new(),
+            scratch: SolveScratch::default(),
+            par_scratch: Vec::new(),
+            threads: 1,
             full_solve: false,
+            pending_mutations: 0,
             stats: FluidStats::default(),
+            comp_hist: SizeHist::new(),
         }
     }
 
@@ -221,68 +345,64 @@ impl FluidNet {
         capacity: f64,
     ) -> ResourceId {
         assert!(capacity >= 0.0, "resource capacity must be non-negative");
-        let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(Resource {
-            name: name.into(),
-            kind,
-            capacity,
-            used: 0.0,
-            cumulative: 0.0,
-        });
+        let id = ResourceId(self.res_name.len() as u32);
+        self.res_name.push(name.into());
+        self.res_kind.push(kind);
+        self.res_capacity.push(capacity);
+        self.res_used.push(0.0);
+        self.res_cumulative.push(0.0);
         self.res_flows.push(Vec::new());
         self.res_mark.push(false);
-        self.scratch_residual.push(0.0);
-        self.scratch_weight.push(0.0);
-        self.scratch_count.push(0);
-        self.scratch_saturated.push(false);
+        self.res_local.push(0);
         id
     }
 
     /// Number of registered resources.
     pub fn resource_count(&self) -> usize {
-        self.resources.len()
+        self.res_name.len()
     }
 
     /// Human-readable resource name.
     pub fn resource_name(&self, r: ResourceId) -> &str {
-        &self.resources[r.index()].name
+        &self.res_name[r.index()]
     }
 
     /// The resource's kind, as registered.
     pub fn resource_kind(&self, r: ResourceId) -> ResourceKind {
-        self.resources[r.index()].kind
+        self.res_kind[r.index()]
     }
 
     /// Configured capacity of `r`.
     pub fn capacity(&self, r: ResourceId) -> f64 {
-        self.resources[r.index()].capacity
+        self.res_capacity[r.index()]
     }
 
     /// Changes capacity of `r`; takes effect at the next reallocation.
     pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0, "resource capacity must be non-negative");
-        self.resources[r.index()].capacity = capacity;
+        self.res_capacity[r.index()] = capacity;
         self.mark_dirty(r.index());
         self.allocation_dirty = true;
+        self.pending_mutations += 1;
     }
 
     /// Capacity currently consumed on `r` under the present allocation.
     pub fn used(&self, r: ResourceId) -> f64 {
-        self.resources[r.index()].used
+        self.res_used[r.index()]
     }
 
     /// Total work served on `r` since t = 0 (as of the last `advance_to`).
     pub fn cumulative(&self, r: ResourceId) -> f64 {
-        self.resources[r.index()].cumulative
+        self.res_cumulative[r.index()]
     }
 
     /// `used / capacity`, clamped to [0, 1]; 0 for infinite capacity.
     pub fn utilization(&self, r: ResourceId) -> f64 {
-        let res = &self.resources[r.index()];
-        if !res.capacity.is_finite() || res.capacity <= 0.0 {
+        let cap = self.res_capacity[r.index()];
+        if !cap.is_finite() || cap <= 0.0 {
             0.0
         } else {
-            (res.used / res.capacity).clamp(0.0, 1.0)
+            (self.res_used[r.index()] / cap).clamp(0.0, 1.0)
         }
     }
 
@@ -293,7 +413,19 @@ impl FluidNet {
 
     /// Cumulative kernel counters (see [`FluidStats`]).
     pub fn stats(&self) -> FluidStats {
-        FluidStats { completion_heap_len: self.completions.len(), ..self.stats }
+        FluidStats {
+            completion_heap_len: self.completions.len(),
+            comp_size_p50: self.comp_hist.percentile(0.50),
+            comp_size_p99: self.comp_hist.percentile(0.99),
+            comp_size_max: self.comp_hist.max(),
+            ..self.stats
+        }
+    }
+
+    /// Lifetime histogram of component flow counts (one sample per
+    /// component re-solved, zero-flow capacity-only components excluded).
+    pub fn component_hist(&self) -> &SizeHist {
+        &self.comp_hist
     }
 
     /// Forces every reallocation to re-solve the whole network (the former
@@ -308,6 +440,18 @@ impl FluidNet {
         self.full_solve
     }
 
+    /// Sets the solver worker-pool width (clamped to [1, 64]); 1 keeps the
+    /// solve sequential. Rates and wakeups are bit-identical at any width,
+    /// so this is purely a wall-clock knob and is never snapshotted.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.clamp(1, 64);
+    }
+
+    /// Current solver worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Starts a flow of `work` units over `demands`. The allocation is
     /// marked dirty; the caller must `reallocate` (the engine does).
     ///
@@ -319,85 +463,110 @@ impl FluidNet {
         assert!(work.is_finite() && work >= 0.0, "flow work must be finite and >= 0, got {work}");
         for d in &demands {
             assert!(d.weight.is_finite() && d.weight > 0.0, "demand weight must be finite and > 0");
-            assert!(d.resource.index() < self.resources.len(), "unknown resource {}", d.resource);
+            assert!(d.resource.index() < self.res_name.len(), "unknown resource {}", d.resource);
         }
-        let state = FlowState { demands, total: work, remaining: work, rate: 0.0 };
+        let dem_start = self.dem_res.len() as u32;
+        let dem_len = demands.len() as u32;
+        for d in &demands {
+            self.dem_res.push(d.resource.index() as u32);
+            self.dem_w.push(d.weight);
+        }
         let slot = match self.free.pop() {
             Some(s) => {
-                debug_assert!(self.slots[s as usize].state.is_none());
-                self.slots[s as usize].state = Some(state);
+                let si = s as usize;
+                debug_assert!(!self.f_live[si]);
+                self.f_live[si] = true;
+                self.f_total[si] = work;
+                self.f_remaining[si] = work;
+                self.f_rate[si] = 0.0;
+                self.f_dem_start[si] = dem_start;
+                self.f_dem_len[si] = dem_len;
                 s
             }
             None => {
-                self.slots.push(FlowSlot { gen: 0, stamp: 0, state: Some(state) });
+                self.f_gen.push(0);
+                self.f_stamp.push(0);
+                self.f_live.push(true);
+                self.f_total.push(work);
+                self.f_remaining.push(work);
+                self.f_rate.push(0.0);
+                self.f_dem_start.push(dem_start);
+                self.f_dem_len.push(dem_len);
                 self.flow_mark.push(false);
-                (self.slots.len() - 1) as u32
+                (self.f_gen.len() - 1) as u32
             }
         };
-        let f = self.slots[slot as usize].state.as_ref().expect("just stored");
-        if f.remaining <= DONE_EPS {
+        if work <= DONE_EPS {
             self.near_done += 1;
         }
-        for i in 0..self.slots[slot as usize].state.as_ref().expect("just stored").demands.len() {
-            let r = self.slots[slot as usize].state.as_ref().expect("just stored").demands[i]
-                .resource
-                .index();
+        for k in dem_start as usize..(dem_start + dem_len) as usize {
+            let r = self.dem_res[k] as usize;
             self.res_flows[r].push(slot);
             self.mark_dirty(r);
         }
         self.active += 1;
         self.allocation_dirty = true;
-        FlowId { slot, gen: self.slots[slot as usize].gen }
+        self.pending_mutations += 1;
+        FlowId { slot, gen: self.f_gen[slot as usize] }
     }
 
     /// Cancels `id`, returning its remaining work, or `None` if the handle
     /// is stale (already finished/cancelled).
     pub fn remove_flow(&mut self, id: FlowId) -> Option<f64> {
-        let slot = self.slots.get_mut(id.slot as usize)?;
-        if slot.gen != id.gen || slot.state.is_none() {
+        let si = id.slot as usize;
+        if si >= self.f_gen.len() || self.f_gen[si] != id.gen || !self.f_live[si] {
             return None;
         }
-        let state = slot.state.take().expect("checked above");
-        slot.gen = slot.gen.wrapping_add(1);
-        slot.stamp = slot.stamp.wrapping_add(1);
-        if state.remaining <= DONE_EPS {
+        let remaining = self.f_remaining[si];
+        self.f_gen[si] = self.f_gen[si].wrapping_add(1);
+        self.f_stamp[si] = self.f_stamp[si].wrapping_add(1);
+        if remaining <= DONE_EPS {
             self.near_done -= 1;
         }
-        self.detach(id.slot, &state.demands);
+        self.detach(id.slot);
+        self.f_live[si] = false;
+        self.dem_garbage += self.f_dem_len[si] as usize;
         self.free.push(id.slot);
         self.active -= 1;
         self.allocation_dirty = true;
-        Some(state.remaining)
+        self.pending_mutations += 1;
+        Some(remaining)
+    }
+
+    /// Flow-arena slot count (live + free): the arena footprint, which only
+    /// ever grows to the high-water mark of concurrent flows.
+    pub fn flow_arena_slots(&self) -> usize {
+        self.f_gen.len()
     }
 
     /// True if `id` refers to a live flow.
     pub fn is_live(&self, id: FlowId) -> bool {
-        self.slots.get(id.slot as usize).is_some_and(|s| s.gen == id.gen && s.state.is_some())
+        let si = id.slot as usize;
+        si < self.f_gen.len() && self.f_gen[si] == id.gen && self.f_live[si]
     }
 
     /// Current rate of `id` (0 if stale).
     pub fn flow_rate(&self, id: FlowId) -> f64 {
-        self.flow(id).map_or(0.0, |f| f.rate)
+        if self.is_live(id) {
+            self.f_rate[id.slot as usize]
+        } else {
+            0.0
+        }
     }
 
     /// Remaining work of `id` as of the last `advance_to` (stale → `None`).
     pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
-        self.flow(id).map(|f| f.remaining)
-    }
-
-    fn flow(&self, id: FlowId) -> Option<&FlowState> {
-        let slot = self.slots.get(id.slot as usize)?;
-        if slot.gen != id.gen {
-            return None;
-        }
-        slot.state.as_ref()
+        self.is_live(id).then(|| self.f_remaining[id.slot as usize])
     }
 
     /// Unregisters a departing flow from the per-resource index and marks
     /// its resources dirty (its component must re-solve).
-    fn detach(&mut self, slot: u32, demands: &[Demand]) {
-        for d in demands {
-            let r = d.resource.index();
+    fn detach(&mut self, slot: u32) {
+        let si = slot as usize;
+        let d0 = self.f_dem_start[si] as usize;
+        let d1 = d0 + self.f_dem_len[si] as usize;
+        for k in d0..d1 {
+            let r = self.dem_res[k] as usize;
             let list = &mut self.res_flows[r];
             let pos = list.iter().position(|&s| s == slot).expect("flow indexed on its resource");
             list.swap_remove(pos);
@@ -432,17 +601,19 @@ impl FluidNet {
         );
         let dt = (now - self.last_update).as_secs_f64();
         let mut crossed = 0usize;
-        for slot in &mut self.slots {
-            if let Some(f) = slot.state.as_mut() {
-                if f.rate > 0.0 {
-                    let before = f.remaining;
-                    f.remaining = (f.remaining - f.rate * dt).max(0.0);
-                    if before > DONE_EPS && f.remaining <= DONE_EPS {
-                        crossed += 1;
-                    }
-                    for d in &f.demands {
-                        self.resources[d.resource.index()].cumulative += f.rate * d.weight * dt;
-                    }
+        for si in 0..self.f_live.len() {
+            if self.f_live[si] && self.f_rate[si] > 0.0 {
+                let rate = self.f_rate[si];
+                let before = self.f_remaining[si];
+                let after = (before - rate * dt).max(0.0);
+                self.f_remaining[si] = after;
+                if before > DONE_EPS && after <= DONE_EPS {
+                    crossed += 1;
+                }
+                let d0 = self.f_dem_start[si] as usize;
+                let d1 = d0 + self.f_dem_len[si] as usize;
+                for k in d0..d1 {
+                    self.res_cumulative[self.dem_res[k] as usize] += rate * self.dem_w[k] * dt;
                 }
             }
         }
@@ -453,18 +624,19 @@ impl FluidNet {
     /// Recomputes the max-min fair allocation over the flows whose
     /// component changed since the last call.
     ///
-    /// Progressive filling restricted to the dirty closure: every unfrozen
-    /// flow's rate rises uniformly; the resource with the smallest residual
-    /// fair share saturates first and freezes every flow crossing it;
-    /// repeat. Flows outside the closure keep their rates — max-min shares
-    /// of independent components are unaffected by each other, so the
-    /// result is identical to a global solve. Runs in
-    /// `O(closure_resources · closure_flows)` instead of the former
-    /// `O(resources · flows)`.
+    /// Three phases (DESIGN.md §18): **split** the dirty closure into
+    /// connected components (serial; discovery order is a pure function of
+    /// the mutation sequence), **solve** each component's restricted
+    /// progressive filling independently — on the scoped worker pool when
+    /// the closure is ≥ [`PAR_MIN_CLOSURE_FLOWS`] flows and spans ≥ 2
+    /// components — and **apply** rates/usage/completions serially in
+    /// component order. Flows outside the closure keep their rates —
+    /// max-min shares of independent components are unaffected by each
+    /// other, so the result is identical to a global solve.
     pub fn reallocate(&mut self) {
         self.allocation_dirty = false;
         if self.full_solve {
-            for r in 0..self.resources.len() {
+            for r in 0..self.res_name.len() {
                 self.mark_dirty(r);
             }
         }
@@ -472,137 +644,219 @@ impl FluidNet {
             return;
         }
         self.stats.reallocations += 1;
+        self.stats.batch_applied += self.pending_mutations;
+        self.pending_mutations = 0;
+        self.compact_demands();
 
-        // Closure walk over the flow/resource bipartite graph: every flow
-        // crossing an affected resource is affected, and drags in its other
-        // resources. `res_mark`/`flow_mark` double as visited sets.
-        let mut aff_res = std::mem::take(&mut self.dirty);
-        let mut aff_flows: Vec<u32> = Vec::new();
-        let mut qi = 0;
-        while qi < aff_res.len() {
-            let r = aff_res[qi] as usize;
-            qi += 1;
-            for k in 0..self.res_flows[r].len() {
-                let s = self.res_flows[r][k] as usize;
-                if !self.flow_mark[s] {
-                    self.flow_mark[s] = true;
-                    aff_flows.push(s as u32);
-                    let f = self.slots[s].state.as_ref().expect("indexed flows are live");
-                    for i in 0..f.demands.len() {
-                        let ri =
-                            self.slots[s].state.as_ref().expect("live").demands[i].resource.index();
-                        if !self.res_mark[ri] {
-                            self.res_mark[ri] = true;
-                            aff_res.push(ri as u32);
-                        }
-                    }
-                }
-            }
-        }
-        // Solve flows in ascending slot order — the exact accumulation
-        // order of the former global pass, so shares stay bit-identical.
-        aff_flows.sort_unstable();
-        self.stats.flows_touched += aff_flows.len() as u64;
-        self.stats.resources_touched += aff_res.len() as u64;
-
-        for &r in &aff_res {
-            let ri = r as usize;
-            self.res_mark[ri] = false;
-            self.resources[ri].used = 0.0;
-            self.scratch_residual[ri] = self.resources[ri].capacity;
-            self.scratch_weight[ri] = 0.0;
-            self.scratch_count[ri] = 0;
-        }
-        for &s in &aff_flows {
-            self.flow_mark[s as usize] = false;
-            let f = self.slots[s as usize].state.as_ref().expect("live");
-            for d in &f.demands {
-                self.scratch_weight[d.resource.index()] += d.weight;
-                self.scratch_count[d.resource.index()] += 1;
-            }
-        }
-
-        let mut unfrozen = aff_flows.clone();
-        while !unfrozen.is_empty() {
-            // Find the bottleneck share among closure resources that still
-            // carry unfrozen flows (the integer count is the authoritative
-            // membership test — floating-point weight subtraction can
-            // leave dust).
-            let mut share = f64::INFINITY;
-            for &r in &aff_res {
-                let ri = r as usize;
-                if self.scratch_count[ri] > 0 && self.scratch_weight[ri] > 0.0 {
-                    let s = self.scratch_residual[ri] / self.scratch_weight[ri];
-                    if s < share {
-                        share = s;
-                    }
-                }
-            }
-            let share = share.clamp(0.0, RATE_CAP);
-
-            // Freeze flows that cross a saturating resource (or all of them
-            // when nothing constrains).
-            let tol = share * 1e-12 + 1e-30;
-            let mut any_saturated = false;
-            for &r in &aff_res {
-                let ri = r as usize;
-                self.scratch_saturated[ri] = false;
-                if share < RATE_CAP
-                    && self.scratch_count[ri] > 0
-                    && self.scratch_weight[ri] > 0.0
-                    && self.scratch_residual[ri] / self.scratch_weight[ri] <= share + tol
-                {
-                    self.scratch_saturated[ri] = true;
-                    any_saturated = true;
-                }
-            }
-
-            let mut still: Vec<u32> = Vec::new();
-            for &slot_idx in &unfrozen {
-                let f =
-                    self.slots[slot_idx as usize].state.as_mut().expect("unfrozen flows are live");
-                let frozen_now = !any_saturated
-                    || f.demands.iter().any(|d| self.scratch_saturated[d.resource.index()]);
-                if frozen_now {
-                    f.rate = share;
-                    for d in &f.demands {
-                        let r = d.resource.index();
-                        self.scratch_residual[r] =
-                            (self.scratch_residual[r] - share * d.weight).max(0.0);
-                        self.scratch_weight[r] -= d.weight;
-                        self.scratch_count[r] -= 1;
-                        if self.scratch_count[r] == 0 {
-                            self.scratch_weight[r] = 0.0;
-                        }
-                        self.resources[r].used += share * d.weight;
-                    }
-                } else {
-                    still.push(slot_idx);
-                }
-            }
-            debug_assert!(
-                still.len() < unfrozen.len(),
-                "progressive filling must freeze at least one flow per round"
-            );
-            unfrozen = still;
-        }
-
-        // Re-stamp every touched flow and index its projected completion.
-        for &s in &aff_flows {
-            let slot = &mut self.slots[s as usize];
-            slot.stamp = slot.stamp.wrapping_add(1);
-            let f = slot.state.as_ref().expect("live");
-            if f.rate > 0.0 {
-                let d = SimDuration::from_secs_f64(f.remaining / f.rate);
-                let key = self.last_update.as_nanos().saturating_add(d.as_nanos());
-                self.completions.push(Reverse((key, s, slot.stamp)));
-            }
-        }
+        self.split_components();
+        self.solve_components();
+        self.apply_components();
         self.compact_completions();
+    }
 
+    /// Phase 1: partition the dirty closure into connected components of
+    /// the flow/resource bipartite graph. Components are discovered in
+    /// dirty-seed order (deterministic: the seed list is the mutation
+    /// order); within each component flows are sorted ascending by slot —
+    /// the exact accumulation order of the former global pass, so shares
+    /// stay bit-identical.
+    fn split_components(&mut self) {
+        self.comps.clear();
+        self.comp_flows.clear();
+        self.comp_res.clear();
+        let seeds = std::mem::take(&mut self.dirty);
+        // `res_mark` currently flags "is in the seed list"; clear it so it
+        // can serve as the BFS visited set (a seed absorbed into an earlier
+        // component must not start its own).
+        for &r in &seeds {
+            self.res_mark[r as usize] = false;
+        }
+        for &seed in &seeds {
+            if self.res_mark[seed as usize] {
+                continue;
+            }
+            let flow_start = self.comp_flows.len();
+            let res_start = self.comp_res.len();
+            self.res_mark[seed as usize] = true;
+            self.comp_res.push(seed);
+            let mut qi = res_start;
+            while qi < self.comp_res.len() {
+                let r = self.comp_res[qi] as usize;
+                qi += 1;
+                for k in 0..self.res_flows[r].len() {
+                    let s = self.res_flows[r][k] as usize;
+                    if !self.flow_mark[s] {
+                        self.flow_mark[s] = true;
+                        self.comp_flows.push(s as u32);
+                        let d0 = self.f_dem_start[s] as usize;
+                        let d1 = d0 + self.f_dem_len[s] as usize;
+                        for k2 in d0..d1 {
+                            let ri = self.dem_res[k2] as usize;
+                            if !self.res_mark[ri] {
+                                self.res_mark[ri] = true;
+                                self.comp_res.push(ri as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            self.comp_flows[flow_start..].sort_unstable();
+            for (j, &r) in self.comp_res[res_start..].iter().enumerate() {
+                self.res_local[r as usize] = j as u32;
+            }
+            self.comps.push(Comp {
+                flow_start,
+                flow_len: self.comp_flows.len() - flow_start,
+                res_start,
+                res_len: self.comp_res.len() - res_start,
+            });
+        }
+        // Restore the all-false invariant on the visited marks.
+        for &r in &self.comp_res {
+            self.res_mark[r as usize] = false;
+        }
+        for &s in &self.comp_flows {
+            self.flow_mark[s as usize] = false;
+        }
         // Recycle the seed list's allocation.
-        aff_res.clear();
-        self.dirty = aff_res;
+        self.dirty = seeds;
+        self.dirty.clear();
+    }
+
+    /// Phase 2: solve every component into the `comp_rates` / `comp_used`
+    /// pools. Output positions are carved out of the pools *before* any
+    /// worker runs, each component's slices are disjoint, and the solve
+    /// reads only shared immutable state — so the parallel path writes the
+    /// same bytes to the same places as the sequential one.
+    fn solve_components(&mut self) {
+        /// One worker's batch: (component index, rates slice, used slice).
+        type WorkerBatch<'a> = Vec<(usize, &'a mut [f64], &'a mut [f64])>;
+        let mut rates = std::mem::take(&mut self.comp_rates);
+        let mut used = std::mem::take(&mut self.comp_used);
+        rates.clear();
+        rates.resize(self.comp_flows.len(), 0.0);
+        used.clear();
+        used.resize(self.comp_res.len(), 0.0);
+        let ncomps = self.comps.len();
+        let use_par =
+            self.threads > 1 && ncomps >= 2 && self.comp_flows.len() >= PAR_MIN_CLOSURE_FLOWS;
+        if use_par {
+            let workers = self.threads.min(ncomps);
+            let mut scratches = std::mem::take(&mut self.par_scratch);
+            scratches.resize(workers.max(scratches.len()), SolveScratch::default());
+            {
+                let view = self.solve_view();
+                // Carve disjoint per-component output slices, then deal
+                // them round-robin: worker w owns components w, w+n, ...
+                // (canonical index → worker assignment).
+                let mut work: Vec<WorkerBatch> = (0..workers).map(|_| Vec::new()).collect();
+                let mut rates_rest: &mut [f64] = &mut rates;
+                let mut used_rest: &mut [f64] = &mut used;
+                for (ci, c) in view.comps.iter().enumerate() {
+                    let (rs, rr) = rates_rest.split_at_mut(c.flow_len);
+                    let (us, ur) = used_rest.split_at_mut(c.res_len);
+                    rates_rest = rr;
+                    used_rest = ur;
+                    work[ci % workers].push((ci, rs, us));
+                }
+                std::thread::scope(|sc| {
+                    for (batch, scratch) in work.into_iter().zip(scratches.iter_mut()) {
+                        let view = &view;
+                        sc.spawn(move || {
+                            for (ci, rs, us) in batch {
+                                solve_component(view, ci, scratch, rs, us);
+                            }
+                        });
+                    }
+                });
+            }
+            self.par_scratch = scratches;
+            self.stats.components_solved_parallel += ncomps as u64;
+        } else {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            {
+                let view = self.solve_view();
+                for ci in 0..ncomps {
+                    let c = view.comps[ci];
+                    let rs = &mut rates[c.flow_start..c.flow_start + c.flow_len];
+                    let us = &mut used[c.res_start..c.res_start + c.res_len];
+                    solve_component(&view, ci, &mut scratch, rs, us);
+                }
+            }
+            self.scratch = scratch;
+        }
+        self.comp_rates = rates;
+        self.comp_used = used;
+    }
+
+    fn solve_view(&self) -> SolveView<'_> {
+        SolveView {
+            res_capacity: &self.res_capacity,
+            dem_res: &self.dem_res,
+            dem_w: &self.dem_w,
+            f_dem_start: &self.f_dem_start,
+            f_dem_len: &self.f_dem_len,
+            comp_flows: &self.comp_flows,
+            comp_res: &self.comp_res,
+            comps: &self.comps,
+            res_local: &self.res_local,
+        }
+    }
+
+    /// Phase 3: commit solved rates and resource usage, re-stamp every
+    /// touched flow, and index projected completions — serially, in
+    /// canonical component order, so the heap and counters never see the
+    /// worker schedule.
+    fn apply_components(&mut self) {
+        for ci in 0..self.comps.len() {
+            let c = self.comps[ci];
+            self.stats.flows_touched += c.flow_len as u64;
+            self.stats.resources_touched += c.res_len as u64;
+            if c.flow_len > 0 {
+                self.comp_hist.push(c.flow_len as u64);
+            }
+            for i in 0..c.flow_len {
+                let s = self.comp_flows[c.flow_start + i];
+                let si = s as usize;
+                self.f_rate[si] = self.comp_rates[c.flow_start + i];
+                self.f_stamp[si] = self.f_stamp[si].wrapping_add(1);
+                if self.f_rate[si] > 0.0 {
+                    let d = SimDuration::from_secs_f64(self.f_remaining[si] / self.f_rate[si]);
+                    let key = self.last_update.as_nanos().saturating_add(d.as_nanos());
+                    self.completions.push(Reverse((key, s, self.f_stamp[si])));
+                }
+            }
+            for j in 0..c.res_len {
+                let r = self.comp_res[c.res_start + j] as usize;
+                self.res_used[r] = self.comp_used[c.res_start + j];
+            }
+        }
+    }
+
+    /// Rebuilds the flat demand arena once freed rows dominate it,
+    /// repacking live flows in ascending slot order. Deterministic (a pure
+    /// function of the logical state) and invisible to snapshots, which
+    /// encode per-flow demand lists rather than arena offsets.
+    fn compact_demands(&mut self) {
+        if self.dem_res.len() < DEM_COMPACT_MIN || self.dem_garbage * 2 <= self.dem_res.len() {
+            return;
+        }
+        let live = self.dem_res.len() - self.dem_garbage;
+        let mut new_res = Vec::with_capacity(live);
+        let mut new_w = Vec::with_capacity(live);
+        for si in 0..self.f_live.len() {
+            if !self.f_live[si] {
+                continue;
+            }
+            let d0 = self.f_dem_start[si] as usize;
+            let d1 = d0 + self.f_dem_len[si] as usize;
+            self.f_dem_start[si] = new_res.len() as u32;
+            new_res.extend_from_slice(&self.dem_res[d0..d1]);
+            new_w.extend_from_slice(&self.dem_w[d0..d1]);
+        }
+        self.dem_res = new_res;
+        self.dem_w = new_w;
+        self.dem_garbage = 0;
     }
 
     /// Drops stale completion entries wholesale once they dominate the
@@ -615,8 +869,7 @@ impl FluidNet {
         }
         let mut entries = std::mem::take(&mut self.completions).into_vec();
         entries.retain(|&Reverse((_, s, stamp))| {
-            let slot = &self.slots[s as usize];
-            slot.stamp == stamp && slot.state.is_some()
+            self.f_stamp[s as usize] == stamp && self.f_live[s as usize]
         });
         self.completions = BinaryHeap::from(entries);
     }
@@ -634,15 +887,15 @@ impl FluidNet {
             return Some(self.last_update);
         }
         while let Some(&Reverse((_, s, stamp))) = self.completions.peek() {
-            let slot = &self.slots[s as usize];
-            if slot.stamp == stamp && slot.state.as_ref().is_some_and(|f| f.rate > 0.0) {
+            let si = s as usize;
+            if self.f_stamp[si] == stamp && self.f_live[si] && self.f_rate[si] > 0.0 {
                 break;
             }
             self.completions.pop();
         }
         let &Reverse((_, s, _)) = self.completions.peek()?;
-        let f = self.slots[s as usize].state.as_ref().expect("validated above");
-        let secs = f.remaining / f.rate;
+        let si = s as usize;
+        let secs = self.f_remaining[si] / self.f_rate[si];
         // Round up one nanosecond so the event lands at-or-after the true
         // completion instant.
         let d = SimDuration::from_secs_f64(secs).saturating_add(SimDuration::from_nanos(1));
@@ -653,24 +906,24 @@ impl FluidNet {
     /// last `advance_to`). The allocation becomes dirty if any finished.
     pub fn take_finished(&mut self) -> Vec<FinishedFlow> {
         let mut done = Vec::new();
-        for i in 0..self.slots.len() {
-            let finished = match &self.slots[i].state {
-                Some(f) => f.remaining <= DONE_EPS.max(f.total * 1e-12),
-                None => false,
-            };
-            if finished {
-                let slot = &mut self.slots[i];
-                let state = slot.state.take().expect("checked above");
-                let id = FlowId { slot: i as u32, gen: slot.gen };
-                slot.gen = slot.gen.wrapping_add(1);
-                slot.stamp = slot.stamp.wrapping_add(1);
-                if state.remaining <= DONE_EPS {
+        for i in 0..self.f_live.len() {
+            if !self.f_live[i] {
+                continue;
+            }
+            if self.f_remaining[i] <= DONE_EPS.max(self.f_total[i] * 1e-12) {
+                let id = FlowId { slot: i as u32, gen: self.f_gen[i] };
+                self.f_gen[i] = self.f_gen[i].wrapping_add(1);
+                self.f_stamp[i] = self.f_stamp[i].wrapping_add(1);
+                if self.f_remaining[i] <= DONE_EPS {
                     self.near_done -= 1;
                 }
-                self.detach(i as u32, &state.demands);
+                self.detach(i as u32);
+                self.f_live[i] = false;
+                self.dem_garbage += self.f_dem_len[i] as usize;
                 self.free.push(i as u32);
                 self.active -= 1;
                 self.allocation_dirty = true;
+                self.pending_mutations += 1;
                 done.push(FinishedFlow { id });
             }
         }
@@ -689,15 +942,130 @@ impl FluidNet {
 
     /// Per-resource `(name, kind, used, capacity)` rows for monitors.
     pub fn usage_snapshot(&self) -> Vec<(ResourceId, ResourceKind, f64, f64)> {
-        self.resources
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (ResourceId(i as u32), r.kind, r.used, r.capacity))
+        (0..self.res_name.len())
+            .map(|i| {
+                (ResourceId(i as u32), self.res_kind[i], self.res_used[i], self.res_capacity[i])
+            })
             .collect()
     }
 
-    // ----- persistence (DESIGN.md §16) ------------------------------------
+    /// Demand list of a live slot, reconstructed from the arena (encode and
+    /// debug paths only).
+    fn slot_demands(&self, si: usize) -> Vec<Demand> {
+        let d0 = self.f_dem_start[si] as usize;
+        let d1 = d0 + self.f_dem_len[si] as usize;
+        (d0..d1)
+            .map(|k| Demand { resource: ResourceId(self.dem_res[k]), weight: self.dem_w[k] })
+            .collect()
+    }
+}
 
+/// Restricted progressive filling over one connected component: every
+/// unfrozen flow's rate rises uniformly; the resource with the smallest
+/// residual fair share saturates first and freezes every flow crossing it;
+/// repeat. Scratch is indexed by component-local resource position (via
+/// `view.res_local`); rates land in `rates` (parallel to the component's
+/// flow list), per-resource usage in `used` (parallel to its resource
+/// list). Pure function of `view` + the component id: safe to run on any
+/// worker, bit-identical wherever it runs.
+fn solve_component(
+    view: &SolveView<'_>,
+    ci: usize,
+    scratch: &mut SolveScratch,
+    rates: &mut [f64],
+    used: &mut [f64],
+) {
+    let c = view.comps[ci];
+    let flows = &view.comp_flows[c.flow_start..c.flow_start + c.flow_len];
+    let res = &view.comp_res[c.res_start..c.res_start + c.res_len];
+    scratch.ensure(res.len());
+    for (j, &r) in res.iter().enumerate() {
+        scratch.residual[j] = view.res_capacity[r as usize];
+        scratch.weight[j] = 0.0;
+        scratch.count[j] = 0;
+        used[j] = 0.0;
+    }
+    for &s in flows {
+        let d0 = view.f_dem_start[s as usize] as usize;
+        let d1 = d0 + view.f_dem_len[s as usize] as usize;
+        for k in d0..d1 {
+            let j = view.res_local[view.dem_res[k] as usize] as usize;
+            scratch.weight[j] += view.dem_w[k];
+            scratch.count[j] += 1;
+        }
+    }
+
+    scratch.unfrozen.clear();
+    scratch.unfrozen.extend(0..flows.len() as u32);
+    while !scratch.unfrozen.is_empty() {
+        // Find the bottleneck share among component resources that still
+        // carry unfrozen flows (the integer count is the authoritative
+        // membership test — floating-point weight subtraction can leave
+        // dust).
+        let mut share = f64::INFINITY;
+        for j in 0..res.len() {
+            if scratch.count[j] > 0 && scratch.weight[j] > 0.0 {
+                let s = scratch.residual[j] / scratch.weight[j];
+                if s < share {
+                    share = s;
+                }
+            }
+        }
+        let share = share.clamp(0.0, RATE_CAP);
+
+        // Freeze flows that cross a saturating resource (or all of them
+        // when nothing constrains).
+        let tol = share * 1e-12 + 1e-30;
+        let mut any_saturated = false;
+        for j in 0..res.len() {
+            scratch.saturated[j] = false;
+            if share < RATE_CAP
+                && scratch.count[j] > 0
+                && scratch.weight[j] > 0.0
+                && scratch.residual[j] / scratch.weight[j] <= share + tol
+            {
+                scratch.saturated[j] = true;
+                any_saturated = true;
+            }
+        }
+
+        scratch.still.clear();
+        for ui in 0..scratch.unfrozen.len() {
+            let li = scratch.unfrozen[ui];
+            let s = flows[li as usize] as usize;
+            let d0 = view.f_dem_start[s] as usize;
+            let d1 = d0 + view.f_dem_len[s] as usize;
+            let frozen_now = !any_saturated
+                || (d0..d1)
+                    .any(|k| scratch.saturated[view.res_local[view.dem_res[k] as usize] as usize]);
+            if frozen_now {
+                rates[li as usize] = share;
+                for k in d0..d1 {
+                    let j = view.res_local[view.dem_res[k] as usize] as usize;
+                    let w = view.dem_w[k];
+                    scratch.residual[j] = (scratch.residual[j] - share * w).max(0.0);
+                    scratch.weight[j] -= w;
+                    scratch.count[j] -= 1;
+                    if scratch.count[j] == 0 {
+                        scratch.weight[j] = 0.0;
+                    }
+                    used[j] += share * w;
+                }
+            } else {
+                scratch.still.push(li);
+            }
+        }
+        debug_assert!(
+            scratch.still.len() < scratch.unfrozen.len(),
+            "progressive filling must freeze at least one flow per round"
+        );
+        std::mem::swap(&mut scratch.unfrozen, &mut scratch.still);
+    }
+}
+
+// ----- persistence (DESIGN.md §16/§18) ------------------------------------
+
+impl FluidNet {
     /// Drops *every* stale completion-index entry (not just when the lazy
     /// threshold trips). Part of the canonicalize-before-encode rule: two
     /// byte-identical fluid states must produce byte-identical snapshots no
@@ -706,39 +1074,40 @@ impl FluidNet {
     pub fn canonicalize(&mut self) {
         let mut entries = std::mem::take(&mut self.completions).into_vec();
         entries.retain(|&Reverse((_, s, stamp))| {
-            let slot = &self.slots[s as usize];
-            slot.stamp == stamp && slot.state.is_some()
+            self.f_stamp[s as usize] == stamp && self.f_live[s as usize]
         });
         self.completions = BinaryHeap::from(entries);
     }
 
     /// Appends the complete network state to `e`, canonicalizing first.
-    /// The completion heap is written as a sorted vector; scratch buffers
-    /// and visit marks are invariantly empty between engine calls and are
-    /// rebuilt on decode rather than encoded.
+    /// The completion heap is written as a sorted vector; demand lists are
+    /// written per-flow (arena offsets are layout, not state, so demand
+    /// compaction never perturbs snapshot bytes); scratch buffers, visit
+    /// marks, component pools, the thread knob, and the thread-dependent
+    /// `components_solved_parallel` counter are rebuilt or reset on decode
+    /// rather than encoded.
     pub(crate) fn encode_state(&mut self, e: &mut Encoder) {
         self.canonicalize();
-        e.usize(self.resources.len());
-        for r in &self.resources {
-            e.str(&r.name);
-            r.kind.encode(e);
-            e.f64(r.capacity);
-            e.f64(r.used);
-            e.f64(r.cumulative);
+        e.usize(self.res_name.len());
+        for i in 0..self.res_name.len() {
+            e.str(&self.res_name[i]);
+            self.res_kind[i].encode(e);
+            e.f64(self.res_capacity[i]);
+            e.f64(self.res_used[i]);
+            e.f64(self.res_cumulative[i]);
         }
-        e.usize(self.slots.len());
-        for s in &self.slots {
-            e.u32(s.gen);
-            e.u32(s.stamp);
-            match &s.state {
-                None => e.u8(0),
-                Some(f) => {
-                    e.u8(1);
-                    f.demands.encode(e);
-                    e.f64(f.total);
-                    e.f64(f.remaining);
-                    e.f64(f.rate);
-                }
+        e.usize(self.f_gen.len());
+        for si in 0..self.f_gen.len() {
+            e.u32(self.f_gen[si]);
+            e.u32(self.f_stamp[si]);
+            if self.f_live[si] {
+                e.u8(1);
+                self.slot_demands(si).encode(e);
+                e.f64(self.f_total[si]);
+                e.f64(self.f_remaining[si]);
+                e.f64(self.f_rate[si]);
+            } else {
+                e.u8(0);
             }
         }
         self.free.encode(e);
@@ -756,87 +1125,89 @@ impl FluidNet {
         e.u64(self.stats.reallocations);
         e.u64(self.stats.flows_touched);
         e.u64(self.stats.resources_touched);
+        e.u64(self.stats.batch_applied);
+        e.u64(self.pending_mutations);
+        self.comp_hist.counts.encode(e);
+        e.u64(self.comp_hist.overflow);
+        e.u64(self.comp_hist.n);
+        e.u64(self.comp_hist.max);
     }
 
     /// Rebuilds a network from bytes written by
     /// [`FluidNet::encode_state`].
     pub(crate) fn decode_state(d: &mut Decoder) -> FluidNet {
+        let mut net = FluidNet::new();
         let nres = d.usize();
-        let mut resources = Vec::with_capacity(nres);
         for _ in 0..nres {
-            let name = d.str();
-            let kind = ResourceKind::decode(d);
-            let capacity = d.f64();
-            let used = d.f64();
-            let cumulative = d.f64();
-            resources.push(Resource { name, kind, capacity, used, cumulative });
+            net.res_name.push(d.str());
+            net.res_kind.push(ResourceKind::decode(d));
+            net.res_capacity.push(d.f64());
+            net.res_used.push(d.f64());
+            net.res_cumulative.push(d.f64());
         }
         let nslots = d.usize();
-        let mut slots = Vec::with_capacity(nslots);
         for _ in 0..nslots {
-            let gen = d.u32();
-            let stamp = d.u32();
-            let state = match d.u8() {
-                0 => None,
-                _ => {
-                    let demands = Vec::<Demand>::decode(d);
-                    let total = d.f64();
-                    let remaining = d.f64();
-                    let rate = d.f64();
-                    Some(FlowState { demands, total, remaining, rate })
+            net.f_gen.push(d.u32());
+            net.f_stamp.push(d.u32());
+            let live = d.u8() != 0;
+            net.f_live.push(live);
+            if live {
+                let demands = Vec::<Demand>::decode(d);
+                net.f_dem_start.push(net.dem_res.len() as u32);
+                net.f_dem_len.push(demands.len() as u32);
+                for dem in &demands {
+                    net.dem_res.push(dem.resource.index() as u32);
+                    net.dem_w.push(dem.weight);
                 }
-            };
-            slots.push(FlowSlot { gen, stamp, state });
+                net.f_total.push(d.f64());
+                net.f_remaining.push(d.f64());
+                net.f_rate.push(d.f64());
+            } else {
+                net.f_dem_start.push(0);
+                net.f_dem_len.push(0);
+                net.f_total.push(0.0);
+                net.f_remaining.push(0.0);
+                net.f_rate.push(0.0);
+            }
         }
-        let free = Vec::<u32>::decode(d);
-        let active = d.usize();
-        let last_update = SimTime::decode(d);
-        let allocation_dirty = d.bool();
-        let res_flows = Vec::<Vec<u32>>::decode(d);
-        let dirty = Vec::<u32>::decode(d);
-        let near_done = d.usize();
+        net.free = Vec::<u32>::decode(d);
+        net.active = d.usize();
+        net.last_update = SimTime::decode(d);
+        net.allocation_dirty = d.bool();
+        net.res_flows = Vec::<Vec<u32>>::decode(d);
+        net.dirty = Vec::<u32>::decode(d);
+        net.near_done = d.usize();
         let completion_entries = Vec::<(u64, u32, u32)>::decode(d);
-        let full_solve = d.bool();
-        let reallocations = d.u64();
-        let flows_touched = d.u64();
-        let resources_touched = d.u64();
-        let mut res_mark = vec![false; resources.len()];
-        for &r in &dirty {
-            res_mark[r as usize] = true;
+        net.completions = completion_entries.into_iter().map(Reverse).collect();
+        net.full_solve = d.bool();
+        net.stats.reallocations = d.u64();
+        net.stats.flows_touched = d.u64();
+        net.stats.resources_touched = d.u64();
+        net.stats.batch_applied = d.u64();
+        net.pending_mutations = d.u64();
+        net.comp_hist.counts = Vec::<u64>::decode(d);
+        net.comp_hist.overflow = d.u64();
+        net.comp_hist.n = d.u64();
+        net.comp_hist.max = d.u64();
+        net.res_mark = vec![false; net.res_name.len()];
+        for &r in &net.dirty.clone() {
+            net.res_mark[r as usize] = true;
         }
-        FluidNet {
-            scratch_residual: vec![0.0; resources.len()],
-            scratch_weight: vec![0.0; resources.len()],
-            scratch_count: vec![0; resources.len()],
-            scratch_saturated: vec![false; resources.len()],
-            flow_mark: vec![false; slots.len()],
-            completions: completion_entries.into_iter().map(Reverse).collect(),
-            resources,
-            slots,
-            free,
-            active,
-            last_update,
-            allocation_dirty,
-            res_flows,
-            dirty,
-            res_mark,
-            near_done,
-            full_solve,
-            stats: FluidStats {
-                reallocations,
-                flows_touched,
-                resources_touched,
-                completion_heap_len: 0,
-            },
-        }
+        net.res_local = vec![0; net.res_name.len()];
+        net.flow_mark = vec![false; net.f_gen.len()];
+        net
     }
 }
 
 impl fmt::Display for FluidNet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "FluidNet @ {} ({} flows)", self.last_update, self.active)?;
-        for (i, r) in self.resources.iter().enumerate() {
-            writeln!(f, "  r{i} {:<24} {:>12.3e}/{:>12.3e}", r.name, r.used, r.capacity)?;
+        for i in 0..self.res_name.len() {
+            writeln!(
+                f,
+                "  r{i} {:<24} {:>12.3e}/{:>12.3e}",
+                self.res_name[i], self.res_used[i], self.res_capacity[i]
+            )?;
         }
         Ok(())
     }
@@ -1050,5 +1421,133 @@ mod tests {
         }
         let len = net.stats().completion_heap_len;
         assert!(len <= HEAP_COMPACT_MIN.max(HEAP_SLACK * net.active_flows()) + 2, "heap {len}");
+    }
+
+    #[test]
+    fn demand_arena_compacts_under_churn() {
+        let (mut net, r) = net1();
+        let keeper = net.add_flow(vec![Demand::unit(r), Demand::weighted(r, 2.0)], 1e12);
+        for _ in 0..10_000 {
+            let f = net.add_flow(vec![Demand::unit(r), Demand::unit(r)], 1e9);
+            net.reallocate();
+            net.remove_flow(f);
+            net.reallocate();
+        }
+        // Garbage from 10k freed 2-row flows must not accumulate: the
+        // arena stays within the compaction bound, and the survivor's
+        // demand range stays intact across every compaction.
+        assert!(
+            net.dem_res.len() <= DEM_COMPACT_MIN + 4,
+            "demand arena grew to {}",
+            net.dem_res.len()
+        );
+        assert_eq!(net.slot_demands(keeper.slot as usize).len(), 2);
+        assert!((net.flow_rate(keeper) - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arena_reuse_is_aba_safe() {
+        // Freed slot reused by a new flow: every read through the stale
+        // handle must miss, and the recycled slot's state must be fully
+        // re-initialized (no leakage from the dead flow).
+        let mut net = FluidNet::new();
+        let r1 = net.add_resource("l1", ResourceKind::Net, 100.0);
+        let r2 = net.add_resource("l2", ResourceKind::Net, 60.0);
+        let dead = net.add_flow(vec![Demand::unit(r1), Demand::unit(r1)], 500.0);
+        net.reallocate();
+        net.remove_flow(dead);
+        let reborn = net.add_flow(vec![Demand::unit(r2)], 120.0);
+        net.reallocate();
+        assert_eq!(dead.slot, reborn.slot, "free list must recycle the slot");
+        assert!(!net.is_live(dead));
+        assert_eq!(net.flow_rate(dead), 0.0);
+        assert_eq!(net.flow_remaining(dead), None);
+        assert!(net.remove_flow(dead).is_none(), "stale cancel must miss the reborn flow");
+        assert!(net.is_live(reborn));
+        assert_eq!(net.flow_rate(reborn), 60.0);
+        assert_eq!(net.used(r1), 0.0, "dead flow's demands fully detached");
+        // The reborn flow finishes on its own schedule — the dead flow's
+        // stale completion entries must not surface it early.
+        let t = net.earliest_completion().expect("reborn flow progressing");
+        assert_eq!(t.as_nanos(), SimTime::from_secs(2).as_nanos() + 1);
+    }
+
+    /// Builds a many-component net (several independent links, many flows
+    /// each) large enough to clear `PAR_MIN_CLOSURE_FLOWS`, solves it at
+    /// the given thread count, and returns every rate's bit pattern.
+    fn parallel_fixture(threads: usize) -> (Vec<u64>, FluidStats) {
+        let mut net = FluidNet::new();
+        net.set_threads(threads);
+        let links: Vec<ResourceId> = (0..8)
+            .map(|i| net.add_resource(format!("l{i}"), ResourceKind::Net, 50.0 + 25.0 * i as f64))
+            .collect();
+        let mut flows = Vec::new();
+        for i in 0..(2 * PAR_MIN_CLOSURE_FLOWS) {
+            let l = links[i % links.len()];
+            let w = [0.5, 1.0, 2.0][i % 3];
+            flows.push(net.add_flow(vec![Demand::weighted(l, w)], 1e9));
+        }
+        net.reallocate();
+        let bits = flows.iter().map(|&f| net.flow_rate(f).to_bits()).collect();
+        (bits, net.stats())
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_sequential() {
+        let (seq_bits, seq_stats) = parallel_fixture(1);
+        for threads in [2, 3, 8] {
+            let (par_bits, par_stats) = parallel_fixture(threads);
+            assert_eq!(seq_bits, par_bits, "rates diverged at threads={threads}");
+            // All counters except the thread-dependent parallel tally must
+            // match the sequential run exactly.
+            let scrub = |s: FluidStats| FluidStats { components_solved_parallel: 0, ..s };
+            assert_eq!(scrub(seq_stats), scrub(par_stats));
+        }
+        // The fixture is big enough that the pool actually engaged.
+        let (_, par_stats) = parallel_fixture(8);
+        assert!(par_stats.components_solved_parallel >= 8, "worker pool never engaged");
+        assert_eq!(seq_stats.components_solved_parallel, 0);
+    }
+
+    #[test]
+    fn batch_counters_track_coalesced_mutations() {
+        let (mut net, r) = net1();
+        let a = net.add_flow(vec![Demand::unit(r)], 1e6);
+        let b = net.add_flow(vec![Demand::unit(r)], 1e6);
+        net.set_capacity(r, 80.0);
+        net.remove_flow(b);
+        net.reallocate();
+        let s = net.stats();
+        assert_eq!(s.reallocations, 1, "four mutations coalesced into one pass");
+        assert_eq!(s.batch_applied, 4);
+        assert_eq!(net.flow_rate(a), 80.0);
+        // A clean pass applies nothing further.
+        net.reallocate();
+        assert_eq!(net.stats().batch_applied, 4);
+    }
+
+    #[test]
+    fn component_histogram_records_sizes() {
+        let mut net = FluidNet::new();
+        let r1 = net.add_resource("l1", ResourceKind::Net, 100.0);
+        let r2 = net.add_resource("l2", ResourceKind::Net, 60.0);
+        for _ in 0..3 {
+            net.add_flow(vec![Demand::unit(r1)], 1e6);
+        }
+        net.add_flow(vec![Demand::unit(r2)], 1e6);
+        net.reallocate();
+        let s = net.stats();
+        assert_eq!(net.component_hist().count(), 2, "two components solved");
+        assert_eq!(s.comp_size_max, 3);
+        // Nearest-rank p50 of the two samples {1, 3} resolves to the upper.
+        assert_eq!(s.comp_size_p50, 3);
+        // Re-solving only the singleton link leaves the max untouched and
+        // pulls the median down.
+        net.add_flow(vec![Demand::unit(r2)], 1e6);
+        net.reallocate();
+        let s = net.stats();
+        assert_eq!(net.component_hist().count(), 3);
+        assert_eq!(s.comp_size_max, 3);
+        assert_eq!(s.comp_size_p50, 2, "samples {{1, 2, 3}} -> median 2");
     }
 }

@@ -40,13 +40,19 @@ impl fmt::Display for FlowId {
     }
 }
 
-/// Handle to a scheduled timer.
+/// Generational handle to a scheduled timer. Like [`FlowId`], the handle
+/// pairs an arena slot with the slot's generation at allocation time, so a
+/// handle kept past its timer's firing or cancellation can never reach a
+/// recycled slot (ABA protection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct TimerId(pub(crate) u64);
+pub struct TimerId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
 
 impl fmt::Display for TimerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}", self.0)
+        write!(f, "t{}.{}", self.slot, self.gen)
     }
 }
 

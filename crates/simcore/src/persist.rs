@@ -25,8 +25,10 @@ use std::collections::{HashMap, VecDeque};
 pub const SNAPSHOT_MAGIC: [u8; 6] = *b"VHSNAP";
 
 /// Format version written after the magic. Bump on **any** encoding change.
-/// (v2: HDFS namespace gained the block-checksum side table.)
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// (v2: HDFS namespace gained the block-checksum side table. v3: SoA/arena
+/// fluid kernel — batch/histogram counters, generation-stamped timer arena,
+/// five interned kernel counter names.)
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Checks the header of a snapshot byte string without constructing a
 /// decoder; returns the embedded format version.
@@ -390,10 +392,13 @@ impl Persist for crate::ids::FlowId {
 
 impl Persist for crate::ids::TimerId {
     fn encode(&self, e: &mut Encoder) {
-        e.u64(self.0);
+        e.u32(self.slot);
+        e.u32(self.gen);
     }
     fn decode(d: &mut Decoder) -> Self {
-        crate::ids::TimerId(d.u64())
+        let slot = d.u32();
+        let gen = d.u32();
+        crate::ids::TimerId { slot, gen }
     }
 }
 

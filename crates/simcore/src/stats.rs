@@ -118,6 +118,81 @@ impl Summary {
     }
 }
 
+/// Fixed-bucket histogram of small integer sizes (one bucket per value up
+/// to [`SizeHist::EXACT`], a single overflow bucket above that which
+/// remembers only the maximum). Used by the fluid kernel to record the
+/// flow count of every connected component it re-solves, so the parallel
+/// speedup ceiling (p99 / max component size) is observable.
+///
+/// Deterministic: state is a pure function of the pushed samples, so the
+/// histogram participates in snapshot round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeHist {
+    /// `counts[s]` = number of samples of size `s` (lazily grown, capped
+    /// at `EXACT` entries).
+    pub(crate) counts: Vec<u64>,
+    /// Samples with size >= `EXACT`.
+    pub(crate) overflow: u64,
+    /// Total samples.
+    pub(crate) n: u64,
+    /// Largest sample seen.
+    pub(crate) max: u64,
+}
+
+impl SizeHist {
+    /// Sizes below this are counted exactly; at or above, only the count
+    /// and the running maximum are kept.
+    pub const EXACT: u64 = 1024;
+
+    /// Empty histogram.
+    pub fn new() -> Self {
+        SizeHist::default()
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, size: u64) {
+        self.n += 1;
+        self.max = self.max.max(size);
+        if size < Self::EXACT {
+            let idx = size as usize;
+            if self.counts.len() <= idx {
+                self.counts.resize(idx + 1, 0);
+            }
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile; `p` in [0, 1]. Samples that landed in the
+    /// overflow bucket resolve to the maximum. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = (p * (self.n - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (size, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return size as u64;
+            }
+        }
+        self.max
+    }
+}
+
 /// Nearest-rank percentile over a pre-sorted slice; `p` in [0, 1].
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
@@ -163,6 +238,27 @@ mod tests {
         assert_eq!(s.max, 100.0);
         assert!((s.p50 - 50.0).abs() <= 1.0);
         assert!((s.p95 - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn size_hist_percentiles_and_overflow() {
+        let mut h = SizeHist::new();
+        for s in 1..=100u64 {
+            h.push(s);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100);
+        assert!(h.percentile(0.5).abs_diff(50) <= 1);
+        assert!(h.percentile(0.99).abs_diff(99) <= 1);
+        assert_eq!(h.percentile(1.0), 100);
+        // Overflow samples resolve to the max.
+        h.push(SizeHist::EXACT + 7);
+        assert_eq!(h.max(), SizeHist::EXACT + 7);
+        assert_eq!(h.percentile(1.0), SizeHist::EXACT + 7);
+        // Empty histogram is all zeros.
+        let e = SizeHist::new();
+        assert_eq!(e.percentile(0.5), 0);
+        assert_eq!(e.max(), 0);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! per-resource `used`/`cumulative`, and every completion instant. This is
 //! the contract that keeps the nanosecond-pinned golden traces
 //! (`scheduler_golden`, `seed_sweep`) valid across the solver rewrite.
+//!
+//! The same contract extends to the worker pool
+//! (`solver_threads_are_unobservable`): thread count is a performance knob,
+//! never an observable one.
 
 use proptest::{check, Config};
 use simcore::fluid::{Demand, FluidNet, ResourceKind};
@@ -337,6 +341,138 @@ fn fluid_incremental_equivalence() {
             assert_state_identical(&mut net, &ora, &live, n_res);
         }
     });
+}
+
+/// The parallel component re-solve must be unobservable: for any churn
+/// script, running the identical script with the worker pool at 1, 2, and
+/// 8 threads yields `f64::to_bits`-identical rates, remaining work,
+/// per-resource `used`/`cumulative`, identical completion instants, and
+/// identical work counters (`components_solved_parallel` excepted — it is
+/// the one deliberately thread-dependent statistic).
+///
+/// Cases build two independent resource banks with > `PAR_MIN_CLOSURE`
+/// flows so the initial reallocation genuinely engages the pool (small
+/// closures are solved inline regardless of the knob).
+#[test]
+fn solver_threads_are_unobservable() {
+    check("solver_threads_are_unobservable", Config { cases: 4, seed: 0xF1D2 }, |g| {
+        let n_res = g.usize_in(4, 8);
+        let caps: Vec<f64> = (0..n_res).map(|_| *g.choose(&CAPS)).collect();
+        let base_flows = g.usize_in(1100, 1400);
+        let run = |threads: usize, g: &mut proptest::Gen| {
+            let mut net = FluidNet::new();
+            net.set_threads(threads);
+            for (i, &c) in caps.iter().enumerate() {
+                net.add_resource(format!("r{i}"), ResourceKind::Other, c);
+            }
+            let mut live = Vec::new();
+            // A wide first wave so the dirty closure crosses the parallel
+            // threshold, spread over every resource (several components).
+            for k in 0..base_flows {
+                let r = k % n_res;
+                let w = *g.choose(&WEIGHTS);
+                let id = net.add_flow(
+                    vec![Demand::weighted(ResourceId::from_index(r), w)],
+                    g.f64_in(50.0, 500.0),
+                );
+                live.push(id);
+            }
+            let mut out: Vec<u64> = Vec::new();
+            for _ in 0..12 {
+                match g.usize_in(0, 4) {
+                    0 => {
+                        let r = g.usize_in(0, n_res - 1);
+                        let w = *g.choose(&WEIGHTS);
+                        live.push(net.add_flow(
+                            vec![Demand::weighted(ResourceId::from_index(r), w)],
+                            g.f64_in(1.0, 200.0),
+                        ));
+                    }
+                    1 if !live.is_empty() => {
+                        let k = g.usize_in(0, live.len() - 1);
+                        net.remove_flow(live.swap_remove(k));
+                    }
+                    2 => {
+                        let r = g.usize_in(0, n_res - 1);
+                        net.set_capacity(ResourceId::from_index(r), *g.choose(&CAPS));
+                    }
+                    _ => {
+                        net.reallocate();
+                        if let Some(t) = net.earliest_completion() {
+                            net.advance_to(t);
+                            for f in net.take_finished() {
+                                live.retain(|&id| id != f.id);
+                            }
+                        }
+                    }
+                }
+                net.reallocate();
+                for &id in &live {
+                    out.push(net.flow_rate(id).to_bits());
+                    out.push(net.flow_remaining(id).map_or(u64::MAX, f64::to_bits));
+                }
+                for r in 0..n_res {
+                    let rid = ResourceId::from_index(r);
+                    out.push(net.used(rid).to_bits());
+                    out.push(net.cumulative(rid).to_bits());
+                }
+                out.push(net.now().as_nanos());
+                out.push(net.earliest_completion().map_or(u64::MAX, |t| t.as_nanos()));
+            }
+            // Thread-independent counters travel with the trace; the one
+            // thread-dependent statistic is compared separately below.
+            let s = net.stats();
+            out.extend([
+                s.reallocations,
+                s.flows_touched,
+                s.resources_touched,
+                s.batch_applied,
+                s.comp_size_p50,
+                s.comp_size_p99,
+                s.comp_size_max,
+                s.completion_heap_len as u64,
+            ]);
+            (out, s.components_solved_parallel)
+        };
+        let mut g2 = g.clone();
+        let mut g8 = g.clone();
+        let (seq, par_seq) = run(1, g);
+        let (two, _) = run(2, &mut g2);
+        let (eight, par_eight) = run(8, &mut g8);
+        assert_eq!(seq, two, "threads=2 diverged from sequential");
+        assert_eq!(seq, eight, "threads=8 diverged from sequential");
+        assert_eq!(par_seq, 0, "sequential run must never use the pool");
+        assert!(par_eight > 0, "wide closure must engage the pool at 8 threads");
+    });
+}
+
+/// Flow-arena free-list ABA regression through the public handle API: a
+/// handle kept past its flow's removal must stay dead after the slot is
+/// recycled, and must not bleed state into (or observe state of) the
+/// reborn flow.
+#[test]
+fn flow_arena_recycling_rejects_stale_handles() {
+    let mut net = FluidNet::new();
+    let r = net.add_resource("link", ResourceKind::Net, 100.0);
+    let stale = net.add_flow(vec![Demand::unit(r)], 1_000.0);
+    net.reallocate();
+    assert_eq!(net.remove_flow(stale), Some(1_000.0));
+    // The LIFO free list recycles the same slot for the next flow.
+    let reborn = net.add_flow(vec![Demand::unit(r)], 70.0);
+    net.reallocate();
+    assert!(!net.is_live(stale), "stale handle stays dead across recycling");
+    assert!(net.is_live(reborn));
+    assert_eq!(net.remove_flow(stale), None, "stale removal is a no-op");
+    assert_eq!(net.flow_rate(stale), 0.0);
+    assert!(net.is_live(reborn), "stale operations must not touch the reborn flow");
+    assert_eq!(net.flow_rate(reborn), 100.0);
+    // The reborn flow's lifecycle is unperturbed: it completes at its own
+    // work/rate, not the stale flow's.
+    let t = net.earliest_completion().expect("completion scheduled");
+    net.advance_to(t);
+    let fin = net.take_finished();
+    assert_eq!(fin.len(), 1);
+    assert_eq!(fin[0].id, reborn);
 }
 
 /// The `full_solve` baseline knob (used by `simbench` as the "before"

@@ -256,6 +256,7 @@ fn golden_snapshot_hash_pins_the_format() {
     );
 }
 
-/// Pinned against SNAPSHOT_VERSION = 2 (the HDFS namespace gained the
-/// block-checksum side table).
-const GOLDEN_HASH: u64 = 0x44b5_bd5a_2180_05fc;
+/// Pinned against SNAPSHOT_VERSION = 3 (SoA/arena fluid kernel:
+/// batch/histogram counters, generation-stamped timer arena, five interned
+/// kernel counter names).
+const GOLDEN_HASH: u64 = 0x3a22_b29e_6733_5b5c;
