@@ -61,12 +61,34 @@ pub struct ControllerStats {
     pub queue_wait_p95_s: f64,
     /// Candidate migrations graded by fork-and-measure what-if evaluation.
     pub whatif_evals: u64,
-    /// Mean relative error of `estimate_makespan` against measured fork
-    /// makespans, `|measured − estimated| / measured`. Zero when no
+    /// Mean relative error of the active makespan model against measured
+    /// fork makespans, `|measured − estimated| / measured`, blended over
+    /// every evaluation regardless of which model priced it. Zero when no
     /// what-if evaluation ran.
     pub whatif_estimator_err_mean: f64,
     /// Worst relative estimator error across all what-if evaluations.
     pub whatif_estimator_err_max: f64,
+    /// Estimator error broken out per [`MakespanModel`] implementation
+    /// (each outcome records which model priced it), sorted by model
+    /// name. One entry per model that produced at least one evaluation.
+    ///
+    /// [`MakespanModel`]: vsched::model::MakespanModel
+    pub whatif_by_model: Vec<ModelErrStats>,
+}
+
+/// What-if estimator error attributed to one [`MakespanModel`] impl.
+///
+/// [`MakespanModel`]: vsched::model::MakespanModel
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelErrStats {
+    /// The model's stable name (`hand-priced`, `learned`).
+    pub model: String,
+    /// What-if evaluations this model priced.
+    pub evals: u64,
+    /// Mean relative error, `|measured − estimated| / measured`.
+    pub err_mean: f64,
+    /// Worst relative error.
+    pub err_max: f64,
 }
 
 impl MetricsSnapshot {
@@ -121,6 +143,16 @@ impl MetricsSnapshot {
                     ctrl.whatif_estimator_err_mean * 100.0,
                     ctrl.whatif_estimator_err_max * 100.0,
                 );
+                for m in &ctrl.whatif_by_model {
+                    let _ = writeln!(
+                        out,
+                        "whatif[{}]: evals={} est_err mean={:.1}% max={:.1}%",
+                        m.model,
+                        m.evals,
+                        m.err_mean * 100.0,
+                        m.err_max * 100.0,
+                    );
+                }
             }
         }
         out
@@ -209,6 +241,26 @@ impl VHadoop {
                 .filter(|o| o.measured_s > 0.0)
                 .map(|o| (o.measured_s - o.estimated_s).abs() / o.measured_s)
                 .collect();
+            // Per-model attribution: each outcome names the model that
+            // priced it, so estimator error never blends across models.
+            let mut by_model: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+            for o in c.whatif_outcomes() {
+                if o.measured_s > 0.0 {
+                    by_model
+                        .entry(o.model.as_str())
+                        .or_default()
+                        .push((o.measured_s - o.estimated_s).abs() / o.measured_s);
+                }
+            }
+            let whatif_by_model: Vec<ModelErrStats> = by_model
+                .into_iter()
+                .map(|(model, errs)| ModelErrStats {
+                    model: model.to_string(),
+                    evals: errs.len() as u64,
+                    err_mean: errs.iter().sum::<f64>() / errs.len() as f64,
+                    err_max: errs.iter().copied().fold(0.0, f64::max),
+                })
+                .collect();
             ControllerStats {
                 jobs_admitted: counters.jobs_admitted,
                 jobs_rejected: counters.jobs_rejected,
@@ -228,6 +280,7 @@ impl VHadoop {
                     errs.iter().sum::<f64>() / errs.len() as f64
                 },
                 whatif_estimator_err_max: errs.iter().copied().fold(0.0, f64::max),
+                whatif_by_model,
             }
         });
         MetricsSnapshot {

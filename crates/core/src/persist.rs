@@ -179,6 +179,7 @@ impl VHadoop {
                 estimated_s: cand.estimated_s,
                 measured_s,
                 chosen: false,
+                model: req.model.clone(),
             });
         }
         if let Some(best) = (0..outcomes.len())

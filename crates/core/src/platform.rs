@@ -62,40 +62,27 @@ pub struct PlatformConfig {
     pub monitor_interval: Option<SimDuration>,
     /// Engine-wide task-scheduler policy the JobTracker starts with.
     /// Individual submissions may override it via
-    /// [`JobConfig::with_scheduler`].
-    #[deprecated(
-        since = "0.7.0",
-        note = "set via PlatformConfig::builder().scheduler(..) instead of writing the field"
-    )]
-    pub scheduler: SchedulerPolicy,
+    /// [`JobConfig::with_scheduler`]. Set via
+    /// [`PlatformConfigBuilder::scheduler`]; read via
+    /// [`PlatformConfig::scheduler`].
+    scheduler: SchedulerPolicy,
     /// Faults to inject (see [`crate::faults`]); empty by default. More
-    /// plans can be added later via [`VHadoop::install_fault_plan`].
-    #[deprecated(
-        since = "0.7.0",
-        note = "set via PlatformConfig::builder().faults(..) instead of writing the field"
-    )]
-    pub faults: FaultPlan,
+    /// plans can be added later via [`VHadoop::install_fault_plan`]. Set
+    /// via [`PlatformConfigBuilder::faults`].
+    faults: FaultPlan,
     /// Root seed — the whole run is a pure function of config + seed.
     pub seed: u64,
     /// Record structured trace spans and counters (see
     /// [`simcore::trace`]). Off by default: an untraced run pays nothing.
-    #[deprecated(
-        since = "0.7.0",
-        note = "set via PlatformConfig::builder().tracing(..) instead of writing the field"
-    )]
-    pub tracing: bool,
+    /// Set via [`PlatformConfigBuilder::tracing`].
+    tracing: bool,
     /// Closed-loop control plane (admission, placement, rebalancing).
     /// Disabled by default — a disabled controller changes nothing about
-    /// the run.
-    #[deprecated(
-        since = "0.7.0",
-        note = "set via PlatformConfig::builder().controller(..) instead of writing the field"
-    )]
-    pub controller: ControllerConfig,
+    /// the run. Set via [`PlatformConfigBuilder::controller`].
+    controller: ControllerConfig,
 }
 
 impl Default for PlatformConfig {
-    #[allow(deprecated)]
     fn default() -> Self {
         PlatformConfig {
             cluster: ClusterSpec::paper_normal(),
@@ -116,6 +103,26 @@ impl PlatformConfig {
     /// Starts a builder from the paper defaults.
     pub fn builder() -> PlatformConfigBuilder {
         PlatformConfigBuilder { cfg: PlatformConfig::default() }
+    }
+
+    /// The task-scheduler policy the JobTracker starts with.
+    pub fn scheduler(&self) -> SchedulerPolicy {
+        self.scheduler
+    }
+
+    /// The fault plan installed at launch.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether structured tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// The control-plane configuration.
+    pub fn controller(&self) -> &ControllerConfig {
+        &self.controller
     }
 }
 
@@ -164,14 +171,12 @@ impl PlatformConfigBuilder {
     }
 
     /// Sets the initial task-scheduler policy.
-    #[allow(deprecated)]
     pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
         self.cfg.scheduler = policy;
         self
     }
 
     /// Sets the fault-injection plan applied at launch.
-    #[allow(deprecated)]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan;
         self
@@ -184,16 +189,24 @@ impl PlatformConfigBuilder {
     }
 
     /// Enables (or disables) structured tracing.
-    #[allow(deprecated)]
     pub fn tracing(mut self, on: bool) -> Self {
         self.cfg.tracing = on;
         self
     }
 
     /// Installs a closed-loop controller configuration.
-    #[allow(deprecated)]
     pub fn controller(mut self, cfg: ControllerConfig) -> Self {
         self.cfg.controller = cfg;
+        self
+    }
+
+    /// Selects the makespan model pricing control-plane decisions
+    /// (adaptive placement, what-if candidate scoring): the hand-priced
+    /// baseline or a learned regression tree. Writes into the controller
+    /// configuration — call after [`PlatformConfigBuilder::controller`]
+    /// if both are used.
+    pub fn cost_model(mut self, model: vsched::model::MakespanKind) -> Self {
+        self.cfg.controller.model = model;
         self
     }
 
@@ -242,7 +255,6 @@ pub struct VHadoop {
 impl VHadoop {
     /// Boots the cluster, formats HDFS, starts the JobTracker and (if
     /// configured) the monitor.
-    #[allow(deprecated)]
     pub fn launch(config: PlatformConfig) -> Self {
         // Keep the *original* config (pre-placement): restore relaunches
         // from it and the controller re-derives the same placement.
@@ -569,20 +581,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn builder_matches_defaults_and_overrides() {
         let d = PlatformConfig::default();
         let b = PlatformConfig::builder().build();
         assert_eq!(b.seed, d.seed);
         assert_eq!(b.monitor_interval, d.monitor_interval);
-        assert!(!b.tracing);
+        assert!(!b.tracing());
         let c = PlatformConfig::builder()
             .seed(7)
             .tracing(true)
             .monitor_interval(SimDuration::from_millis(250))
             .build();
         assert_eq!(c.seed, 7);
-        assert!(c.tracing);
+        assert!(c.tracing());
         assert_eq!(c.monitor_interval, Some(SimDuration::from_millis(250)));
+    }
+
+    #[test]
+    fn cost_model_builder_writes_the_controller_config() {
+        use vsched::model::MakespanKind;
+        let c = PlatformConfig::builder().cost_model(MakespanKind::HandPriced).build();
+        assert_eq!(c.controller().model, MakespanKind::HandPriced);
+        assert_eq!(c.controller().model.name(), "hand-priced");
     }
 }

@@ -27,8 +27,9 @@ pub const SNAPSHOT_MAGIC: [u8; 6] = *b"VHSNAP";
 /// Format version written after the magic. Bump on **any** encoding change.
 /// (v2: HDFS namespace gained the block-checksum side table. v3: SoA/arena
 /// fluid kernel — batch/histogram counters, generation-stamped timer arena,
-/// five interned kernel counter names.)
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// five interned kernel counter names. v4: `WhatIfOutcome` records which
+/// makespan model produced each estimate.)
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Checks the header of a snapshot byte string without constructing a
 /// decoder; returns the embedded format version.

@@ -1,0 +1,138 @@
+//! Model-driven knob search.
+//!
+//! The rule base in the crate root diagnoses *what is wrong*; this
+//! module answers *which knob setting to pick* by pricing each
+//! candidate with a [`MakespanModel`] — the hand-priced analytic
+//! estimator or a fitted `vchar` regression tree
+//! (`MakespanKind::Learned`). Because the model is a parameter, a
+//! better-calibrated model upgrades every search site for free.
+//!
+//! Determinism: candidates are priced in input order, ranking sorts by
+//! `(estimate, input index)` with `f64::total_cmp`, so equal estimates
+//! keep the caller's preference order.
+
+use vcluster::spec::ClusterSpec;
+use vsched::model::MakespanModel;
+use vsched::placement::{PlacementKind, WorkloadHint};
+
+/// One priced knob candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobChoice {
+    /// Index of the candidate in the caller's list.
+    pub index: usize,
+    /// The placement policy this choice represents.
+    pub placement: PlacementKind,
+    /// The VM→host map the policy produced for the spec.
+    pub map: Vec<u32>,
+    /// The model's makespan estimate for that map, seconds.
+    pub estimated_s: f64,
+}
+
+/// Prices every candidate placement under `model` and returns them
+/// ranked best (lowest estimate) first. Candidates whose policy cannot
+/// produce a map for the spec are dropped.
+pub fn rank_placements(
+    spec: &ClusterSpec,
+    hint: &WorkloadHint,
+    host_load: &[f64],
+    model: &dyn MakespanModel,
+    candidates: &[PlacementKind],
+) -> Vec<KnobChoice> {
+    let mut out: Vec<KnobChoice> = candidates
+        .iter()
+        .enumerate()
+        .filter_map(|(index, kind)| {
+            let map = kind.assign(spec).or_else(|| {
+                // `Spec` means "keep the declared layout": price that.
+                matches!(kind, PlacementKind::Spec)
+                    .then(|| (0..spec.vms).map(|v| spec.host_of(v)).collect())
+            })?;
+            let estimated_s = model.estimate(spec, &map, hint, host_load);
+            Some(KnobChoice { index, placement: kind.clone(), map, estimated_s })
+        })
+        .collect();
+    out.sort_by(|a, b| a.estimated_s.total_cmp(&b.estimated_s).then(a.index.cmp(&b.index)));
+    out
+}
+
+/// The single best knob setting, or `None` when no candidate applies.
+pub fn best_placement(
+    spec: &ClusterSpec,
+    hint: &WorkloadHint,
+    host_load: &[f64],
+    model: &dyn MakespanModel,
+    candidates: &[PlacementKind],
+) -> Option<KnobChoice> {
+    rank_placements(spec, hint, host_load, model, candidates).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsched::model::{HandPriced, MakespanModel};
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::builder().hosts(4).vms(8).racks(2).build()
+    }
+
+    fn shuffle_hint() -> WorkloadHint {
+        WorkloadHint { tasks: 16, cpu_secs_per_task: 1.0, shuffle_bytes_per_task: 256 << 20 }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let spec = spec();
+        let cands = vec![PlacementKind::Spec, PlacementKind::Pack, PlacementKind::Spread];
+        let ranked = rank_placements(&spec, &shuffle_hint(), &[], &HandPriced, &cands);
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].estimated_s <= w[1].estimated_s));
+        for c in &ranked {
+            assert_eq!(c.map.len(), spec.vms as usize);
+        }
+    }
+
+    #[test]
+    fn best_placement_agrees_with_the_model() {
+        let spec = spec();
+        let hint = shuffle_hint();
+        let cands = vec![PlacementKind::Pack, PlacementKind::Spread];
+        let best = best_placement(&spec, &hint, &[], &HandPriced, &cands).unwrap();
+        let pack = PlacementKind::Pack.assign(&spec).unwrap();
+        let spread = PlacementKind::Spread.assign(&spec).unwrap();
+        let t_pack = HandPriced.estimate(&spec, &pack, &hint, &[]);
+        let t_spread = HandPriced.estimate(&spec, &spread, &hint, &[]);
+        let want = if t_pack <= t_spread { "pack" } else { "spread" };
+        assert_eq!(best.placement.name(), want);
+    }
+
+    #[test]
+    fn a_disagreeing_model_flips_the_choice() {
+        /// Prefers whichever map spreads the *least* — opposite of what
+        /// the shuffle-heavy hand estimate usually picks.
+        struct PackLover;
+        impl MakespanModel for PackLover {
+            fn name(&self) -> &'static str {
+                "pack-lover"
+            }
+            fn estimate(
+                &self,
+                _spec: &ClusterSpec,
+                map: &[u32],
+                _hint: &WorkloadHint,
+                _host_load: &[f64],
+            ) -> f64 {
+                let distinct: std::collections::BTreeSet<u32> = map.iter().copied().collect();
+                distinct.len() as f64
+            }
+        }
+        let spec = spec();
+        let cands = vec![PlacementKind::Pack, PlacementKind::Spread];
+        let best = best_placement(&spec, &shuffle_hint(), &[], &PackLover, &cands).unwrap();
+        assert_eq!(best.placement.name(), "pack");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert!(best_placement(&spec(), &shuffle_hint(), &[], &HandPriced, &[]).is_none());
+    }
+}

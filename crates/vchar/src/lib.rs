@@ -1,0 +1,38 @@
+//! # vchar — characterization sweeps and learned cost models
+//!
+//! ALOJA-style configuration characterization for the vHadoop platform
+//! (DESIGN.md §19), in three layers:
+//!
+//! * [`sweep`] — fans out deterministic simulations over the cartesian
+//!   product of (workload mix × placement × scheduler × cluster shape ×
+//!   fault profile) across OS threads. Each run owns its `VHadoop` and is
+//!   seeded per-configuration, so the resulting dataset is **byte
+//!   identical** regardless of thread count — the same contract as the
+//!   fluid kernel's solver pool. Configurations that differ only in their
+//!   fault profile share a snapshot-forked warm-up prefix
+//!   (`simcore::persist`): the cluster is launched and the job stream
+//!   scheduled once per group, then each fault variant restores the
+//!   snapshot and diverges.
+//! * [`dataset`] — the versioned characterization dataset streamed to
+//!   `results/characterization.{csv,json}`: configuration axes, the
+//!   decision-time feature vector (`vsched::model::decision_features`),
+//!   observed kernel/controller/locality counters, and the measured
+//!   makespan + SLO labels.
+//! * [`model`] — fits `vsched`'s in-repo CART regression tree on the
+//!   dataset with a deterministic train/held-out split, and reports
+//!   MAE/quantile error against the hand-priced baseline. The fitted
+//!   tree plugs back into the control plane as
+//!   `MakespanKind::Learned(tree)`, closing the ALOJA-ML loop.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod model;
+pub mod sweep;
+
+/// Convenience imports.
+pub mod prelude {
+    pub use crate::dataset::{Dataset, Row, DATASET_VERSION};
+    pub use crate::model::{fit_cost_model, heldout_csv, CostModelEval};
+    pub use crate::sweep::{run_sweep, FaultSeverity, Shape, SweepSpec};
+}

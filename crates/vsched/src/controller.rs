@@ -21,7 +21,8 @@
 //! (config, seed). Disabled (the default), it arms nothing and touches
 //! nothing — traces are byte-identical to a controller-free platform.
 
-use crate::placement::{estimate_makespan, PlacementKind, WorkloadHint};
+use crate::model::{MakespanKind, MakespanModel};
+use crate::placement::{assign_adaptive, PlacementKind, WorkloadHint};
 use crate::queue::{
     slo_report_json, AdmissionQueue, JobSlo, QueueConfig, QueuedJob, SloConfig, SloReport,
     SloTracker,
@@ -57,6 +58,10 @@ pub struct ControllerConfig {
     pub slo: SloConfig,
     /// Power model behind the consolidation-energy report.
     pub power: PowerModel,
+    /// Makespan model pricing adaptive placement and what-if rebalance
+    /// candidates: the hand-priced baseline (the default) or a learned
+    /// regression tree.
+    pub model: MakespanKind,
 }
 
 impl Default for ControllerConfig {
@@ -68,6 +73,7 @@ impl Default for ControllerConfig {
             rebalance: None,
             slo: SloConfig::default(),
             power: PowerModel::default(),
+            model: MakespanKind::default(),
         }
     }
 }
@@ -149,13 +155,14 @@ struct FutureArrival {
     job: PendingJob,
 }
 
-/// One candidate migration plan priced by the estimator, awaiting
-/// fork-based measurement.
+/// One candidate migration plan priced by the configured makespan model,
+/// awaiting fork-based measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WhatIfCandidate {
     /// The move set under evaluation.
     pub moves: Vec<(VmId, HostId)>,
-    /// [`estimate_makespan`] price of the post-move layout, seconds.
+    /// The configured [`MakespanModel`]'s price of the post-move layout,
+    /// seconds.
     pub estimated_s: f64,
 }
 
@@ -165,8 +172,11 @@ pub struct WhatIfCandidate {
 /// the winner through [`Controller::resolve_whatif`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WhatIfRequest {
-    /// Candidate plans, estimator-priced, coldest destination first.
+    /// Candidate plans, model-priced, coldest destination first.
     pub candidates: Vec<WhatIfCandidate>,
+    /// Name of the [`MakespanModel`] that priced the candidates (copied
+    /// into every outcome, so estimator error stays attributable).
+    pub model: String,
 }
 
 /// The measured outcome of one what-if candidate.
@@ -176,12 +186,14 @@ pub struct WhatIfOutcome {
     pub at: SimTime,
     /// The candidate move set.
     pub moves: Vec<(VmId, HostId)>,
-    /// Estimator price of the post-move layout, seconds.
+    /// Model price of the post-move layout, seconds.
     pub estimated_s: f64,
     /// Fork-measured span until the fork drained, seconds.
     pub measured_s: f64,
     /// Whether this candidate was committed in the parent.
     pub chosen: bool,
+    /// Name of the [`MakespanModel`] that produced `estimated_s`.
+    pub model: String,
 }
 
 impl Persist for WhatIfOutcome {
@@ -191,6 +203,7 @@ impl Persist for WhatIfOutcome {
         self.estimated_s.encode(e);
         self.measured_s.encode(e);
         self.chosen.encode(e);
+        self.model.encode(e);
     }
     fn decode(d: &mut Decoder) -> Self {
         WhatIfOutcome {
@@ -199,6 +212,7 @@ impl Persist for WhatIfOutcome {
             estimated_s: f64::decode(d),
             measured_s: f64::decode(d),
             chosen: bool::decode(d),
+            model: String::decode(d),
         }
     }
 }
@@ -261,8 +275,13 @@ impl Controller {
 
     /// The VM→host override this controller's placement policy produces
     /// for `spec` (applied by the platform before the cluster boots).
+    /// Adaptive placement prices its candidates with the configured
+    /// makespan model; the other policies are model-free.
     pub fn placement_map(&self, spec: &vcluster::spec::ClusterSpec) -> Option<Vec<u32>> {
-        self.cfg.placement.assign(spec)
+        match &self.cfg.placement {
+            PlacementKind::Adaptive(hint) => assign_adaptive(spec, hint, &[], &self.cfg.model),
+            kind => kind.assign(spec),
+        }
     }
 
     /// Binds the controller to a booted platform: sizes the rebalancer,
@@ -432,11 +451,18 @@ impl Controller {
                         let src = rt.cluster.host_of(plan.moves[0].0);
                         let hint = rb.config().hint;
                         let cpu: Vec<f64> = loads.iter().map(|l| l.cpu).collect();
+                        let model = &self.cfg.model;
                         let candidates: Vec<WhatIfCandidate> = rb
                             .candidate_plans(&rt.cluster, src, &loads)
                             .into_iter()
                             .map(|p| WhatIfCandidate {
-                                estimated_s: estimate_plan(&rt.cluster, &p.moves, &hint, &cpu),
+                                estimated_s: estimate_plan(
+                                    &rt.cluster,
+                                    &p.moves,
+                                    &hint,
+                                    &cpu,
+                                    model,
+                                ),
                                 moves: p.moves,
                             })
                             .collect();
@@ -447,7 +473,8 @@ impl Controller {
                             now,
                             &[("candidates", candidates.len() as f64)],
                         );
-                        self.pending_whatif = Some(WhatIfRequest { candidates });
+                        self.pending_whatif =
+                            Some(WhatIfRequest { candidates, model: model.name().to_string() });
                     } else {
                         self.counters.migrations_planned += plan.moves.len() as u64;
                         if plan.consolidation {
@@ -674,19 +701,20 @@ impl Controller {
     }
 }
 
-/// Prices the post-`moves` VM layout with the placement estimator, under
-/// the current per-host CPU background load.
+/// Prices the post-`moves` VM layout with the configured makespan model,
+/// under the current per-host CPU background load.
 fn estimate_plan(
     cluster: &VirtualCluster,
     moves: &[(VmId, HostId)],
     hint: &WorkloadHint,
     host_load: &[f64],
+    model: &dyn MakespanModel,
 ) -> f64 {
     let mut map: Vec<u32> = cluster.vms().map(|v| cluster.host_of(v).0).collect();
     for &(vm, dst) in moves {
         map[vm.0 as usize] = dst.0;
     }
-    estimate_makespan(cluster.spec(), &map, hint, host_load)
+    model.estimate(cluster.spec(), &map, hint, host_load)
 }
 
 #[cfg(test)]

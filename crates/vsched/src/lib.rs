@@ -11,6 +11,10 @@
 //!   map before the cluster boots: pack (the paper's "normal" layout),
 //!   spread (cross-domain), or an adaptive pick priced by a first-order
 //!   makespan model;
+//! * [`model`] — every decision that prices a candidate VM layout goes
+//!   through a [`model::MakespanModel`]: the analytic
+//!   [`model::HandPriced`] baseline or a [`model::Learned`] regression
+//!   tree fitted on `vchar` characterization sweeps;
 //! * [`rebalance`] — a periodic controller samples per-host CPU/NIC load
 //!   from the fluid kernel's cumulative counters and plans bounded live
 //!   migrations (hysteresis + cooldown + move budget) through the
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod model;
 pub mod placement;
 pub mod queue;
 pub mod rebalance;
@@ -36,9 +41,13 @@ pub mod prelude {
         Controller, ControllerConfig, ControllerCounters, WhatIfCandidate, WhatIfOutcome,
         WhatIfRequest,
     };
+    pub use crate::model::{
+        decision_features, HandPriced, Learned, MakespanKind, MakespanModel, RegressionTree,
+        TreeConfig, FEATURE_NAMES,
+    };
     pub use crate::placement::{
-        apply_placement, estimate_makespan, AdaptivePlacement, PackPlacement, PlacementKind,
-        PlacementPolicy, SpecPlacement, SpreadPlacement, WorkloadHint,
+        apply_placement, assign_adaptive, estimate_makespan, AdaptivePlacement, PackPlacement,
+        PlacementKind, PlacementPolicy, SpecPlacement, SpreadPlacement, WorkloadHint,
     };
     pub use crate::queue::{
         AdmissionQueue, JobSlo, QueueConfig, QueuePolicy, QueuedJob, SloConfig, SloReport,

@@ -108,12 +108,27 @@ impl PlacementPolicy for AdaptivePlacement {
         "adaptive"
     }
     fn assign(&self, spec: &ClusterSpec) -> Option<Vec<u32>> {
-        let pack = PackPlacement.assign(spec)?;
-        let spread = SpreadPlacement.assign(spec)?;
-        let t_pack = estimate_makespan(spec, &pack, &self.hint, &self.host_load);
-        let t_spread = estimate_makespan(spec, &spread, &self.hint, &self.host_load);
-        Some(if t_pack <= t_spread { pack } else { spread })
+        assign_adaptive(spec, &self.hint, &self.host_load, &crate::model::HandPriced)
     }
+}
+
+/// Model-aware adaptive assignment: prices the pack and spread layouts
+/// with `model` and returns the cheaper one. [`AdaptivePlacement`] is
+/// this with the [`HandPriced`](crate::model::HandPriced) baseline; the
+/// controller substitutes its configured
+/// [`MakespanKind`](crate::model::MakespanKind) so a learned tree steers
+/// boot-time placement too.
+pub fn assign_adaptive(
+    spec: &ClusterSpec,
+    hint: &WorkloadHint,
+    host_load: &[f64],
+    model: &dyn crate::model::MakespanModel,
+) -> Option<Vec<u32>> {
+    let pack = PackPlacement.assign(spec)?;
+    let spread = SpreadPlacement.assign(spec)?;
+    let t_pack = model.estimate(spec, &pack, hint, host_load);
+    let t_spread = model.estimate(spec, &spread, hint, host_load);
+    Some(if t_pack <= t_spread { pack } else { spread })
 }
 
 /// Selects a placement policy by value (config-friendly; trait objects

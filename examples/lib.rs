@@ -2,4 +2,4 @@
 //!
 //! The runnable examples are the `[[bin]]` targets declared in
 //! `Cargo.toml`: `quickstart`, `ml_pipeline`, `datacenter_migration`,
-//! `tuning_session`, and `job_stream`.
+//! `tuning_session`, `job_stream`, and `characterize`.

@@ -293,6 +293,61 @@ else
     done
 fi
 
+echo "==> char: characterization sweep, dataset schema & learned cost model"
+# The sweep's determinism contract: the dataset written by the quick grid
+# must be byte-identical at 1 and 8 sweep threads. Then the fitted tree
+# must beat the hand-priced estimator on held-out rows (the example
+# asserts this itself; the schema check re-reads the artifacts), and the
+# costmodel ablation must show the learned model cutting what-if
+# estimator error on at least one cluster shape (asserted by the binary).
+cargo test -q -p vhadoop-integration --test vchar
+cargo run --release -q -p vhadoop-examples --bin characterize -- --quick --threads 1 > /dev/null
+chrcsv=results/characterization.csv
+chrjson=results/characterization.json
+test -s "$chrcsv" || { echo "missing or empty $chrcsv" >&2; exit 1; }
+cp "$chrcsv" results/.characterization.t1.csv
+cp "$chrjson" results/.characterization.t1.json
+cargo run --release -q -p vhadoop-examples --bin characterize -- --quick --threads 8 > /dev/null
+cmp -s "$chrcsv" results/.characterization.t1.csv \
+    || { echo "characterization.csv depends on the sweep thread count" >&2; exit 1; }
+cmp -s "$chrjson" results/.characterization.t1.json \
+    || { echo "characterization.json depends on the sweep thread count" >&2; exit 1; }
+rm -f results/.characterization.t1.csv results/.characterization.t1.json
+if command -v python3 > /dev/null; then
+    python3 - "$chrcsv" "$chrjson" results/costmodel.json <<'PY'
+import csv, json, sys
+with open(sys.argv[1]) as f:
+    rows = list(csv.DictReader(f))
+assert len(rows) == 72, f"quick grid must yield 72 rows, got {len(rows)}"
+cols = list(rows[0].keys())
+for k in ("mix", "placement", "scheduler", "hosts", "vms", "racks", "fault",
+          "seed", "feat_hand_estimate_s", "obs_wakeups", "obs_data_local_maps",
+          "label_makespan_s", "label_slo_violations"):
+    assert k in cols, f"dataset missing column {k}"
+assert all(float(r["label_makespan_s"]) > 0 for r in rows), "zero makespan label"
+with open(sys.argv[2]) as f:
+    d = json.load(f)
+assert d["dataset"] == "characterization" and d["version"] == 1, "bad envelope"
+assert d["columns"] == cols, "JSON column dictionary diverged from the CSV"
+assert len(d["rows"]) == len(rows), "JSON row count diverged from the CSV"
+with open(sys.argv[3]) as f:
+    ev = json.load(f)
+assert ev["rows_heldout"] > 0, "no held-out rows"
+assert ev["learned_mae_s"] <= ev["hand_mae_s"], \
+    f"learned MAE {ev['learned_mae_s']} worse than hand {ev['hand_mae_s']}"
+print(f"    72 rows x {len(cols)} columns, thread-invariant bytes; "
+      f"held-out MAE learned {ev['learned_mae_s']:.2f}s vs hand {ev['hand_mae_s']:.2f}s")
+PY
+else
+    head -1 "$chrcsv" | grep -q "feat_hand_estimate_s" || { echo "bad $chrcsv header" >&2; exit 1; }
+    grep -q '"version": 1' "$chrjson" || { echo "bad $chrjson" >&2; exit 1; }
+fi
+cargo run --release -q -p vhadoop-bench --bin ablations -- --case costmodel > /dev/null
+cmcsv=results/costmodel_ablation.csv
+test -s "$cmcsv" || { echo "missing or empty $cmcsv" >&2; exit 1; }
+grep -q "hand_err_mean" "$cmcsv" && grep -q "learned_err_mean" "$cmcsv" \
+    || { echo "bad $cmcsv" >&2; exit 1; }
+
 echo "==> determinism lint"
 # A run must be a pure function of config + seed: no wall clock and no OS
 # entropy anywhere in the simulation crates. The two offline bench
@@ -303,13 +358,17 @@ if grep -rnE 'Instant::now|SystemTime::now|thread_rng' crates/*/src \
     echo "determinism lint FAILED: wall clock or OS entropy in crates/" >&2
     exit 1
 fi
-# Threads are sanctioned in exactly two places: the scoped component-solve
-# pool in simcore's fluid module (deterministic by construction — results
-# are merged in canonical component order), and the bench binaries (which
-# only pick a default --threads from host parallelism). Anywhere else,
-# threading is a determinism hazard.
+# Threads are sanctioned in exactly three places: the scoped component-
+# solve pool in simcore's fluid module (deterministic by construction —
+# results are merged in canonical component order), the vchar sweep
+# runner (workers own disjoint contiguous slot ranges and results are
+# assembled in configuration order — the `char` stage above pins the
+# byte-identity), and the bench binaries (which only pick a default
+# --threads from host parallelism). Anywhere else, threading is a
+# determinism hazard.
 if grep -rnE 'std::thread|thread::(spawn|scope|Builder)' crates/*/src \
     | grep -vE '^crates/simcore/src/fluid\.rs:' \
+    | grep -vE '^crates/vchar/src/sweep\.rs:' \
     | grep -vE '^crates/bench/src/bin/(simbench|scalability)\.rs:'; then
     echo "determinism lint FAILED: threading outside the sanctioned pool" >&2
     exit 1

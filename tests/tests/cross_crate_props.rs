@@ -341,3 +341,43 @@ fn controller_never_starves_jobs_under_random_faults() {
         assert_eq!(rep.finished, u64::from(jobs));
     });
 }
+
+/// A regression tree fitted on arbitrary data survives a
+/// `simcore::persist` encode/decode round trip with **bitwise** identical
+/// predictions — the property that makes a learned cost model safe to
+/// carry inside deterministic snapshots.
+#[test]
+fn fitted_trees_round_trip_to_identical_predictions() {
+    use simcore::persist::{Decoder, Encoder, Persist};
+    use vsched::model::{RegressionTree, TreeConfig};
+
+    proptest::check("tree-persist-roundtrip", proptest::Config::with_cases(32), |g| {
+        let n_rows = g.usize_in(2, 60);
+        let n_feats = g.usize_in(1, 8);
+        let rows: Vec<Vec<f64>> =
+            (0..n_rows).map(|_| (0..n_feats).map(|_| g.f64_in(-100.0, 100.0)).collect()).collect();
+        let labels: Vec<f64> = (0..n_rows).map(|_| g.f64_in(0.0, 500.0)).collect();
+        let cfg = TreeConfig { max_depth: g.usize_in(1, 10), min_leaf: g.usize_in(1, 5) };
+        let tree = RegressionTree::fit(&rows, &labels, &cfg);
+
+        let mut e = Encoder::new();
+        tree.encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let back = RegressionTree::decode(&mut d);
+        assert!(d.is_exhausted(), "decoder must consume every byte");
+        assert_eq!(tree, back, "structural equality after the round trip");
+        for r in &rows {
+            assert_eq!(
+                tree.predict(r).to_bits(),
+                back.predict(r).to_bits(),
+                "prediction changed across persist round trip"
+            );
+        }
+        // And probe points the tree never saw.
+        for _ in 0..8 {
+            let x: Vec<f64> = (0..n_feats).map(|_| g.f64_in(-200.0, 200.0)).collect();
+            assert_eq!(tree.predict(&x).to_bits(), back.predict(&x).to_bits());
+        }
+    });
+}

@@ -256,7 +256,6 @@ fn golden_snapshot_hash_pins_the_format() {
     );
 }
 
-/// Pinned against SNAPSHOT_VERSION = 3 (SoA/arena fluid kernel:
-/// batch/histogram counters, generation-stamped timer arena, five interned
-/// kernel counter names).
-const GOLDEN_HASH: u64 = 0x3a22_b29e_6733_5b5c;
+/// Pinned against SNAPSHOT_VERSION = 4 (what-if outcomes record which
+/// makespan model priced each estimate).
+const GOLDEN_HASH: u64 = 0x7b06_f0b9_a514_b7b9;
